@@ -1,0 +1,34 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: all build test vet bench cover experiments examples clean
+
+all: build vet test
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+bench:
+	go test -bench=. -benchmem ./...
+
+cover:
+	go test -cover ./...
+
+# Full-scale experiment tables (EXPERIMENTS.md source data).
+experiments:
+	go run ./cmd/ltbench -seed 42 | tee results_full.txt
+
+examples:
+	go run ./examples/quickstart
+	go run ./examples/figure1
+	go run ./examples/sensornet
+	go run ./examples/faulttolerant
+	go run ./examples/distributed
+
+clean:
+	go clean ./...

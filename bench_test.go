@@ -1,0 +1,200 @@
+// Package repro's root benchmark suite regenerates every experiment table
+// of DESIGN.md under testing.B (BenchmarkE1 … BenchmarkE22) and provides
+// micro-benchmarks of the core algorithms. Run:
+//
+//	go test -bench=. -benchmem
+//
+// The experiment benches use Quick mode with a single trial per point so a
+// bench iteration is one full table; cmd/ltbench produces the full-scale
+// tables recorded in EXPERIMENTS.md.
+package repro
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/domatic"
+	"repro/internal/domset"
+	"repro/internal/exact"
+	"repro/internal/experiments"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	cfg := experiments.Config{Seed: 42, Quick: true, Trials: 1}
+	for i := 0; i < b.N; i++ {
+		tab, err := experiments.Run(id, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := tab.Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE1(b *testing.B)  { benchExperiment(b, "E1") }
+func BenchmarkE2(b *testing.B)  { benchExperiment(b, "E2") }
+func BenchmarkE3(b *testing.B)  { benchExperiment(b, "E3") }
+func BenchmarkE4(b *testing.B)  { benchExperiment(b, "E4") }
+func BenchmarkE5(b *testing.B)  { benchExperiment(b, "E5") }
+func BenchmarkE6(b *testing.B)  { benchExperiment(b, "E6") }
+func BenchmarkE7(b *testing.B)  { benchExperiment(b, "E7") }
+func BenchmarkE8(b *testing.B)  { benchExperiment(b, "E8") }
+func BenchmarkE9(b *testing.B)  { benchExperiment(b, "E9") }
+func BenchmarkE10(b *testing.B) { benchExperiment(b, "E10") }
+func BenchmarkE11(b *testing.B) { benchExperiment(b, "E11") }
+func BenchmarkE12(b *testing.B) { benchExperiment(b, "E12") }
+func BenchmarkE13(b *testing.B) { benchExperiment(b, "E13") }
+func BenchmarkE14(b *testing.B) { benchExperiment(b, "E14") }
+func BenchmarkE15(b *testing.B) { benchExperiment(b, "E15") }
+func BenchmarkE16(b *testing.B) { benchExperiment(b, "E16") }
+func BenchmarkE17(b *testing.B) { benchExperiment(b, "E17") }
+func BenchmarkE18(b *testing.B) { benchExperiment(b, "E18") }
+func BenchmarkE19(b *testing.B) { benchExperiment(b, "E19") }
+func BenchmarkE20(b *testing.B) { benchExperiment(b, "E20") }
+func BenchmarkE21(b *testing.B) { benchExperiment(b, "E21") }
+func BenchmarkE22(b *testing.B) { benchExperiment(b, "E22") }
+
+// benchGraph builds a connected-ish G(n, c·ln n/n) test graph outside the
+// timed loop.
+func benchGraph(n int) *graph.Graph {
+	p := 10 * math.Log(float64(n)) / float64(n)
+	if p > 1 {
+		p = 1
+	}
+	return gen.GNP(n, p, rng.New(uint64(n)))
+}
+
+func BenchmarkUniformAlgorithm(b *testing.B) {
+	for _, n := range []int{256, 1024, 4096} {
+		g := benchGraph(n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			src := rng.New(1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s := core.Uniform(g, 3, core.Options{K: 3, Src: src})
+				if s.Lifetime() == 0 {
+					b.Fatal("empty schedule")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkGeneralAlgorithm(b *testing.B) {
+	for _, n := range []int{256, 1024, 4096} {
+		g := benchGraph(n)
+		batteries := make([]int, n)
+		bsrc := rng.New(2)
+		for i := range batteries {
+			batteries[i] = 1 + bsrc.Intn(8)
+		}
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			src := rng.New(1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				core.General(g, batteries, core.Options{K: 3, Src: src})
+			}
+		})
+	}
+}
+
+func BenchmarkFaultTolerantAlgorithm(b *testing.B) {
+	g := benchGraph(1024)
+	src := rng.New(1)
+	for i := 0; i < b.N; i++ {
+		core.FaultTolerant(g, 4, 2, core.Options{K: 3, Src: src})
+	}
+}
+
+func BenchmarkScheduleValidate(b *testing.B) {
+	g := benchGraph(1024)
+	src := rng.New(1)
+	s := core.UniformWHP(g, 3, core.Options{K: 3, Src: src}, 10)
+	batteries := make([]int, g.N())
+	for i := range batteries {
+		batteries[i] = 3
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Validate(g, batteries, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGreedyDominatingSet(b *testing.B) {
+	for _, n := range []int{256, 1024} {
+		g := benchGraph(n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if set := domset.Greedy(g); set == nil {
+					b.Fatal("greedy failed")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkGreedyPartition(b *testing.B) {
+	g := benchGraph(512)
+	for i := 0; i < b.N; i++ {
+		domatic.GreedyPartition(g, domatic.GreedyExtractor)
+	}
+}
+
+func BenchmarkRandomColoring(b *testing.B) {
+	for _, n := range []int{1024, 8192} {
+		g := benchGraph(n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			src := rng.New(3)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				domatic.RandomColoring(g, 3, src)
+			}
+		})
+	}
+}
+
+func BenchmarkLubyMIS(b *testing.B) {
+	g := benchGraph(1024)
+	src := rng.New(4)
+	for i := 0; i < b.N; i++ {
+		domset.LubyMIS(g, src)
+	}
+}
+
+func BenchmarkExactIntegral(b *testing.B) {
+	g := gen.GNP(11, 0.4, rng.New(5))
+	batteries := make([]int, g.N())
+	for i := range batteries {
+		batteries[i] = 2
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		exact.Integral(g, batteries, 1)
+	}
+}
+
+func BenchmarkMinimalDominatingSetEnumeration(b *testing.B) {
+	g := gen.GNP(12, 0.35, rng.New(6))
+	for i := 0; i < b.N; i++ {
+		if sets := exact.MinimalDominatingSets(g, 1); len(sets) == 0 {
+			b.Fatal("no sets")
+		}
+	}
+}
+
+func BenchmarkTwoHopMinDegree(b *testing.B) {
+	g := benchGraph(4096)
+	for i := 0; i < b.N; i++ {
+		g.TwoHopMinDegree()
+	}
+}

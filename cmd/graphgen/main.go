@@ -1,0 +1,83 @@
+// Command graphgen emits graphs from the repository's generator families as
+// plain edge lists (the format cmd/ltsched reads).
+//
+// Usage:
+//
+//	graphgen -family gnp -n 100 -p 0.1 [-seed 1] > g.edges
+//	graphgen -family udg -n 200 -side 14 -radius 2.5
+//	graphgen -family grid -rows 8 -cols 8
+//	graphgen -family circulant -n 60 -d 6
+//	graphgen -family fujita -k 5
+//	graphgen -family planted -n 60 -d 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func main() {
+	family := flag.String("family", "gnp", "gnp|udg|hudg|grid|torus|ring|path|star|complete|circulant|tree|caterpillar|fujita|planted")
+	n := flag.Int("n", 100, "node count")
+	p := flag.Float64("p", 0.1, "edge probability (gnp)")
+	side := flag.Float64("side", 10, "deployment square side (udg)")
+	radius := flag.Float64("radius", 1.5, "communication radius (udg)")
+	rows := flag.Int("rows", 8, "grid/torus rows")
+	cols := flag.Int("cols", 8, "grid/torus cols")
+	d := flag.Int("d", 4, "degree (circulant) or planted domatic number")
+	k := flag.Int("k", 4, "trap parameter (fujita) / legs (caterpillar)")
+	seed := flag.Uint64("seed", 1, "random seed")
+	dot := flag.Bool("dot", false, "emit Graphviz DOT instead of an edge list")
+	flag.Parse()
+
+	src := rng.New(*seed)
+	var g *graph.Graph
+	switch *family {
+	case "gnp":
+		g = gen.GNP(*n, *p, src)
+	case "udg":
+		g, _ = gen.RandomUDG(*n, *side, *radius, src)
+	case "hudg":
+		g, _, _ = gen.HeterogeneousUDG(*n, *side, *radius/2, *radius, src)
+	case "grid":
+		g = gen.Grid(*rows, *cols)
+	case "torus":
+		g = gen.Torus(*rows, *cols)
+	case "ring":
+		g = gen.Ring(*n)
+	case "path":
+		g = gen.Path(*n)
+	case "star":
+		g = gen.Star(*n)
+	case "complete":
+		g = gen.Complete(*n)
+	case "circulant":
+		g = gen.Circulant(*n, *d)
+	case "tree":
+		g = gen.RandomTree(*n, src)
+	case "caterpillar":
+		g = gen.Caterpillar(*n, *k)
+	case "fujita":
+		g, _ = gen.FujitaTrap(*k)
+	case "planted":
+		g, _ = gen.PlantedDomatic(*n, *d, *n/2, src)
+	default:
+		fmt.Fprintf(os.Stderr, "graphgen: unknown family %q\n", *family)
+		os.Exit(2)
+	}
+	var err error
+	if *dot {
+		err = graph.WriteDOT(os.Stdout, g, *family, nil)
+	} else {
+		err = graph.WriteEdgeList(os.Stdout, g)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "graphgen:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,66 @@
+// Command ltbench runs the reproduction experiments of DESIGN.md and prints
+// their tables. By default it runs everything at full scale; use -quick for
+// a fast smoke pass and -run to select specific experiments.
+//
+// Usage:
+//
+//	ltbench [-run E1,E7] [-seed 42] [-trials 10] [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	run := flag.String("run", "all", "comma-separated experiment IDs (e.g. E1,E7) or \"all\"")
+	seed := flag.Uint64("seed", 42, "root random seed")
+	trials := flag.Int("trials", 0, "trials per data point (0 = experiment default)")
+	quick := flag.Bool("quick", false, "shrink sweeps for a fast pass")
+	list := flag.Bool("list", false, "list available experiments and exit")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			e, _ := experiments.Get(id)
+			fmt.Printf("%-4s %s\n", id, e.Title)
+		}
+		return
+	}
+
+	cfg := experiments.Config{Seed: *seed, Trials: *trials, Quick: *quick}
+	var ids []string
+	if strings.EqualFold(*run, "all") {
+		ids = experiments.IDs()
+	} else {
+		for _, id := range strings.Split(*run, ",") {
+			ids = append(ids, strings.TrimSpace(id))
+		}
+	}
+	for i, id := range ids {
+		tab, err := experiments.Run(id, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ltbench:", err)
+			os.Exit(1)
+		}
+		if i > 0 {
+			fmt.Println()
+		}
+		var rerr error
+		if *csv {
+			fmt.Printf("# %s: %s\n", tab.ID, tab.Title)
+			rerr = tab.WriteCSV(os.Stdout)
+		} else {
+			rerr = tab.Render(os.Stdout)
+		}
+		if rerr != nil {
+			fmt.Fprintln(os.Stderr, "ltbench:", rerr)
+			os.Exit(1)
+		}
+	}
+}

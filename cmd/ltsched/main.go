@@ -1,0 +1,127 @@
+// Command ltsched computes a cluster-lifetime schedule for a graph and
+// prints it. Graphs come from a file (edge-list format, see cmd/graphgen) or
+// stdin; batteries are uniform (-b) or drawn uniformly from [1, -bmax].
+//
+// Usage:
+//
+//	graphgen -family udg -n 60 | ltsched -alg uniform -b 3 -gantt
+//	ltsched -graph g.edges -alg general -bmax 5
+//	ltsched -graph g.edges -alg ft -b 4 -k 2
+//	ltsched -graph g.edges -alg exact -b 2      (small graphs only)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ltsched:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	graphPath := flag.String("graph", "-", "edge-list file (\"-\" = stdin)")
+	alg := flag.String("alg", "uniform", "uniform|general|ft|exact")
+	b := flag.Int("b", 3, "uniform battery (uniform, ft, exact)")
+	bmax := flag.Int("bmax", 0, "random batteries in [1, bmax] (general; 0 = uniform b)")
+	k := flag.Int("k", 1, "domination tolerance (ft)")
+	kConst := flag.Float64("K", 3, "color-range constant")
+	seed := flag.Uint64("seed", 1, "random seed")
+	tries := flag.Int("tries", 30, "WHP retry budget")
+	gantt := flag.Bool("gantt", false, "print an ASCII Gantt chart")
+	csv := flag.Bool("csv", false, "print the schedule as CSV")
+	jsonOut := flag.Bool("json", false, "print the schedule as JSON")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if *graphPath != "-" {
+		f, err := os.Open(*graphPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	g, err := graph.ReadEdgeList(in)
+	if err != nil {
+		return err
+	}
+
+	src := rng.New(*seed)
+	batteries := make([]int, g.N())
+	for i := range batteries {
+		if *bmax > 0 {
+			batteries[i] = 1 + src.Intn(*bmax)
+		} else {
+			batteries[i] = *b
+		}
+	}
+	opt := core.Options{K: *kConst, Src: src.Split()}
+
+	var s *core.Schedule
+	tolerance := 1
+	switch *alg {
+	case "uniform":
+		s = core.UniformWHP(g, *b, opt, *tries)
+	case "general":
+		s = core.GeneralWHP(g, batteries, opt, *tries)
+	case "ft":
+		tolerance = *k
+		s = core.FaultTolerantWHP(g, *b, *k, opt, *tries)
+	case "exact":
+		if g.N() > 24 {
+			return fmt.Errorf("exact solver limited to 24 nodes (got %d)", g.N())
+		}
+		val, sets, durs := exact.Integral(g, batteries, *k)
+		tolerance = *k
+		s = &core.Schedule{}
+		for i, set := range sets {
+			s.Phases = append(s.Phases, core.Phase{Set: set, Duration: durs[i]})
+		}
+		fmt.Printf("exact optimum: %d\n", val)
+	default:
+		return fmt.Errorf("unknown algorithm %q", *alg)
+	}
+
+	if err := s.Validate(g, batteries, tolerance); err != nil {
+		return fmt.Errorf("produced schedule failed validation: %v", err)
+	}
+
+	fmt.Printf("graph: %v\n", g)
+	fmt.Printf("algorithm: %s (K=%.1f seed=%d)\n", *alg, *kConst, *seed)
+	fmt.Printf("lifetime: %d slots in %d phases\n", s.Lifetime(), len(s.Phases))
+	switch *alg {
+	case "uniform":
+		fmt.Printf("upper bound (Lemma 4.1): %d\n", core.UniformUpperBound(g, *b))
+	case "general", "exact":
+		fmt.Printf("upper bound (Lemma 5.1): %d\n", core.GeneralUpperBound(g, batteries))
+	case "ft":
+		fmt.Printf("upper bound (Lemma 6.1): %d\n", core.KTolerantUpperBound(g, *b, *k))
+	}
+	if *gantt {
+		if err := s.Gantt(os.Stdout, g.N()); err != nil {
+			return err
+		}
+	}
+	if *csv {
+		if err := s.WriteCSV(os.Stdout); err != nil {
+			return err
+		}
+	}
+	if *jsonOut {
+		if err := s.WriteJSON(os.Stdout); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,51 @@
+// Distributed: Algorithm 2 as an actual message-passing protocol. Each node
+// runs a small state machine, learns its 2-hop energy aggregates in two
+// broadcast rounds, and picks its duty slots locally — no coordinator, no
+// global view. The simulator counts rounds and messages; the resulting
+// schedule is assembled and validated afterwards, exactly as a base station
+// overhearing the choices would see it.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/distsim"
+	"repro/internal/gen"
+	"repro/internal/rng"
+)
+
+func main() {
+	src := rng.New(5)
+	g := gen.GNP(500, 0.12, src)
+	fmt.Println("network:", g)
+
+	// Heterogeneous batteries.
+	batteries := make([]int, g.N())
+	for i := range batteries {
+		batteries[i] = 5 + src.Intn(11)
+	}
+
+	// One independent randomness stream per node: the protocol is fully
+	// local and reproducible.
+	sources := src.SplitN(g.N())
+	nodes := distsim.NewGeneralNodes(g, batteries, 3, sources)
+
+	stats, err := distsim.Run(g, distsim.Programs(nodes), 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("protocol finished in %d rounds with %d messages (%.2f per edge)\n",
+		stats.Rounds, stats.Messages, float64(stats.Messages)/float64(g.M()))
+
+	schedule := distsim.GeneralSchedule(nodes).TruncateInvalid(g, 1)
+	if err := schedule.Validate(g, batteries, 1); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("assembled schedule: lifetime %d slots\n", schedule.Lifetime())
+	fmt.Printf("Lemma 5.2 guarantee: ≥ %d slots w.h.p.\n",
+		core.GeneralGuaranteedSlots(g, batteries, core.Options{K: 3}))
+	fmt.Printf("Lemma 5.1 upper bound: %d slots\n",
+		core.GeneralUpperBound(g, batteries))
+}

@@ -1,0 +1,76 @@
+// Faulttolerant: node failure is "an event of non-negligible probability"
+// (paper, §1). A plain dominating-set schedule can lose a node's coverage as
+// soon as the few clusterheads responsible for it crash; a k-dominating
+// schedule from Algorithm 3 provably absorbs any k-1 failures per
+// neighborhood. This example plays an *adversary with a kill budget f*: it
+// inspects each schedule, finds the earliest phase in which some victim node
+// is served by at most f clusterheads, and crashes exactly those nodes at
+// time 0. The k-tolerant schedule cannot be broken until f reaches k.
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/domatic"
+	"repro/internal/energy"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/sensim"
+)
+
+func main() {
+	src := rng.New(99)
+	n := 400
+	g := gen.GNP(n, 22*math.Log(float64(n))/float64(n), src)
+	fmt.Println("network:", g)
+
+	const b = 6
+	const k = 3 // every node keeps 3 clusterheads in range
+
+	// The lifetime-maximal plain schedule: a greedy domatic partition run
+	// class by class. Near-optimal lifetime, but each phase gives many
+	// nodes exactly one clusterhead — zero redundancy.
+	partition := domatic.GreedyPartition(g, domatic.GreedyExtractor)
+	plain := core.FromPartition(partition, b)
+	tolerant := core.FaultTolerantWHP(g, b, k, core.Options{K: 3, Src: src.Split()}, 30)
+
+	fmt.Printf("plain schedule (greedy partition): lifetime %d (1-dominating)\n", plain.Lifetime())
+	fmt.Printf("k-tolerant schedule (Algorithm 3): lifetime %d (%d-dominating)\n\n", tolerant.Lifetime(), k)
+
+	// The adversary targets the weakest node: one of minimum degree.
+	victim := 0
+	for v := 1; v < g.N(); v++ {
+		if g.Degree(v) < g.Degree(victim) {
+			victim = v
+		}
+	}
+	fmt.Printf("adversary targets node %d (degree %d)\n\n", victim, g.Degree(victim))
+
+	for _, budget := range []int{1, k - 1} {
+		fmt.Printf("kill budget f = %d:\n", budget)
+		report("  plain", g, plain, victim, budget, b)
+		report("  k-tolerant", g, tolerant, victim, budget, b)
+	}
+
+	fmt.Println("\nthe k-dominating schedule provably survives ANY k-1 crashes per")
+	fmt.Println("neighborhood (here k = 3); the lifetime-maximal plain schedule is")
+	fmt.Println("broken by a single well-aimed failure — the trade-off §6 motivates.")
+}
+
+// report crashes the victim's serving clusterheads in the earliest
+// breakable phase (one with at most `budget` servers of the victim) and
+// executes the schedule.
+func report(name string, g *graph.Graph, s *core.Schedule, victim, budget, b int) {
+	plan := sensim.AdversarialPlan(g, s, victim, budget)
+	net := energy.NewNetwork(g, energy.Uniform(g, b))
+	res := sensim.Run(net, s, sensim.Options{K: 1, Failures: plan})
+	status := "SURVIVED — adversary cannot break it"
+	if res.FirstViolation >= 0 {
+		status = fmt.Sprintf("coverage lost at slot %d", res.FirstViolation)
+	}
+	fmt.Printf("%-13s covered %3d/%3d slots — %s\n",
+		name, res.AchievedLifetime, s.Lifetime(), status)
+}

@@ -1,0 +1,183 @@
+package async
+
+import (
+	"testing"
+
+	"repro/internal/domset"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func TestSimultaneousWakeupAllDominators(t *testing.T) {
+	// Everyone wakes at 0 and hears nothing during the window: everyone
+	// self-elects. The result is the (maximal) dominating set of all nodes.
+	g := gen.Path(5)
+	res, err := Run(g, Config{Listen: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Dominators) != 5 {
+		t.Fatalf("dominators = %v, want all 5", res.Dominators)
+	}
+	if !domset.IsDominating(g, res.Dominators, nil) {
+		t.Fatal("result not dominating")
+	}
+}
+
+func TestStaggeredWakeupYieldsSparseDominators(t *testing.T) {
+	// With wake-ups spread over a window much longer than Listen, early
+	// dominators suppress their later-waking neighbors.
+	g := gen.Complete(20)
+	wake := make([]int, 20)
+	for i := range wake {
+		wake[i] = i * 5 // strictly staggered
+	}
+	res, err := Run(g, Config{Listen: 3, WakeTimes: wake})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Dominators) != 1 || res.Dominators[0] != 0 {
+		t.Fatalf("dominators = %v, want just the first waker", res.Dominators)
+	}
+	for v := 1; v < 20; v++ {
+		if res.States[v] != Dominated {
+			t.Fatalf("node %d state %v, want dominated", v, res.States[v])
+		}
+	}
+}
+
+func TestAlwaysDominatingAfterStabilization(t *testing.T) {
+	src := rng.New(1)
+	for trial := 0; trial < 20; trial++ {
+		g := gen.GNP(80, 0.1, src)
+		wake := StaggeredWakeTimes(g.N(), 30, src)
+		res, err := Run(g, Config{Listen: 4, WakeTimes: wake})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !domset.IsDominating(g, res.Dominators, nil) {
+			t.Fatalf("trial %d: dominators %v not dominating", trial, res.Dominators)
+		}
+		// No node may remain asleep or listening at the horizon.
+		for v, s := range res.States {
+			if s == Asleep || s == Listening {
+				t.Fatalf("trial %d: node %d still %v at horizon", trial, v, s)
+			}
+		}
+	}
+}
+
+func TestDominatedNodesHaveDominatorNeighbor(t *testing.T) {
+	src := rng.New(2)
+	g := gen.GNP(60, 0.15, src)
+	wake := StaggeredWakeTimes(g.N(), 25, src)
+	res, err := Run(g, Config{Listen: 3, WakeTimes: wake})
+	if err != nil {
+		t.Fatal(err)
+	}
+	isDom := map[int]bool{}
+	for _, v := range res.Dominators {
+		isDom[v] = true
+	}
+	for v, s := range res.States {
+		if s != Dominated {
+			continue
+		}
+		ok := false
+		for _, u := range g.Neighbors(v) {
+			if isDom[int(u)] {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Fatalf("dominated node %d has no dominator neighbor", v)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	g := gen.Path(3)
+	if _, err := Run(g, Config{Listen: 0}); err == nil {
+		t.Error("listen=0 accepted")
+	}
+	if _, err := Run(g, Config{Listen: 2, WakeTimes: []int{1}}); err == nil {
+		t.Error("wake-time length mismatch accepted")
+	}
+	if _, err := Run(g, Config{Listen: 2, WakeTimes: []int{0, -1, 0}}); err == nil {
+		t.Error("negative wake time accepted")
+	}
+}
+
+func TestStabilizationTimeBound(t *testing.T) {
+	// Stabilization happens by maxWake + Listen in this collision-free
+	// model.
+	src := rng.New(3)
+	g := gen.GNP(50, 0.2, src)
+	wake := StaggeredWakeTimes(g.N(), 20, src)
+	maxWake := 0
+	for _, w := range wake {
+		if w > maxWake {
+			maxWake = w
+		}
+	}
+	res, err := Run(g, Config{Listen: 5, WakeTimes: wake, Horizon: maxWake + 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StabilizedAt > maxWake+5 {
+		t.Fatalf("stabilized at %d, bound is %d", res.StabilizedAt, maxWake+5)
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	res, err := Run(graph.New(0), Config{Listen: 1})
+	if err != nil || len(res.Dominators) != 0 {
+		t.Fatalf("empty run: %v, %v", res, err)
+	}
+}
+
+func TestStaggeredWakeTimesRange(t *testing.T) {
+	src := rng.New(4)
+	w := StaggeredWakeTimes(100, 10, src)
+	for _, v := range w {
+		if v < 0 || v >= 10 {
+			t.Fatalf("wake time %d out of [0, 10)", v)
+		}
+	}
+	// spread <= 1: all zeros.
+	for _, v := range StaggeredWakeTimes(5, 1, src) {
+		if v != 0 {
+			t.Fatal("spread 1 should yield all-zero wake times")
+		}
+	}
+}
+
+func TestBeaconAccounting(t *testing.T) {
+	// Single node: wakes at 0, listens 2 slots, becomes dominator at slot 1,
+	// beacons from slot 2 on. Horizon 5 → beacons at slots 2, 3, 4 = 3.
+	g := graph.New(1)
+	res, err := Run(g, Config{Listen: 2, Horizon: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Beacons != 3 {
+		t.Fatalf("beacons = %d, want 3", res.Beacons)
+	}
+}
+
+func TestStateString(t *testing.T) {
+	cases := map[State]string{
+		Asleep:    "asleep",
+		Listening: "listening",
+		Dominator: "dominator",
+		Dominated: "dominated",
+		State(9):  "state(9)",
+	}
+	for s, want := range cases {
+		if got := s.String(); got != want {
+			t.Errorf("State(%d).String() = %q, want %q", s, got, want)
+		}
+	}
+}

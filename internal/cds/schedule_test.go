@@ -1,0 +1,60 @@
+package cds
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/rng"
+)
+
+func TestScheduleIsConnectedBackbone(t *testing.T) {
+	src := rng.New(1)
+	g, _ := gen.RandomUDG(120, 10, 2.6, src)
+	if !g.Connected() {
+		t.Skip("unlucky disconnected deployment")
+	}
+	const b = 3
+	s := Schedule(g, b)
+	if s.Lifetime() == 0 {
+		t.Fatal("no connected backbone schedule at all")
+	}
+	if err := ValidateSchedule(g, s, b); err != nil {
+		t.Fatal(err)
+	}
+	// It is also a plain valid schedule.
+	batteries := make([]int, g.N())
+	for i := range batteries {
+		batteries[i] = b
+	}
+	if err := s.Validate(g, batteries, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateScheduleRejectsDisconnectedPhase(t *testing.T) {
+	g := gen.Path(5)
+	s := &core.Schedule{Phases: []core.Phase{{Set: []int{1, 3}, Duration: 1}}}
+	if err := ValidateSchedule(g, s, 5); err == nil {
+		t.Fatal("disconnected dominating phase accepted")
+	}
+}
+
+func TestValidateScheduleRejectsOverBudget(t *testing.T) {
+	g := gen.Star(4)
+	s := &core.Schedule{Phases: []core.Phase{{Set: []int{0}, Duration: 3}}}
+	if err := ValidateSchedule(g, s, 2); err == nil {
+		t.Fatal("budget violation accepted")
+	}
+}
+
+func TestValidateScheduleAcceptsZeroDurationJunk(t *testing.T) {
+	g := gen.Path(4)
+	s := &core.Schedule{Phases: []core.Phase{
+		{Set: []int{0}, Duration: 0}, // invalid set but zero duration
+		{Set: []int{1, 2}, Duration: 1},
+	}}
+	if err := ValidateSchedule(g, s, 2); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,388 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/domatic"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// Options configures the randomized algorithms.
+type Options struct {
+	// K is the color-range constant: nodes draw colors from a range of
+	// width (local degree or energy quantity)/(K·ln n). The paper's
+	// analysis needs K = 3 for the O(1/n) failure probability; smaller K
+	// yields longer raw schedules that fail validation more often
+	// (experiment E3 sweeps this trade-off). Zero means 3.
+	K float64
+
+	// Src is the randomness source. Nil means a fixed default seed, which
+	// keeps casual use deterministic.
+	Src *rng.Source
+}
+
+func (o Options) normalize() Options {
+	if o.K <= 0 {
+		o.K = 3
+	}
+	if o.Src == nil {
+		o.Src = rng.New(1)
+	}
+	return o
+}
+
+// Uniform runs Algorithm 1 of the paper on graph g with uniform battery b:
+// every node draws one color uniformly from [0, δ²_v/(K ln n)) where δ²_v is
+// its two-hop minimum degree, and color class i is scheduled for b slots in
+// interval [i·b, (i+1)·b). The returned raw schedule has one phase per color
+// class; with probability 1-O(1/n) its first GuaranteedPhases(g, opt) phases
+// are dominating sets (Lemma 4.2) and the schedule is then an O(log n)
+// approximation (Theorem 4.3). Callers should TruncateInvalid or use
+// UniformWHP.
+func Uniform(g *graph.Graph, b int, opt Options) *Schedule {
+	if b < 0 {
+		panic(fmt.Sprintf("core: negative battery %d", b))
+	}
+	opt = opt.normalize()
+	if b == 0 || g.N() == 0 {
+		return &Schedule{}
+	}
+	p := domatic.RandomColoring(g, opt.K, opt.Src)
+	return FromPartition(p, b)
+}
+
+// GuaranteedPhases returns the number of leading phases of a Uniform or
+// FaultTolerant raw schedule that Lemma 4.2 covers: ⌊δ/(K ln n)⌋, at least 1.
+func GuaranteedPhases(g *graph.Graph, opt Options) int {
+	opt = opt.normalize()
+	return domatic.GuaranteedClasses(g, opt.K)
+}
+
+// UniformWHP runs Uniform up to maxTries times, truncating each raw schedule
+// at its first non-dominating phase, and returns the best truncated schedule
+// seen. It stops early once a schedule achieves the Lemma 4.2 guarantee of
+// GuaranteedPhases(g, opt) valid classes. maxTries <= 0 means 1.
+func UniformWHP(g *graph.Graph, b int, opt Options, maxTries int) *Schedule {
+	opt = opt.normalize()
+	if maxTries <= 0 {
+		maxTries = 1
+	}
+	target := GuaranteedPhases(g, opt) * b
+	var best *Schedule
+	for try := 0; try < maxTries; try++ {
+		s := Uniform(g, b, opt).TruncateInvalid(g, 1)
+		if best == nil || s.Lifetime() > best.Lifetime() {
+			best = s
+		}
+		if best.Lifetime() >= target {
+			break
+		}
+	}
+	return best
+}
+
+// General runs Algorithm 2 of the paper on graph g with per-node batteries
+// b: node v computes, via two message exchanges,
+//
+//	b̂_v  = max_{u∈N+[v]} b_u      τ_v  = Σ_{u∈N+[v]} b_u
+//	b̂²_v = max_{u∈N+[v]} b̂_u      τ²_v = min_{u∈N+[v]} τ_u
+//
+// then draws b_v colors uniformly from [0, τ²_v/(K ln(b̂²_v·n))). The
+// schedule activates color class t during slot t. With probability 1-O(1/n)
+// the classes up to τ/(K ln(b_max·n)) are dominating (Lemma 5.2) and the
+// truncated schedule is an O(log(b_max·n)) approximation (Theorem 5.3).
+func General(g *graph.Graph, b []int, opt Options) *Schedule {
+	if len(b) != g.N() {
+		panic(fmt.Sprintf("core: %d batteries for %d nodes", len(b), g.N()))
+	}
+	for v, bv := range b {
+		if bv < 0 {
+			panic(fmt.Sprintf("core: negative battery b[%d] = %d", v, bv))
+		}
+	}
+	opt = opt.normalize()
+	n := g.N()
+	if n == 0 {
+		return &Schedule{}
+	}
+
+	// First exchange: b̂_v and τ_v over closed neighborhoods.
+	bhat := make([]int, n)
+	tau := make([]int, n)
+	for v := 0; v < n; v++ {
+		bhat[v] = b[v]
+		tau[v] = b[v]
+		for _, u := range g.Neighbors(v) {
+			if b[u] > bhat[v] {
+				bhat[v] = b[u]
+			}
+			tau[v] += b[u]
+		}
+	}
+	// Second exchange: b̂²_v = max of neighbors' b̂, τ²_v = min of τ.
+	bhat2 := make([]int, n)
+	tau2 := make([]int, n)
+	for v := 0; v < n; v++ {
+		bhat2[v] = bhat[v]
+		tau2[v] = tau[v]
+		for _, u := range g.Neighbors(v) {
+			if bhat[u] > bhat2[v] {
+				bhat2[v] = bhat[u]
+			}
+			if tau[u] < tau2[v] {
+				tau2[v] = tau[u]
+			}
+		}
+	}
+
+	// Color selection: node v is active in slot t iff t ∈ C_v.
+	slots := make(map[int][]int)
+	maxColor := -1
+	for v := 0; v < n; v++ {
+		r := GeneralColorRange(tau2[v], bhat2[v], n, opt.K)
+		seen := make(map[int]bool, b[v])
+		for j := 0; j < b[v]; j++ {
+			c := opt.Src.Intn(r)
+			if seen[c] {
+				continue // duplicate draws collapse: C_v is a set
+			}
+			seen[c] = true
+			slots[c] = append(slots[c], v)
+			if c > maxColor {
+				maxColor = c
+			}
+		}
+	}
+
+	s := &Schedule{}
+	for t := 0; t <= maxColor; t++ {
+		s.Phases = append(s.Phases, Phase{Set: slots[t], Duration: 1})
+	}
+	return s
+}
+
+// GeneralColorRange returns the width of the color range a node with
+// two-hop quantities τ²_v = tau2 and b̂²_v = bhat2 draws from in
+// Algorithm 2: max(1, ⌊τ2/(K·ln(bhat2·n))⌋). Exported so the distributed
+// protocol in package distsim computes exactly the same ranges.
+func GeneralColorRange(tau2, bhat2, n int, k float64) int {
+	arg := float64(bhat2) * float64(n)
+	if arg < math.E {
+		return maxInt(1, tau2) // degenerate tiny instance: ln ≤ 1
+	}
+	r := int(float64(tau2) / (k * math.Log(arg)))
+	if r < 1 {
+		return 1
+	}
+	return r
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// GeneralGuaranteedSlots returns the number of leading slots of a General
+// raw schedule covered by Lemma 5.2: ⌊τ/(K ln(b_max·n))⌋ with
+// τ = min_u Σ_{N+[u]} b_u, at least 1 when any battery is positive.
+func GeneralGuaranteedSlots(g *graph.Graph, b []int, opt Options) int {
+	opt = opt.normalize()
+	n := g.N()
+	if n == 0 {
+		return 0
+	}
+	tauMin, bMax := math.MaxInt, 0
+	for v := 0; v < n; v++ {
+		sum := b[v]
+		if b[v] > bMax {
+			bMax = b[v]
+		}
+		for _, u := range g.Neighbors(v) {
+			sum += b[u]
+		}
+		if sum < tauMin {
+			tauMin = sum
+		}
+	}
+	if bMax == 0 {
+		return 0
+	}
+	return GeneralColorRange(tauMin, bMax, n, opt.K)
+}
+
+// GeneralWHP runs General up to maxTries times, truncating each raw schedule
+// at its first non-dominating slot, and returns the best truncated schedule,
+// stopping early at the Lemma 5.2 guarantee.
+func GeneralWHP(g *graph.Graph, b []int, opt Options, maxTries int) *Schedule {
+	opt = opt.normalize()
+	if maxTries <= 0 {
+		maxTries = 1
+	}
+	target := GeneralGuaranteedSlots(g, b, opt)
+	var best *Schedule
+	for try := 0; try < maxTries; try++ {
+		s := General(g, b, opt).TruncateInvalid(g, 1)
+		if best == nil || s.Lifetime() > best.Lifetime() {
+			best = s
+		}
+		if best.Lifetime() >= target {
+			break
+		}
+	}
+	return best
+}
+
+// FaultTolerant runs Algorithm 3 of the paper on graph g with uniform
+// battery b and tolerance k: every node is active for the first ⌊b/2⌋ slots
+// (during which the full node set trivially k-dominates, given δ ≥ k-1);
+// afterwards, groups of k consecutive color classes of the Algorithm 1
+// coloring are merged and each merged group is active for the remaining
+// ⌈b/2⌉ slots. Merged groups are k-dominating whenever each constituent
+// class is dominating, so with probability 1-O(1/n) the truncated schedule
+// is an O(log n) approximation (Theorem 6.2). Requires δ ≥ k-1 for the
+// problem to be feasible at all.
+func FaultTolerant(g *graph.Graph, b, k int, opt Options) *Schedule {
+	if k < 1 {
+		panic(fmt.Sprintf("core: tolerance k = %d must be >= 1", k))
+	}
+	if b < 0 {
+		panic(fmt.Sprintf("core: negative battery %d", b))
+	}
+	opt = opt.normalize()
+	n := g.N()
+	if b == 0 || n == 0 {
+		return &Schedule{}
+	}
+	if g.MinDegree()+1 < k {
+		// Some node has fewer than k closed neighbors: the k-tolerant
+		// problem is infeasible (paper §2 restricts to δ ≥ k-1).
+		return &Schedule{}
+	}
+
+	s := &Schedule{}
+	firstHalf := b / 2
+	secondHalf := b - firstHalf
+	if firstHalf > 0 {
+		all := make([]int, n)
+		for i := range all {
+			all[i] = i
+		}
+		s.Phases = append(s.Phases, Phase{Set: all, Duration: firstHalf})
+	}
+
+	p := domatic.RandomColoring(g, opt.K, opt.Src)
+	// Merge k consecutive classes into one k-dominating candidate each.
+	for start := 0; start+k <= len(p); start += k {
+		var merged []int
+		for c := start; c < start+k; c++ {
+			merged = append(merged, p[c]...)
+		}
+		group := FromPartition([][]int{merged}, secondHalf)
+		s.Phases = append(s.Phases, group.Phases...)
+	}
+	return s
+}
+
+// GeneralFaultTolerant addresses the open problem the paper's conclusion
+// poses ("an approximation algorithm for the general k-tolerant case"): it
+// extends Algorithm 2 with the class-merging trick of Algorithm 3. Nodes
+// draw b_v colors exactly as in General; then groups of k consecutive slot
+// classes are merged into one phase of duration 1. A merged phase is
+// k-dominating whenever its k constituent classes are each dominating, so
+// the Lemma 5.2 guarantee yields ⌊τ/(K ln(b_max·n))⌋/k valid phases w.h.p.
+// Since the Lemma 5.1/6.1-style optimum bound min_u Σ_{N+[u]} b_u / k also
+// shrinks by k, the approximation ratio stays O(log(b_max·n)) for every k —
+// matching Theorem 5.3's guarantee for the plain case. This is this
+// repository's extension, not a result of the paper; experiment E14
+// measures it.
+//
+// A node appearing in several classes of one merged group serves that phase
+// only once, so per-node usage can only shrink relative to General and the
+// battery constraint is preserved.
+func GeneralFaultTolerant(g *graph.Graph, b []int, k int, opt Options) *Schedule {
+	if k < 1 {
+		panic(fmt.Sprintf("core: tolerance k = %d must be >= 1", k))
+	}
+	if g.N() > 0 && g.MinDegree()+1 < k {
+		return &Schedule{}
+	}
+	raw := General(g, b, opt)
+	s := &Schedule{}
+	for start := 0; start+k <= len(raw.Phases); start += k {
+		seen := map[int]bool{}
+		var merged []int
+		for i := start; i < start+k; i++ {
+			for _, v := range raw.Phases[i].Set {
+				if !seen[v] {
+					seen[v] = true
+					merged = append(merged, v)
+				}
+			}
+		}
+		group := FromPartition([][]int{merged}, 1)
+		s.Phases = append(s.Phases, group.Phases...)
+	}
+	return s
+}
+
+// GeneralFaultTolerantWHP retries GeneralFaultTolerant, truncating at the
+// first non-k-dominating phase, and returns the best schedule seen, stopping
+// early at the Lemma 5.2-derived guarantee of GeneralGuaranteedSlots/k.
+func GeneralFaultTolerantWHP(g *graph.Graph, b []int, k int, opt Options, maxTries int) *Schedule {
+	opt = opt.normalize()
+	if maxTries <= 0 {
+		maxTries = 1
+	}
+	target := GeneralGuaranteedSlots(g, b, opt) / k
+	var best *Schedule
+	for try := 0; try < maxTries; try++ {
+		s := GeneralFaultTolerant(g, b, k, opt).TruncateInvalid(g, k)
+		if best == nil || s.Lifetime() > best.Lifetime() {
+			best = s
+		}
+		if best.Lifetime() >= target {
+			break
+		}
+	}
+	return best
+}
+
+// GeneralKTolerantUpperBound combines Lemmas 5.1 and 6.1: a k-tolerant
+// schedule drains at least k budget units per slot from the binding node's
+// closed neighborhood, so L_OPT ≤ min_u Σ_{N+[u]} b_w / k.
+func GeneralKTolerantUpperBound(g *graph.Graph, b []int, k int) int {
+	if k < 1 {
+		panic(fmt.Sprintf("core: tolerance k = %d must be >= 1", k))
+	}
+	return GeneralUpperBound(g, b) / k
+}
+
+// FaultTolerantWHP retries FaultTolerant and returns the best schedule whose
+// phases are all k-dominating (truncating at the first failure), stopping
+// early once the Lemma 4.2 guarantee of ⌊δ/(K ln n)⌋/k merged groups is met.
+func FaultTolerantWHP(g *graph.Graph, b, k int, opt Options, maxTries int) *Schedule {
+	opt = opt.normalize()
+	if maxTries <= 0 {
+		maxTries = 1
+	}
+	groups := GuaranteedPhases(g, opt) / k
+	target := b / 2
+	if groups > 0 {
+		target += groups * (b - b/2)
+	}
+	var best *Schedule
+	for try := 0; try < maxTries; try++ {
+		s := FaultTolerant(g, b, k, opt).TruncateInvalid(g, k)
+		if best == nil || s.Lifetime() > best.Lifetime() {
+			best = s
+		}
+		if best.Lifetime() >= target {
+			break
+		}
+	}
+	return best
+}

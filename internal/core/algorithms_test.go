@@ -1,0 +1,300 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/exact"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func opts(seed uint64) Options {
+	return Options{K: 3, Src: rng.New(seed)}
+}
+
+func TestUniformSchedulesAreFeasible(t *testing.T) {
+	src := rng.New(1)
+	graphs := []*graph.Graph{
+		gen.GNP(150, 0.2, src),
+		gen.Grid(10, 10),
+		gen.Complete(20),
+		gen.Path(30),
+	}
+	const b = 4
+	for i, g := range graphs {
+		s := Uniform(g, b, opts(uint64(i)))
+		// The raw schedule always respects batteries (each node in exactly
+		// one class) even if some class fails domination.
+		usage := s.Usage(g.N())
+		for v, u := range usage {
+			if u > b {
+				t.Errorf("graph %d: node %d used %d > %d", i, v, u, b)
+			}
+		}
+		trunc := s.TruncateInvalid(g, 1)
+		if err := trunc.Validate(g, uniformBatteries(g.N(), b), 1); err != nil {
+			t.Errorf("graph %d: truncated schedule invalid: %v", i, err)
+		}
+	}
+}
+
+func TestUniformEveryNodeInExactlyOneClass(t *testing.T) {
+	g := gen.GNP(100, 0.3, rng.New(2))
+	const b = 2
+	s := Uniform(g, b, opts(7))
+	usage := s.Usage(g.N())
+	for v, u := range usage {
+		if u != b {
+			t.Fatalf("node %d active %d slots, want exactly %d (one class × b)", v, u, b)
+		}
+	}
+}
+
+func TestUniformWHPReachesGuarantee(t *testing.T) {
+	g := gen.GNP(200, 0.4, rng.New(3))
+	const b = 3
+	o := opts(11)
+	s := UniformWHP(g, b, o, 50)
+	if err := s.Validate(g, uniformBatteries(g.N(), b), 1); err != nil {
+		t.Fatal(err)
+	}
+	want := GuaranteedPhases(g, o) * b
+	if s.Lifetime() < want {
+		t.Fatalf("WHP lifetime %d below guarantee %d", s.Lifetime(), want)
+	}
+	// And never above the Lemma 4.1 optimum bound.
+	if ub := UniformUpperBound(g, b); s.Lifetime() > ub {
+		t.Fatalf("lifetime %d exceeds upper bound %d", s.Lifetime(), ub)
+	}
+}
+
+func TestUniformZeroBattery(t *testing.T) {
+	g := gen.Path(5)
+	s := Uniform(g, 0, opts(1))
+	if s.Lifetime() != 0 {
+		t.Fatal("b=0 should yield empty schedule")
+	}
+}
+
+func TestUniformNegativeBatteryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative battery did not panic")
+		}
+	}()
+	Uniform(gen.Path(3), -1, opts(1))
+}
+
+func TestUniformApproximationRatioIsLogarithmic(t *testing.T) {
+	// Theorem 4.3 sanity check: on a dense G(n,p) the achieved lifetime is
+	// within c·ln n of the b(δ+1) upper bound.
+	g := gen.GNP(300, 0.35, rng.New(4))
+	const b = 2
+	o := opts(13)
+	s := UniformWHP(g, b, o, 50)
+	ub := UniformUpperBound(g, b)
+	ratio := float64(ub) / float64(s.Lifetime())
+	logn := math.Log(float64(g.N()))
+	// The constant is ≈ K (=3) plus rounding loss from the ⌊δ/(K ln n)⌋
+	// floor; 5·ln n is a comfortable logarithmic envelope.
+	if ratio > 5*logn {
+		t.Fatalf("ratio %.2f exceeds 5·ln n = %.2f", ratio, 5*logn)
+	}
+}
+
+func TestGeneralSchedulesAreFeasible(t *testing.T) {
+	src := rng.New(5)
+	g := gen.GNP(120, 0.25, src)
+	b := make([]int, g.N())
+	for i := range b {
+		b[i] = 1 + src.Intn(5)
+	}
+	s := General(g, b, opts(17))
+	usage := s.Usage(g.N())
+	for v, u := range usage {
+		if u > b[v] {
+			t.Fatalf("node %d used %d > battery %d", v, u, b[v])
+		}
+	}
+	trunc := s.TruncateInvalid(g, 1)
+	if err := trunc.Validate(g, b, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeneralWHPReachesGuarantee(t *testing.T) {
+	src := rng.New(6)
+	g := gen.GNP(150, 0.4, src)
+	b := make([]int, g.N())
+	for i := range b {
+		b[i] = 2 + src.Intn(4)
+	}
+	o := opts(19)
+	s := GeneralWHP(g, b, o, 50)
+	if err := s.Validate(g, b, 1); err != nil {
+		t.Fatal(err)
+	}
+	if want := GeneralGuaranteedSlots(g, b, o); s.Lifetime() < want {
+		t.Fatalf("WHP lifetime %d below guarantee %d", s.Lifetime(), want)
+	}
+	if ub := GeneralUpperBound(g, b); s.Lifetime() > ub {
+		t.Fatalf("lifetime %d exceeds upper bound %d", s.Lifetime(), ub)
+	}
+}
+
+func TestGeneralHandlesZeroBatteryNodes(t *testing.T) {
+	g := gen.Complete(6)
+	b := []int{0, 3, 3, 3, 3, 3}
+	s := General(g, b, opts(23))
+	if u := s.Usage(g.N())[0]; u != 0 {
+		t.Fatalf("zero-battery node active %d slots", u)
+	}
+	trunc := s.TruncateInvalid(g, 1)
+	if err := trunc.Validate(g, b, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeneralBatteryMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched batteries did not panic")
+		}
+	}()
+	General(gen.Path(3), []int{1}, opts(1))
+}
+
+func TestGeneralMatchesUniformUpperBoundOnUniformInput(t *testing.T) {
+	// With uniform batteries, GeneralUpperBound = Σ_{N+[u]} b = b(δ+1) at a
+	// minimum-degree node — consistent with Lemma 4.1.
+	g := gen.Grid(6, 6)
+	const b = 3
+	if got, want := GeneralUpperBound(g, uniformBatteries(g.N(), b)), UniformUpperBound(g, b); got != want {
+		t.Fatalf("GeneralUpperBound = %d, UniformUpperBound = %d", got, want)
+	}
+}
+
+func TestFaultTolerantSchedulesAreKDominating(t *testing.T) {
+	g := gen.GNP(150, 0.3, rng.New(7))
+	const b = 4
+	for k := 1; k <= 3; k++ {
+		o := opts(uint64(29 + k))
+		s := FaultTolerantWHP(g, b, k, o, 50)
+		if err := s.Validate(g, uniformBatteries(g.N(), b), k); err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if ub := KTolerantUpperBound(g, b, k); s.Lifetime() > ub {
+			t.Fatalf("k=%d: lifetime %d exceeds bound %d", k, s.Lifetime(), ub)
+		}
+		// The first b/2 slots come from the everyone-active phase.
+		if s.Lifetime() < b/2 {
+			t.Fatalf("k=%d: lifetime %d below the b/2 floor", k, s.Lifetime())
+		}
+	}
+}
+
+func TestFaultTolerantLargeKRegime(t *testing.T) {
+	// δ/ln n < k: the merged-class part vanishes and the schedule is the
+	// everyone-active phase alone — still a valid k-dominating schedule of
+	// length ⌊b/2⌋ provided δ+1 > k.
+	g := gen.Grid(8, 8) // δ = 2
+	const b, k = 4, 3
+	s := FaultTolerant(g, b, k, opts(31)).TruncateInvalid(g, k)
+	if s.Lifetime() < b/2 {
+		t.Fatalf("lifetime %d below b/2 = %d", s.Lifetime(), b/2)
+	}
+	if err := s.Validate(g, uniformBatteries(g.N(), b), k); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFaultTolerantOddBattery(t *testing.T) {
+	g := gen.Complete(10)
+	const b, k = 5, 2
+	s := FaultTolerant(g, b, k, opts(37))
+	if err := s.TruncateInvalid(g, k).Validate(g, uniformBatteries(g.N(), b), k); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFaultTolerantB1HasNoFirstPhase(t *testing.T) {
+	// b = 1: ⌊b/2⌋ = 0, so the schedule is only merged classes of duration 1.
+	g := gen.Complete(30)
+	s := FaultTolerant(g, 1, 2, opts(41))
+	for _, p := range s.Phases {
+		if p.Duration != 1 {
+			t.Fatalf("phase duration %d, want 1", p.Duration)
+		}
+	}
+}
+
+func TestFaultTolerantPanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("k=0 did not panic")
+		}
+	}()
+	FaultTolerant(gen.Path(3), 2, 0, opts(1))
+}
+
+func TestBoundsKnownValues(t *testing.T) {
+	g := gen.Complete(5) // δ = 4
+	if got := UniformUpperBound(g, 3); got != 15 {
+		t.Errorf("UniformUpperBound(K5, 3) = %d, want 15", got)
+	}
+	if got := KTolerantUpperBound(g, 3, 2); got != 7 {
+		t.Errorf("KTolerantUpperBound(K5, 3, 2) = %d, want 7", got)
+	}
+	if got := GeneralUpperBound(g, []int{1, 2, 3, 4, 5}); got != 15 {
+		t.Errorf("GeneralUpperBound = %d, want 15", got)
+	}
+	star := gen.Star(5)
+	if got := GeneralUpperBound(star, []int{10, 1, 1, 1, 1}); got != 11 {
+		t.Errorf("GeneralUpperBound(star) = %d, want 11 (leaf + center)", got)
+	}
+}
+
+func TestBoundsEmptyGraph(t *testing.T) {
+	g := graph.New(0)
+	if UniformUpperBound(g, 5) != 0 || GeneralUpperBound(g, nil) != 0 || KTolerantUpperBound(g, 5, 2) != 0 {
+		t.Fatal("empty graph bounds should be 0")
+	}
+}
+
+func TestAlgorithmsNeverBeatExactOptimum(t *testing.T) {
+	// On small instances the truncated algorithm lifetime must be ≤ the
+	// exact integral optimum (it is a feasible schedule).
+	src := rng.New(8)
+	for trial := 0; trial < 5; trial++ {
+		g := gen.GNP(10, 0.5, src)
+		b := make([]int, g.N())
+		for i := range b {
+			b[i] = 1 + src.Intn(3)
+		}
+		opt, _, _ := exact.Integral(g, b, 1)
+		s := GeneralWHP(g, b, opts(uint64(50+trial)), 20)
+		if s.Lifetime() > opt {
+			t.Fatalf("trial %d: algorithm %d beats exact optimum %d", trial, s.Lifetime(), opt)
+		}
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	g := gen.GNP(80, 0.2, rng.New(9))
+	a := Uniform(g, 3, opts(99))
+	b := Uniform(g, 3, opts(99))
+	if a.String() != b.String() {
+		t.Fatal("Uniform not deterministic for a fixed seed")
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	// Nil Src and zero K must not panic and must behave like K=3.
+	g := gen.Complete(10)
+	s := Uniform(g, 2, Options{})
+	if s.Lifetime() == 0 {
+		t.Fatal("default options produced empty schedule on K10")
+	}
+}

@@ -1,0 +1,56 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+)
+
+// UniformUpperBound returns the Lemma 4.1 bound on the optimal uniform
+// cluster-lifetime: L_OPT ≤ b(δ+1). A minimum-degree node must be covered
+// in every slot by one of its δ+1 closed neighbors, each of which can serve
+// at most b slots.
+func UniformUpperBound(g *graph.Graph, b int) int {
+	if g.N() == 0 {
+		return 0
+	}
+	return b * (g.MinDegree() + 1)
+}
+
+// GeneralUpperBound returns the Lemma 5.1 bound on the optimal general
+// cluster-lifetime: L_OPT ≤ min_u Σ_{w∈N+[u]} b_w, the minimum energy
+// coverage of the network. Every slot drains at least one unit from the
+// binding node's closed neighborhood.
+func GeneralUpperBound(g *graph.Graph, b []int) int {
+	if len(b) != g.N() {
+		panic(fmt.Sprintf("core: %d batteries for %d nodes", len(b), g.N()))
+	}
+	if g.N() == 0 {
+		return 0
+	}
+	best := math.MaxInt
+	for v := 0; v < g.N(); v++ {
+		sum := b[v]
+		for _, u := range g.Neighbors(v) {
+			sum += b[u]
+		}
+		if sum < best {
+			best = sum
+		}
+	}
+	return best
+}
+
+// KTolerantUpperBound returns the Lemma 6.1 bound on the optimal k-tolerant
+// uniform cluster-lifetime: L_OPT ≤ b(δ+1)/k. Every slot drains at least k
+// units from a minimum-degree node's closed neighborhood.
+func KTolerantUpperBound(g *graph.Graph, b, k int) int {
+	if k < 1 {
+		panic(fmt.Sprintf("core: tolerance k = %d must be >= 1", k))
+	}
+	if g.N() == 0 {
+		return 0
+	}
+	return b * (g.MinDegree() + 1) / k
+}

@@ -1,0 +1,32 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadJSON checks the schedule decoder never panics and that accepted
+// schedules re-encode losslessly.
+func FuzzReadJSON(f *testing.F) {
+	f.Add(`{"phases":[{"set":[0,1],"duration":2}]}`)
+	f.Add(`{"phases":[]}`)
+	f.Add(`{}`)
+	f.Add(`[1,2,3]`)
+	f.Fuzz(func(t *testing.T, input string) {
+		s, err := ReadJSON(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var sb strings.Builder
+		if err := s.WriteJSON(&sb); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadJSON(strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if back.String() != s.String() {
+			t.Fatalf("round trip mismatch: %s vs %s", back, s)
+		}
+	})
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/rng"
+)
+
+func randomBatteries(n, bMax int, src *rng.Source) []int {
+	b := make([]int, n)
+	for i := range b {
+		b[i] = 1 + src.Intn(bMax)
+	}
+	return b
+}
+
+func TestGeneralFaultTolerantSchedulesAreKDominating(t *testing.T) {
+	g := gen.GNP(200, 0.35, rng.New(1))
+	src := rng.New(2)
+	b := randomBatteries(g.N(), 6, src)
+	for k := 1; k <= 3; k++ {
+		o := Options{K: 3, Src: rng.New(uint64(10 + k))}
+		s := GeneralFaultTolerantWHP(g, b, k, o, 30)
+		if err := s.Validate(g, b, k); err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if ub := GeneralKTolerantUpperBound(g, b, k); s.Lifetime() > ub {
+			t.Fatalf("k=%d: lifetime %d exceeds bound %d", k, s.Lifetime(), ub)
+		}
+	}
+}
+
+func TestGeneralFaultTolerantNeverOverdraws(t *testing.T) {
+	g := gen.GNP(120, 0.3, rng.New(3))
+	src := rng.New(4)
+	b := randomBatteries(g.N(), 8, src)
+	s := GeneralFaultTolerant(g, b, 2, Options{K: 3, Src: src.Split()})
+	for v, u := range s.Usage(g.N()) {
+		if u > b[v] {
+			t.Fatalf("node %d used %d > battery %d", v, u, b[v])
+		}
+	}
+}
+
+func TestGeneralFaultTolerantK1MatchesGeneralSemantics(t *testing.T) {
+	// With k = 1, merging is a no-op: the phase sets equal General's raw
+	// slot classes under the same seed.
+	g := gen.GNP(80, 0.3, rng.New(5))
+	src := rng.New(6)
+	b := randomBatteries(g.N(), 4, src)
+	raw := General(g, b, Options{K: 3, Src: rng.New(7)})
+	merged := GeneralFaultTolerant(g, b, 1, Options{K: 3, Src: rng.New(7)})
+	if raw.Lifetime() != merged.Lifetime() {
+		t.Fatalf("k=1 lifetimes differ: %d vs %d", raw.Lifetime(), merged.Lifetime())
+	}
+	for i := range raw.Phases {
+		a := append([]int(nil), raw.Phases[i].Set...)
+		c := merged.Phases[i].Set
+		if len(a) != len(c) {
+			t.Fatalf("phase %d sets differ in size", i)
+		}
+	}
+}
+
+func TestGeneralFaultTolerantInfeasibleK(t *testing.T) {
+	g := gen.Path(5) // δ+1 = 2
+	b := []int{3, 3, 3, 3, 3}
+	s := GeneralFaultTolerant(g, b, 3, Options{K: 3, Src: rng.New(8)})
+	if s.Lifetime() != 0 {
+		t.Fatalf("infeasible k should give empty schedule, got lifetime %d", s.Lifetime())
+	}
+}
+
+func TestGeneralFaultTolerantPanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("k=0 did not panic")
+		}
+	}()
+	GeneralFaultTolerant(gen.Path(3), []int{1, 1, 1}, 0, Options{})
+}
+
+func TestFaultTolerantInfeasibleKEmptySchedule(t *testing.T) {
+	g := gen.Path(5)
+	s := FaultTolerant(g, 4, 3, Options{K: 3, Src: rng.New(9)})
+	if s.Lifetime() != 0 {
+		t.Fatalf("infeasible uniform k should give empty schedule, got %d", s.Lifetime())
+	}
+}
+
+func TestGeneralKTolerantUpperBoundHalves(t *testing.T) {
+	g := gen.Complete(5)
+	b := []int{2, 2, 2, 2, 2}
+	if got := GeneralKTolerantUpperBound(g, b, 2); got != 5 {
+		t.Fatalf("bound = %d, want 5 (= 10/2)", got)
+	}
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/rng"
+)
+
+// TestUniformFeasibilityProperty: for any seed and battery, the raw
+// Algorithm 1 schedule uses each node exactly b slots and its truncation
+// validates.
+func TestUniformFeasibilityProperty(t *testing.T) {
+	g := gen.GNP(60, 0.3, rng.New(77))
+	prop := func(seed uint64, bBits uint8) bool {
+		b := 1 + int(bBits%5)
+		s := Uniform(g, b, Options{K: 3, Src: rng.New(seed)})
+		for _, u := range s.Usage(g.N()) {
+			if u != b {
+				return false
+			}
+		}
+		trunc := s.TruncateInvalid(g, 1)
+		return trunc.Validate(g, uniformBatteries(g.N(), b), 1) == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestGeneralFeasibilityProperty: for any seed and battery spread, the raw
+// Algorithm 2 schedule never overdraws any node and truncates to a valid
+// schedule no longer than the Lemma 5.1 bound.
+func TestGeneralFeasibilityProperty(t *testing.T) {
+	g := gen.GNP(50, 0.35, rng.New(78))
+	prop := func(seed uint64, spreadBits uint8) bool {
+		src := rng.New(seed)
+		spread := 1 + int(spreadBits%8)
+		b := make([]int, g.N())
+		for i := range b {
+			b[i] = 1 + src.Intn(spread)
+		}
+		s := General(g, b, Options{K: 3, Src: src.Split()})
+		for v, u := range s.Usage(g.N()) {
+			if u > b[v] {
+				return false
+			}
+		}
+		trunc := s.TruncateInvalid(g, 1)
+		if trunc.Validate(g, b, 1) != nil {
+			return false
+		}
+		return trunc.Lifetime() <= GeneralUpperBound(g, b)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFaultTolerantBudgetProperty: Algorithm 3 never lets a node exceed its
+// uniform battery, for any (seed, b, k).
+func TestFaultTolerantBudgetProperty(t *testing.T) {
+	g := gen.GNP(60, 0.4, rng.New(79))
+	prop := func(seed uint64, bBits, kBits uint8) bool {
+		b := 1 + int(bBits%6)
+		k := 1 + int(kBits%3)
+		s := FaultTolerant(g, b, k, Options{K: 3, Src: rng.New(seed)})
+		for _, u := range s.Usage(g.N()) {
+			if u > b {
+				return false
+			}
+		}
+		trunc := s.TruncateInvalid(g, k)
+		return trunc.Validate(g, uniformBatteries(g.N(), b), k) == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCompactPreservesSemanticsProperty: compaction never changes lifetime
+// or per-node usage.
+func TestCompactPreservesSemanticsProperty(t *testing.T) {
+	g := gen.GNP(40, 0.3, rng.New(80))
+	prop := func(seed uint64) bool {
+		s := Uniform(g, 2, Options{K: 1, Src: rng.New(seed)})
+		c := s.Compact()
+		if c.Lifetime() != s.Lifetime() {
+			return false
+		}
+		a, b := s.Usage(g.N()), c.Usage(g.N())
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

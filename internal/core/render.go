@@ -1,0 +1,78 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Gantt writes an ASCII Gantt chart of the schedule: one row per node,
+// one column per time slot, '#' where the node is active. Intended for
+// small instances (cmd/ltsched and the examples).
+func (s *Schedule) Gantt(w io.Writer, n int) error {
+	lifetime := s.Lifetime()
+	rows := make([][]byte, n)
+	for v := range rows {
+		rows[v] = []byte(strings.Repeat(".", lifetime))
+	}
+	t := 0
+	for _, p := range s.Phases {
+		for _, v := range p.Set {
+			for dt := 0; dt < p.Duration; dt++ {
+				rows[v][t+dt] = '#'
+			}
+		}
+		t += p.Duration
+	}
+	if _, err := fmt.Fprintf(w, "time     %s\n", ruler(lifetime)); err != nil {
+		return err
+	}
+	for v, row := range rows {
+		if _, err := fmt.Fprintf(w, "node %-3d %s\n", v, row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func ruler(n int) string {
+	var sb strings.Builder
+	for t := 0; t < n; t++ {
+		sb.WriteByte(byte('0' + t%10))
+	}
+	return sb.String()
+}
+
+// WriteCSV emits the schedule as "phase,start,duration,nodes" rows, with
+// nodes separated by spaces, for downstream plotting.
+func (s *Schedule) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "phase,start,duration,nodes"); err != nil {
+		return err
+	}
+	start := 0
+	for i, p := range s.Phases {
+		nodes := make([]string, len(p.Set))
+		for j, v := range p.Set {
+			nodes[j] = fmt.Sprint(v)
+		}
+		if _, err := fmt.Fprintf(w, "%d,%d,%d,%s\n", i, start, p.Duration, strings.Join(nodes, " ")); err != nil {
+			return err
+		}
+		start += p.Duration
+	}
+	return nil
+}
+
+// String returns a compact textual form like "[{0 2}×2 {1 3 4}×1]".
+func (s *Schedule) String() string {
+	var sb strings.Builder
+	sb.WriteByte('[')
+	for i, p := range s.Phases {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(&sb, "%v×%d", p.Set, p.Duration)
+	}
+	sb.WriteByte(']')
+	return sb.String()
+}

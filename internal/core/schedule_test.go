@@ -1,0 +1,233 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func uniformBatteries(n, b int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = b
+	}
+	return out
+}
+
+func TestLifetimeAndUsage(t *testing.T) {
+	s := &Schedule{Phases: []Phase{
+		{Set: []int{0, 1}, Duration: 2},
+		{Set: []int{2}, Duration: 3},
+	}}
+	if s.Lifetime() != 5 {
+		t.Fatalf("lifetime = %d, want 5", s.Lifetime())
+	}
+	usage := s.Usage(4)
+	want := []int{2, 2, 3, 0}
+	for i := range want {
+		if usage[i] != want[i] {
+			t.Fatalf("usage = %v, want %v", usage, want)
+		}
+	}
+}
+
+func TestActiveAt(t *testing.T) {
+	s := &Schedule{Phases: []Phase{
+		{Set: []int{0}, Duration: 2},
+		{Set: []int{1}, Duration: 1},
+	}}
+	cases := []struct {
+		t    int
+		want []int
+	}{
+		{0, []int{0}}, {1, []int{0}}, {2, []int{1}}, {3, nil}, {-1, nil},
+	}
+	for _, c := range cases {
+		got := s.ActiveAt(c.t)
+		if len(got) != len(c.want) {
+			t.Errorf("ActiveAt(%d) = %v, want %v", c.t, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("ActiveAt(%d) = %v, want %v", c.t, got, c.want)
+			}
+		}
+	}
+}
+
+func TestValidateAcceptsFeasible(t *testing.T) {
+	g := gen.Path(3)
+	s := &Schedule{Phases: []Phase{
+		{Set: []int{1}, Duration: 2},
+		{Set: []int{0, 2}, Duration: 1},
+	}}
+	if err := s.Validate(g, []int{1, 2, 1}, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsOverBudget(t *testing.T) {
+	g := gen.Path(3)
+	s := &Schedule{Phases: []Phase{{Set: []int{1}, Duration: 3}}}
+	if err := s.Validate(g, []int{1, 2, 1}, 1); err == nil {
+		t.Fatal("battery violation accepted")
+	}
+}
+
+func TestValidateRejectsNonDominating(t *testing.T) {
+	g := gen.Path(3)
+	s := &Schedule{Phases: []Phase{{Set: []int{0}, Duration: 1}}}
+	if err := s.Validate(g, []int{5, 5, 5}, 1); err == nil {
+		t.Fatal("non-dominating phase accepted")
+	}
+}
+
+func TestValidateRejectsBadInputs(t *testing.T) {
+	g := gen.Path(3)
+	s := &Schedule{}
+	if err := s.Validate(g, []int{1}, 1); err == nil {
+		t.Error("battery length mismatch accepted")
+	}
+	if err := s.Validate(g, []int{1, 1, 1}, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	bad := &Schedule{Phases: []Phase{{Set: []int{9}, Duration: 1}}}
+	if err := bad.Validate(g, []int{1, 1, 1}, 1); err == nil {
+		t.Error("out-of-range node accepted")
+	}
+	neg := &Schedule{Phases: []Phase{{Set: []int{1}, Duration: -1}}}
+	if err := neg.Validate(g, []int{1, 1, 1}, 1); err == nil {
+		t.Error("negative duration accepted")
+	}
+}
+
+func TestValidateIgnoresZeroDurationPhases(t *testing.T) {
+	g := gen.Path(3)
+	s := &Schedule{Phases: []Phase{
+		{Set: []int{0}, Duration: 0}, // not dominating, but zero duration
+		{Set: []int{1}, Duration: 1},
+	}}
+	if err := s.Validate(g, []int{1, 1, 1}, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateKDominating(t *testing.T) {
+	g := gen.Complete(4)
+	s := &Schedule{Phases: []Phase{{Set: []int{0, 1}, Duration: 1}}}
+	if err := s.Validate(g, uniformBatteries(4, 1), 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(g, uniformBatteries(4, 1), 3); err == nil {
+		t.Fatal("2-node phase accepted as 3-dominating")
+	}
+}
+
+func TestTruncateInvalid(t *testing.T) {
+	g := gen.Path(3)
+	s := &Schedule{Phases: []Phase{
+		{Set: []int{1}, Duration: 1},
+		{Set: []int{0}, Duration: 1}, // broken
+		{Set: []int{1}, Duration: 1},
+	}}
+	trunc := s.TruncateInvalid(g, 1)
+	if len(trunc.Phases) != 1 || trunc.Lifetime() != 1 {
+		t.Fatalf("truncated = %v", trunc)
+	}
+	drop := s.DropInvalid(g, 1)
+	if len(drop.Phases) != 2 || drop.Lifetime() != 2 {
+		t.Fatalf("dropped = %v", drop)
+	}
+}
+
+func TestCompactMergesAdjacentPhases(t *testing.T) {
+	s := &Schedule{Phases: []Phase{
+		{Set: []int{0, 1}, Duration: 1},
+		{Set: []int{0, 1}, Duration: 2},
+		{Set: []int{2}, Duration: 0},
+		{Set: []int{1}, Duration: 1},
+	}}
+	c := s.Compact()
+	if len(c.Phases) != 2 {
+		t.Fatalf("compacted = %v", c)
+	}
+	if c.Phases[0].Duration != 3 || c.Phases[1].Duration != 1 {
+		t.Fatalf("compacted durations = %v", c)
+	}
+	if c.Lifetime() != s.Lifetime()-0 {
+		t.Fatalf("compaction changed lifetime: %d vs %d", c.Lifetime(), s.Lifetime())
+	}
+}
+
+func TestFromPartitionSkipsEmptyAndSorts(t *testing.T) {
+	s := FromPartition([][]int{{3, 1}, {}, {2}}, 2)
+	if len(s.Phases) != 2 {
+		t.Fatalf("phases = %v", s.Phases)
+	}
+	if s.Phases[0].Set[0] != 1 || s.Phases[0].Set[1] != 3 {
+		t.Fatalf("first phase not sorted: %v", s.Phases[0].Set)
+	}
+	if s.Lifetime() != 4 {
+		t.Fatalf("lifetime = %d, want 4", s.Lifetime())
+	}
+}
+
+func TestGanttRendering(t *testing.T) {
+	g := gen.Path(3)
+	_ = g
+	s := &Schedule{Phases: []Phase{
+		{Set: []int{1}, Duration: 2},
+		{Set: []int{0, 2}, Duration: 1},
+	}}
+	var sb strings.Builder
+	if err := s.Gantt(&sb, 3); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("gantt output:\n%s", out)
+	}
+	if !strings.Contains(lines[2], "##.") {
+		t.Errorf("node 1 row = %q, want ##.", lines[2])
+	}
+	if !strings.Contains(lines[1], "..#") {
+		t.Errorf("node 0 row = %q, want ..#", lines[1])
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	s := &Schedule{Phases: []Phase{
+		{Set: []int{0, 2}, Duration: 2},
+		{Set: []int{1}, Duration: 1},
+	}}
+	var sb strings.Builder
+	if err := s.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "phase,start,duration,nodes\n0,0,2,0 2\n1,2,1,1\n"
+	if sb.String() != want {
+		t.Fatalf("csv = %q, want %q", sb.String(), want)
+	}
+}
+
+func TestStringForm(t *testing.T) {
+	s := &Schedule{Phases: []Phase{{Set: []int{0, 1}, Duration: 2}}}
+	if got := s.String(); got != "[[0 1]×2]" {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+func TestEmptyScheduleOnEmptyGraph(t *testing.T) {
+	g := graph.New(0)
+	s := &Schedule{}
+	if err := s.Validate(g, nil, 1); err != nil {
+		t.Fatal(err)
+	}
+	if s.Lifetime() != 0 {
+		t.Fatal("empty schedule lifetime non-zero")
+	}
+}

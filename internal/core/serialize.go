@@ -1,0 +1,58 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// scheduleJSON is the stable on-disk form of a Schedule.
+type scheduleJSON struct {
+	Phases []phaseJSON `json:"phases"`
+}
+
+type phaseJSON struct {
+	Set      []int `json:"set"`
+	Duration int   `json:"duration"`
+}
+
+// WriteJSON serializes the schedule as JSON, the interchange format between
+// cmd/ltsched and downstream tools.
+func (s *Schedule) WriteJSON(w io.Writer) error {
+	out := scheduleJSON{Phases: make([]phaseJSON, len(s.Phases))}
+	for i, p := range s.Phases {
+		set := p.Set
+		if set == nil {
+			set = []int{}
+		}
+		out.Phases[i] = phaseJSON{Set: set, Duration: p.Duration}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ReadJSON parses a schedule written by WriteJSON, validating basic shape
+// (non-negative durations, no structural nonsense); graph-level validation
+// remains the caller's job via Validate.
+func ReadJSON(r io.Reader) (*Schedule, error) {
+	var in scheduleJSON
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&in); err != nil {
+		return nil, fmt.Errorf("core: decoding schedule: %w", err)
+	}
+	s := &Schedule{}
+	for i, p := range in.Phases {
+		if p.Duration < 0 {
+			return nil, fmt.Errorf("core: phase %d has negative duration %d", i, p.Duration)
+		}
+		for _, v := range p.Set {
+			if v < 0 {
+				return nil, fmt.Errorf("core: phase %d contains negative node %d", i, v)
+			}
+		}
+		s.Phases = append(s.Phases, Phase{Set: append([]int(nil), p.Set...), Duration: p.Duration})
+	}
+	return s, nil
+}

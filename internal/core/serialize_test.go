@@ -1,0 +1,54 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/rng"
+)
+
+func TestScheduleJSONRoundTrip(t *testing.T) {
+	g := gen.GNP(40, 0.3, rng.New(1))
+	s := UniformWHP(g, 3, Options{K: 3, Src: rng.New(2)}, 10)
+	var sb strings.Builder
+	if err := s.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.String() != s.String() {
+		t.Fatalf("round trip mismatch:\n%s\nvs\n%s", back.String(), s.String())
+	}
+}
+
+func TestScheduleJSONEmpty(t *testing.T) {
+	s := &Schedule{}
+	var sb strings.Builder
+	if err := s.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Lifetime() != 0 || len(back.Phases) != 0 {
+		t.Fatalf("empty schedule round trip = %v", back)
+	}
+}
+
+func TestReadJSONRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"not json":          "hello",
+		"negative duration": `{"phases":[{"set":[0],"duration":-1}]}`,
+		"negative node":     `{"phases":[{"set":[-5],"duration":1}]}`,
+		"unknown field":     `{"phases":[],"extra":1}`,
+	}
+	for name, in := range cases {
+		if _, err := ReadJSON(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted %q", name, in)
+		}
+	}
+}

@@ -1,0 +1,217 @@
+package distsim
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/domatic"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func uniformB(n, b int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = b
+	}
+	return out
+}
+
+func TestUniformProtocolConstantRounds(t *testing.T) {
+	for _, n := range []int{10, 100, 500} {
+		g := gen.GNP(n, 8.0/float64(n), rng.New(uint64(n)))
+		sources := rng.New(1).SplitN(n)
+		nodes := NewUniformNodes(g, 3, sources)
+		stats, err := Run(g, Programs(nodes), 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Rounds != 1 {
+			t.Fatalf("n=%d: Algorithm 1 used %d rounds, want 1 broadcast round", n, stats.Rounds)
+		}
+		if stats.Messages != 2*g.M() {
+			t.Fatalf("n=%d: %d messages, want one per edge direction = %d", n, stats.Messages, 2*g.M())
+		}
+	}
+}
+
+func TestUniformProtocolMatchesLocalComputation(t *testing.T) {
+	// The distributed run must produce exactly the colors a direct per-node
+	// computation with the same randomness streams produces.
+	g := gen.GNP(120, 0.1, rng.New(2))
+	root := rng.New(42)
+	sources := root.SplitN(g.N())
+	nodes := NewUniformNodes(g, 3, sources)
+	if _, err := Run(g, Programs(nodes), 10); err != nil {
+		t.Fatal(err)
+	}
+	d2 := g.TwoHopMinDegree()
+	check := rng.New(42).SplitN(g.N())
+	for v, u := range nodes {
+		want := check[v].Intn(domatic.UniformColorRange(d2[v], g.N(), 3))
+		if u.Color != want {
+			t.Fatalf("node %d: distributed color %d, local computation %d", v, u.Color, want)
+		}
+	}
+}
+
+func TestUniformProtocolScheduleIsValid(t *testing.T) {
+	g := gen.GNP(200, 0.25, rng.New(3))
+	const b = 3
+	sources := rng.New(7).SplitN(g.N())
+	nodes := NewUniformNodes(g, 3, sources)
+	if _, err := Run(g, Programs(nodes), 10); err != nil {
+		t.Fatal(err)
+	}
+	s := UniformSchedule(nodes, b).TruncateInvalid(g, 1)
+	if err := s.Validate(g, uniformB(g.N(), b), 1); err != nil {
+		t.Fatal(err)
+	}
+	if s.Lifetime() == 0 {
+		t.Fatal("distributed uniform schedule is empty")
+	}
+}
+
+func TestGeneralProtocolTwoRounds(t *testing.T) {
+	g := gen.GNP(150, 0.1, rng.New(4))
+	b := make([]int, g.N())
+	src := rng.New(5)
+	for i := range b {
+		b[i] = 1 + src.Intn(4)
+	}
+	sources := rng.New(8).SplitN(g.N())
+	nodes := NewGeneralNodes(g, b, 3, sources)
+	stats, err := Run(g, Programs(nodes), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Rounds != 2 {
+		t.Fatalf("Algorithm 2 used %d rounds, want 2", stats.Rounds)
+	}
+	if stats.Messages != 4*g.M() {
+		t.Fatalf("%d messages, want two broadcasts = %d", stats.Messages, 4*g.M())
+	}
+}
+
+func TestGeneralProtocolComputesCorrectAggregates(t *testing.T) {
+	// Verify b̂_v and τ_v after round 1 against direct computation.
+	g := gen.GNP(60, 0.2, rng.New(6))
+	b := make([]int, g.N())
+	src := rng.New(9)
+	for i := range b {
+		b[i] = 1 + src.Intn(6)
+	}
+	sources := rng.New(10).SplitN(g.N())
+	nodes := NewGeneralNodes(g, b, 3, sources)
+	if _, err := Run(g, Programs(nodes), 10); err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < g.N(); v++ {
+		bhat, tau := b[v], b[v]
+		for _, u := range g.Neighbors(v) {
+			if b[u] > bhat {
+				bhat = b[u]
+			}
+			tau += b[u]
+		}
+		if nodes[v].bhat != bhat || nodes[v].tau != tau {
+			t.Fatalf("node %d: (b̂,τ) = (%d,%d), want (%d,%d)", v, nodes[v].bhat, nodes[v].tau, bhat, tau)
+		}
+	}
+}
+
+func TestGeneralProtocolScheduleFeasible(t *testing.T) {
+	g := gen.GNP(150, 0.3, rng.New(7))
+	b := make([]int, g.N())
+	src := rng.New(11)
+	for i := range b {
+		b[i] = 1 + src.Intn(5)
+	}
+	sources := rng.New(12).SplitN(g.N())
+	nodes := NewGeneralNodes(g, b, 3, sources)
+	if _, err := Run(g, Programs(nodes), 10); err != nil {
+		t.Fatal(err)
+	}
+	s := GeneralSchedule(nodes)
+	usage := s.Usage(g.N())
+	for v, u := range usage {
+		if u > b[v] {
+			t.Fatalf("node %d used %d > battery %d", v, u, b[v])
+		}
+	}
+	if err := s.TruncateInvalid(g, 1).Validate(g, b, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFaultTolerantScheduleFromProtocol(t *testing.T) {
+	g := gen.GNP(180, 0.3, rng.New(8))
+	const b, k = 4, 2
+	sources := rng.New(13).SplitN(g.N())
+	nodes := NewUniformNodes(g, 3, sources)
+	if _, err := Run(g, Programs(nodes), 10); err != nil {
+		t.Fatal(err)
+	}
+	s := FaultTolerantSchedule(nodes, b, k).TruncateInvalid(g, k)
+	if err := s.Validate(g, uniformB(g.N(), b), k); err != nil {
+		t.Fatal(err)
+	}
+	if s.Lifetime() < b/2 {
+		t.Fatalf("lifetime %d below the b/2 floor", s.Lifetime())
+	}
+}
+
+func TestRunDetectsNonTermination(t *testing.T) {
+	g := gen.Path(3)
+	progs := make([]Program, 3)
+	for i := range progs {
+		progs[i] = &forever{}
+	}
+	if _, err := Run(g, progs, 5); err == nil {
+		t.Fatal("non-terminating protocol not detected")
+	}
+}
+
+type forever struct{}
+
+func (*forever) Start() any              { return 0 }
+func (*forever) Round([]any) (any, bool) { return 0, false }
+
+func TestRunEmptyGraph(t *testing.T) {
+	stats, err := Run(graph.New(0), nil, 5)
+	if err != nil || stats.Rounds != 0 || stats.Messages != 0 {
+		t.Fatalf("empty run: stats=%v err=%v", stats, err)
+	}
+}
+
+func TestRunProgramCountMismatch(t *testing.T) {
+	if _, err := Run(gen.Path(3), make([]Program, 2), 5); err == nil {
+		t.Fatal("program count mismatch accepted")
+	}
+}
+
+func TestDistributedUniformMatchesCentralizedGuarantee(t *testing.T) {
+	// Both the distributed and the centralized Algorithm 1 must reach the
+	// Lemma 4.2 guaranteed prefix on a dense graph (they use independent
+	// randomness, so we compare guarantees rather than bits).
+	g := gen.GNP(250, 0.4, rng.New(9))
+	const b = 2
+	o := core.Options{K: 3, Src: rng.New(21)}
+	central := core.UniformWHP(g, b, o, 50)
+
+	sources := rng.New(22).SplitN(g.N())
+	nodes := NewUniformNodes(g, 3, sources)
+	if _, err := Run(g, Programs(nodes), 10); err != nil {
+		t.Fatal(err)
+	}
+	dist := UniformSchedule(nodes, b).TruncateInvalid(g, 1)
+
+	guarantee := core.GuaranteedPhases(g, o) * b
+	if central.Lifetime() < guarantee {
+		t.Fatalf("centralized lifetime %d below guarantee %d", central.Lifetime(), guarantee)
+	}
+	if dist.Lifetime() < guarantee {
+		t.Fatalf("distributed lifetime %d below guarantee %d", dist.Lifetime(), guarantee)
+	}
+}

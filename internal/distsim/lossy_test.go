@@ -1,0 +1,83 @@
+package distsim
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/rng"
+)
+
+func TestRunLossyValidation(t *testing.T) {
+	g := gen.Path(3)
+	progs := make([]Program, 3)
+	for i := range progs {
+		progs[i] = &forever{}
+	}
+	if _, err := RunLossy(g, progs, 5, 1.5, rng.New(1)); err == nil {
+		t.Error("loss 1.5 accepted")
+	}
+	if _, err := RunLossy(g, progs, 5, 0.5, nil); err == nil {
+		t.Error("loss without source accepted")
+	}
+}
+
+func TestRunLossyZeroLossEqualsRun(t *testing.T) {
+	g := gen.GNP(60, 0.15, rng.New(1))
+	a := NewUniformNodes(g, 3, rng.New(7).SplitN(g.N()))
+	sa, err := Run(g, Programs(a), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewUniformNodes(g, 3, rng.New(7).SplitN(g.N()))
+	sb, err := RunLossy(g, Programs(b), 10, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sa != sb {
+		t.Fatalf("stats differ: %+v vs %+v", sa, sb)
+	}
+	for v := range a {
+		if a[v].Color != b[v].Color {
+			t.Fatal("zero-loss run diverged from Run")
+		}
+	}
+}
+
+func TestRunLossyDropsAndStillTerminates(t *testing.T) {
+	// Algorithm 1 under loss: the protocol still terminates (one round),
+	// messages are counted as sent, and some deliveries are dropped.
+	g := gen.GNP(200, 0.1, rng.New(2))
+	nodes := NewUniformNodes(g, 3, rng.New(8).SplitN(g.N()))
+	stats, err := RunLossy(g, Programs(nodes), 10, 0.3, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Rounds != 1 {
+		t.Fatalf("rounds = %d, want 1", stats.Rounds)
+	}
+	if stats.Messages != 2*g.M() {
+		t.Fatalf("messages = %d, want %d (sends counted despite loss)", stats.Messages, 2*g.M())
+	}
+	if stats.Dropped == 0 {
+		t.Fatal("30% loss dropped nothing")
+	}
+	// Every node still chose a color (missing messages just bias δ² up).
+	for v, u := range nodes {
+		if u.Color < 0 {
+			t.Fatalf("node %d has no color", v)
+		}
+	}
+}
+
+func TestRunLossyDropRateSane(t *testing.T) {
+	g := gen.GNP(300, 0.08, rng.New(3))
+	nodes := NewGeneralNodes(g, uniformB(g.N(), 3), 3, rng.New(10).SplitN(g.N()))
+	stats, err := RunLossy(g, Programs(nodes), 10, 0.2, rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rate := float64(stats.Dropped) / float64(stats.Messages)
+	if rate < 0.1 || rate > 0.3 {
+		t.Fatalf("drop rate %.3f far from configured 0.2", rate)
+	}
+}

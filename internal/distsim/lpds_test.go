@@ -1,0 +1,81 @@
+package distsim
+
+import (
+	"testing"
+
+	"repro/internal/domset"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func degreesOf(g *graph.Graph) []int {
+	d := make([]int, g.N())
+	for v := range d {
+		d[v] = g.Degree(v)
+	}
+	return d
+}
+
+func runLPDS(t *testing.T, g *graph.Graph, seed uint64) ([]int, Stats) {
+	t.Helper()
+	nodes := NewLPDSNodes(degreesOf(g), rng.New(seed).SplitN(g.N()))
+	stats, err := Run(g, Programs(nodes), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return LPDSSet(nodes), stats
+}
+
+func TestLPDSProtocolAlwaysDominating(t *testing.T) {
+	src := rng.New(1)
+	graphs := []*graph.Graph{
+		gen.Path(20),
+		gen.Star(12),
+		gen.Complete(7),
+		gen.GNP(150, 0.06, src),
+		gen.Circulant(80, 10),
+		graph.New(4),
+	}
+	for i, g := range graphs {
+		ds, _ := runLPDS(t, g, uint64(200+i))
+		if !domset.IsDominating(g, ds, nil) {
+			t.Errorf("graph %d: LP-rounded DS not dominating", i)
+		}
+	}
+}
+
+func TestLPDSProtocolConstantRounds(t *testing.T) {
+	for _, n := range []int{50, 200, 800} {
+		g := gen.GNP(n, 8.0/float64(n), rng.New(uint64(n)))
+		_, stats := runLPDS(t, g, 9)
+		if stats.Rounds > 3 {
+			t.Fatalf("n=%d: LP-DS used %d rounds, want <= 3", n, stats.Rounds)
+		}
+	}
+}
+
+func TestLPDSProtocolMatchesCentralizedQuality(t *testing.T) {
+	// Size within a constant·log factor of the centralized greedy on a
+	// regular graph.
+	g := gen.Circulant(300, 20)
+	ds, _ := runLPDS(t, g, 17)
+	central := domset.Greedy(g)
+	if len(ds) > 12*len(central) {
+		t.Fatalf("protocol DS %d vs centralized greedy %d", len(ds), len(central))
+	}
+}
+
+func TestLPDSDeterministic(t *testing.T) {
+	g := gen.GNP(100, 0.08, rng.New(2))
+	a, _ := runLPDS(t, g, 42)
+	b, _ := runLPDS(t, g, 42)
+	if len(a) != len(b) {
+		t.Fatal("not reproducible")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("not reproducible")
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package domatic
+
+import "repro/internal/graph"
+
+// ExactDomaticNumber computes the domatic number of g by backtracking:
+// the largest d such that the nodes can be colored with d colors where every
+// closed neighborhood contains all d colors. Exponential in the worst case;
+// intended for graphs with n ≲ 25. For the empty graph it returns 0; any
+// graph with an isolated node has domatic number 1.
+func ExactDomaticNumber(g *graph.Graph) int {
+	if g.N() == 0 {
+		return 0
+	}
+	// Search downward from the δ+1 upper bound; the first feasible d wins.
+	for d := UpperBound(g); d >= 2; d-- {
+		if p := ExactPartition(g, d); p != nil {
+			return d
+		}
+	}
+	return 1 // the set of all nodes is always dominating
+}
+
+// ExactPartition returns a domatic partition of g into exactly d dominating
+// sets, or nil if none exists. Every node is assigned to one of the d sets;
+// the partition is valid iff every closed neighborhood sees all d colors.
+func ExactPartition(g *graph.Graph, d int) Partition {
+	n := g.N()
+	if d < 1 || n == 0 {
+		return nil
+	}
+	if d == 1 {
+		all := make([]int, n)
+		for i := range all {
+			all[i] = i
+		}
+		return Partition{all}
+	}
+	if UpperBound(g) < d {
+		return nil
+	}
+
+	colors := make([]int, n)
+	for i := range colors {
+		colors[i] = -1
+	}
+	// colorCount[v][c] = how many nodes of N+[v] currently have color c.
+	colorCount := make([][]int, n)
+	for v := range colorCount {
+		colorCount[v] = make([]int, d)
+	}
+	// unassigned[v] = how many nodes of N+[v] are still uncolored.
+	unassigned := make([]int, n)
+	for v := 0; v < n; v++ {
+		unassigned[v] = g.Degree(v) + 1
+	}
+	// missing[v] = how many of the d colors are absent from N+[v].
+	missing := make([]int, n)
+	for v := range missing {
+		missing[v] = d
+	}
+
+	closed := func(v int) []int {
+		out := []int{v}
+		for _, u := range g.Neighbors(v) {
+			out = append(out, int(u))
+		}
+		return out
+	}
+
+	assign := func(v, c int) bool {
+		colors[v] = c
+		ok := true
+		for _, w := range closed(v) {
+			if colorCount[w][c] == 0 {
+				missing[w]--
+			}
+			colorCount[w][c]++
+			unassigned[w]--
+			// Prune: w can never see all colors if even coloring every
+			// remaining closed neighbor with a distinct missing color falls
+			// short.
+			if missing[w] > unassigned[w] {
+				ok = false
+			}
+		}
+		return ok
+	}
+	unassign := func(v, c int) {
+		for _, w := range closed(v) {
+			colorCount[w][c]--
+			if colorCount[w][c] == 0 {
+				missing[w]++
+			}
+			unassigned[w]++
+		}
+		colors[v] = -1
+	}
+
+	var rec func(v int) bool
+	rec = func(v int) bool {
+		if v == n {
+			return true
+		}
+		// Symmetry breaking: node v may only open color classes 0..v
+		// (the first node must take color 0, etc.).
+		limit := d
+		if v+1 < limit {
+			limit = v + 1
+		}
+		for c := 0; c < limit; c++ {
+			if assign(v, c) && rec(v+1) {
+				return true
+			}
+			unassign(v, c)
+		}
+		return false
+	}
+	if !rec(0) {
+		return nil
+	}
+	p := make(Partition, d)
+	for v, c := range colors {
+		p[c] = append(p[c], v)
+	}
+	return p
+}

@@ -1,0 +1,291 @@
+// Package domset implements dominating-set primitives: verifiers for plain
+// and fault-tolerant (k-)domination, the classical greedy set-cover
+// approximation for minimum dominating sets, a greedy k-dominating set
+// builder, an exact branch-and-bound minimum dominating set for small
+// graphs, and Luby's randomized maximal independent set (every MIS is a
+// dominating set; in unit disk graphs it is a constant-factor approximation,
+// as the paper's related-work section recounts).
+package domset
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// IsDominating reports whether set is a dominating set of g restricted to
+// the nodes for which alive is true (alive == nil means all nodes). A node
+// in the set dominates itself. Dead nodes neither need domination nor
+// dominate others.
+func IsDominating(g *graph.Graph, set []int, alive []bool) bool {
+	return IsKDominating(g, set, 1, alive)
+}
+
+// IsKDominating reports whether every alive node has at least k dominators
+// in its closed neighborhood within set (counting itself if it is in the
+// set), considering only alive dominators.
+func IsKDominating(g *graph.Graph, set []int, k int, alive []bool) bool {
+	in := make([]bool, g.N())
+	for _, v := range set {
+		if v < 0 || v >= g.N() {
+			panic(fmt.Sprintf("domset: node %d out of range", v))
+		}
+		if alive == nil || alive[v] {
+			in[v] = true
+		}
+	}
+	for v := 0; v < g.N(); v++ {
+		if alive != nil && !alive[v] {
+			continue
+		}
+		count := 0
+		if in[v] {
+			count++
+		}
+		for _, u := range g.Neighbors(v) {
+			if in[u] {
+				count++
+				if count >= k {
+					break
+				}
+			}
+		}
+		if count < k {
+			return false
+		}
+	}
+	return true
+}
+
+// UndominatedNodes returns the sorted alive nodes with fewer than k
+// dominators in set. Useful for diagnostics and failure-injection reports.
+func UndominatedNodes(g *graph.Graph, set []int, k int, alive []bool) []int {
+	in := make([]bool, g.N())
+	for _, v := range set {
+		if alive == nil || alive[v] {
+			in[v] = true
+		}
+	}
+	var out []int
+	for v := 0; v < g.N(); v++ {
+		if alive != nil && !alive[v] {
+			continue
+		}
+		count := 0
+		if in[v] {
+			count++
+		}
+		for _, u := range g.Neighbors(v) {
+			if in[u] {
+				count++
+			}
+		}
+		if count < k {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Greedy returns a dominating set via the classical set-cover greedy: it
+// repeatedly adds the node that dominates the most not-yet-dominated nodes
+// (ties broken by smallest ID). The result is within ln(Δ+1)+1 of the
+// minimum dominating set. The returned set is sorted.
+func Greedy(g *graph.Graph) []int {
+	return GreedyRestricted(g, nil, nil)
+}
+
+// GreedyRestricted runs the set-cover greedy where only nodes with
+// allowed[v] == true may join the dominating set and only alive nodes need
+// to be dominated (nil slices mean "all nodes"). It returns nil if no
+// allowed set dominates all alive nodes (e.g. an alive node whose entire
+// closed neighborhood is disallowed).
+func GreedyRestricted(g *graph.Graph, allowed, alive []bool) []int {
+	n := g.N()
+	need := make([]bool, n) // nodes still requiring domination
+	remaining := 0
+	for v := 0; v < n; v++ {
+		if alive == nil || alive[v] {
+			need[v] = true
+			remaining++
+		}
+	}
+	covers := func(v int) int {
+		c := 0
+		if need[v] {
+			c++
+		}
+		for _, u := range g.Neighbors(v) {
+			if need[u] {
+				c++
+			}
+		}
+		return c
+	}
+	var set []int
+	for remaining > 0 {
+		best, bestCover := -1, 0
+		for v := 0; v < n; v++ {
+			if allowed != nil && !allowed[v] {
+				continue
+			}
+			if c := covers(v); c > bestCover {
+				best, bestCover = v, c
+			}
+		}
+		if best == -1 {
+			return nil // some alive node cannot be dominated
+		}
+		set = append(set, best)
+		if need[best] {
+			need[best] = false
+			remaining--
+		}
+		for _, u := range g.Neighbors(best) {
+			if need[u] {
+				need[u] = false
+				remaining--
+			}
+		}
+	}
+	sort.Ints(set)
+	return set
+}
+
+// GreedyK returns a k-dominating set greedily: every alive node must end up
+// with at least k dominators in its closed neighborhood. Each step adds the
+// allowed node that reduces the total residual demand the most. Returns nil
+// if infeasible (some node's closed neighborhood has fewer than k allowed
+// members).
+func GreedyK(g *graph.Graph, k int, allowed, alive []bool) []int {
+	if k < 1 {
+		panic("domset: k must be >= 1")
+	}
+	n := g.N()
+	demand := make([]int, n)
+	total := 0
+	for v := 0; v < n; v++ {
+		if alive == nil || alive[v] {
+			demand[v] = k
+			total += k
+		}
+	}
+	inSet := make([]bool, n)
+	gain := func(v int) int {
+		c := 0
+		if demand[v] > 0 {
+			c++
+		}
+		for _, u := range g.Neighbors(v) {
+			if demand[u] > 0 {
+				c++
+			}
+		}
+		return c
+	}
+	var set []int
+	for total > 0 {
+		best, bestGain := -1, 0
+		for v := 0; v < n; v++ {
+			if inSet[v] || (allowed != nil && !allowed[v]) {
+				continue
+			}
+			if c := gain(v); c > bestGain {
+				best, bestGain = v, c
+			}
+		}
+		if best == -1 {
+			return nil
+		}
+		inSet[best] = true
+		set = append(set, best)
+		if demand[best] > 0 {
+			demand[best]--
+			total--
+		}
+		for _, u := range g.Neighbors(best) {
+			if demand[u] > 0 {
+				demand[u]--
+				total--
+			}
+		}
+	}
+	sort.Ints(set)
+	return set
+}
+
+// LubyMIS computes a maximal independent set with Luby's randomized
+// algorithm: in each round every live node draws a random priority, joins
+// the MIS if it beats all live neighbors, and then it and its neighbors
+// leave the contest. Terminates in O(log n) rounds w.h.p. Every MIS is a
+// dominating set.
+func LubyMIS(g *graph.Graph, src *rng.Source) []int {
+	n := g.N()
+	state := make([]int8, n) // 0 = competing, 1 = in MIS, -1 = out
+	competing := n
+	var mis []int
+	prio := make([]uint64, n)
+	for competing > 0 {
+		for v := 0; v < n; v++ {
+			if state[v] == 0 {
+				prio[v] = src.Uint64()
+			}
+		}
+		// Determine all winners against this round's snapshot before
+		// mutating any state, so two adjacent nodes can never both win.
+		var winners []int
+		for v := 0; v < n; v++ {
+			if state[v] != 0 {
+				continue
+			}
+			win := true
+			for _, u := range g.Neighbors(v) {
+				if state[u] == 0 && (prio[u] > prio[v] || (prio[u] == prio[v] && int(u) < v)) {
+					win = false
+					break
+				}
+			}
+			if win {
+				winners = append(winners, v)
+			}
+		}
+		for _, v := range winners {
+			state[v] = 1
+			competing--
+			mis = append(mis, v)
+			for _, u := range g.Neighbors(v) {
+				if state[u] == 0 {
+					state[u] = -1
+					competing--
+				}
+			}
+		}
+	}
+	sort.Ints(mis)
+	return mis
+}
+
+// IsIndependent reports whether no two nodes of set are adjacent.
+func IsIndependent(g *graph.Graph, set []int) bool {
+	in := make([]bool, g.N())
+	for _, v := range set {
+		in[v] = true
+	}
+	for _, v := range set {
+		for _, u := range g.Neighbors(v) {
+			if in[u] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// IsMaximalIndependent reports whether set is independent and no node can be
+// added while preserving independence (equivalently: independent and
+// dominating).
+func IsMaximalIndependent(g *graph.Graph, set []int) bool {
+	return IsIndependent(g, set) && IsDominating(g, set, nil)
+}

@@ -1,0 +1,293 @@
+package domset
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func TestIsDominatingBasics(t *testing.T) {
+	g := gen.Path(5) // 0-1-2-3-4
+	cases := []struct {
+		set  []int
+		want bool
+	}{
+		{[]int{1, 3}, true},
+		{[]int{0, 2, 4}, true},
+		{[]int{2}, false},         // 0 and 4 uncovered
+		{[]int{0, 4}, false},      // 2 uncovered
+		{[]int{0, 1, 2, 3}, true}, // 4 covered by 3
+		{nil, false},
+	}
+	for _, c := range cases {
+		if got := IsDominating(g, c.set, nil); got != c.want {
+			t.Errorf("IsDominating(path5, %v) = %v, want %v", c.set, got, c.want)
+		}
+	}
+}
+
+func TestIsDominatingEmptyGraph(t *testing.T) {
+	g := graph.New(0)
+	if !IsDominating(g, nil, nil) {
+		t.Fatal("empty set should dominate empty graph")
+	}
+}
+
+func TestIsDominatingWithAlive(t *testing.T) {
+	g := gen.Path(5)
+	alive := []bool{true, true, false, true, true}
+	// With node 2 dead, {1, 3} still dominates the alive nodes.
+	if !IsDominating(g, []int{1, 3}, alive) {
+		t.Fatal("{1,3} should dominate alive path5 minus node 2")
+	}
+	// A dead dominator does not count: {2} dead plus {0} covers only 0,1.
+	if IsDominating(g, []int{0, 2}, alive) {
+		t.Fatal("dead node 2 must not dominate 3 and 4")
+	}
+}
+
+func TestIsKDominating(t *testing.T) {
+	g := gen.Complete(4)
+	if !IsKDominating(g, []int{0, 1}, 2, nil) {
+		t.Fatal("two nodes of K4 2-dominate everything")
+	}
+	if IsKDominating(g, []int{0}, 2, nil) {
+		t.Fatal("a single node cannot 2-dominate")
+	}
+	// Node in set counts itself: on K4, {0,1,2} 3-dominates node 0
+	// (itself + 1 + 2).
+	if !IsKDominating(g, []int{0, 1, 2}, 3, nil) {
+		t.Fatal("{0,1,2} should 3-dominate K4")
+	}
+	if IsKDominating(g, []int{0, 1, 2}, 4, nil) {
+		t.Fatal("4-domination impossible with 3 dominators")
+	}
+}
+
+func TestUndominatedNodes(t *testing.T) {
+	g := gen.Path(5)
+	und := UndominatedNodes(g, []int{0}, 1, nil)
+	want := []int{2, 3, 4}
+	if len(und) != len(want) {
+		t.Fatalf("undominated = %v, want %v", und, want)
+	}
+	for i := range want {
+		if und[i] != want[i] {
+			t.Fatalf("undominated = %v, want %v", und, want)
+		}
+	}
+}
+
+func TestGreedyProducesDominatingSet(t *testing.T) {
+	src := rng.New(1)
+	graphs := []*graph.Graph{
+		gen.Path(10),
+		gen.Ring(12),
+		gen.Star(8),
+		gen.Complete(6),
+		gen.Grid(5, 5),
+		gen.GNP(60, 0.1, src),
+		gen.RandomTree(40, src),
+	}
+	for i, g := range graphs {
+		set := Greedy(g)
+		if !IsDominating(g, set, nil) {
+			t.Errorf("graph %d: greedy set %v not dominating", i, set)
+		}
+	}
+}
+
+func TestGreedyStarIsOptimal(t *testing.T) {
+	g := gen.Star(10)
+	set := Greedy(g)
+	if len(set) != 1 || set[0] != 0 {
+		t.Fatalf("greedy on star = %v, want [0]", set)
+	}
+}
+
+func TestGreedyRestrictedInfeasible(t *testing.T) {
+	g := gen.Path(3)
+	allowed := []bool{true, false, false}
+	// Node 2's closed neighborhood {1, 2} is entirely disallowed.
+	if set := GreedyRestricted(g, allowed, nil); set != nil {
+		t.Fatalf("expected nil for infeasible restriction, got %v", set)
+	}
+}
+
+func TestGreedyRestrictedRespectsAllowed(t *testing.T) {
+	g := gen.Ring(6)
+	allowed := []bool{true, false, true, false, true, false}
+	set := GreedyRestricted(g, allowed, nil)
+	if set == nil {
+		t.Fatal("even ring with alternating allowed should be feasible")
+	}
+	for _, v := range set {
+		if !allowed[v] {
+			t.Fatalf("disallowed node %d in set %v", v, set)
+		}
+	}
+	if !IsDominating(g, set, nil) {
+		t.Fatalf("restricted greedy set %v not dominating", set)
+	}
+}
+
+func TestGreedyKProducesKDominating(t *testing.T) {
+	src := rng.New(2)
+	g := gen.GNP(50, 0.25, src)
+	for k := 1; k <= 3; k++ {
+		if g.MinDegree()+1 < k {
+			continue
+		}
+		set := GreedyK(g, k, nil, nil)
+		if set == nil {
+			t.Fatalf("k=%d: GreedyK infeasible on δ=%d graph", k, g.MinDegree())
+		}
+		if !IsKDominating(g, set, k, nil) {
+			t.Fatalf("k=%d: set not k-dominating", k)
+		}
+	}
+}
+
+func TestGreedyKInfeasible(t *testing.T) {
+	g := gen.Path(4) // leaf has closed neighborhood of size 2
+	if set := GreedyK(g, 3, nil, nil); set != nil {
+		t.Fatalf("3-domination of a path should be infeasible, got %v", set)
+	}
+}
+
+func TestGreedyKPanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("k=0 did not panic")
+		}
+	}()
+	GreedyK(gen.Path(3), 0, nil, nil)
+}
+
+func TestLubyMIS(t *testing.T) {
+	src := rng.New(3)
+	graphs := []*graph.Graph{
+		gen.Path(15),
+		gen.Ring(20),
+		gen.Complete(7),
+		gen.Grid(6, 6),
+		gen.GNP(80, 0.08, src),
+	}
+	for i, g := range graphs {
+		mis := LubyMIS(g, src)
+		if !IsMaximalIndependent(g, mis) {
+			t.Errorf("graph %d: Luby result %v not a maximal independent set", i, mis)
+		}
+	}
+}
+
+func TestLubyMISOnEmptyAndIsolated(t *testing.T) {
+	src := rng.New(4)
+	if mis := LubyMIS(graph.New(0), src); len(mis) != 0 {
+		t.Fatal("MIS of empty graph non-empty")
+	}
+	g := graph.New(5) // all isolated
+	mis := LubyMIS(g, src)
+	if len(mis) != 5 {
+		t.Fatalf("MIS of 5 isolated nodes = %v, want all", mis)
+	}
+}
+
+func TestLubyMISCompleteGraphHasOneNode(t *testing.T) {
+	src := rng.New(5)
+	for i := 0; i < 10; i++ {
+		mis := LubyMIS(gen.Complete(9), src)
+		if len(mis) != 1 {
+			t.Fatalf("MIS of K9 = %v, want single node", mis)
+		}
+	}
+}
+
+func TestMinimumExactSmallCases(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		size int
+	}{
+		{"path4", gen.Path(4), 2},
+		{"path7", gen.Path(7), 3},
+		{"ring6", gen.Ring(6), 2},
+		{"star9", gen.Star(9), 1},
+		{"k5", gen.Complete(5), 1},
+		{"grid3x3", gen.Grid(3, 3), 3},
+	}
+	for _, c := range cases {
+		set := MinimumExact(c.g, nil, nil)
+		if set == nil {
+			t.Fatalf("%s: no set found", c.name)
+		}
+		if !IsDominating(c.g, set, nil) {
+			t.Fatalf("%s: exact set %v not dominating", c.name, set)
+		}
+		if len(set) != c.size {
+			t.Errorf("%s: |MDS| = %d, want %d (set %v)", c.name, len(set), c.size, set)
+		}
+	}
+}
+
+func TestMinimumExactNeverBeatenByGreedy(t *testing.T) {
+	src := rng.New(6)
+	for trial := 0; trial < 20; trial++ {
+		g := gen.GNP(18, 0.2, src)
+		exact := MinimumExact(g, nil, nil)
+		greedy := Greedy(g)
+		if exact == nil {
+			t.Fatal("exact failed on unrestricted instance")
+		}
+		if len(exact) > len(greedy) {
+			t.Fatalf("trial %d: exact %d > greedy %d", trial, len(exact), len(greedy))
+		}
+	}
+}
+
+func TestMinimumExactInfeasibleRestriction(t *testing.T) {
+	g := gen.Path(3)
+	allowed := []bool{true, false, false}
+	if set := MinimumExact(g, allowed, nil); set != nil {
+		t.Fatalf("expected nil, got %v", set)
+	}
+}
+
+func TestMinimumExactWithAliveSubset(t *testing.T) {
+	g := gen.Path(5)
+	alive := []bool{true, true, true, false, false}
+	set := MinimumExact(g, nil, alive)
+	if set == nil || len(set) != 1 || set[0] != 1 {
+		t.Fatalf("MDS of alive prefix = %v, want [1]", set)
+	}
+}
+
+func TestMinimumExactFujitaTrapSize(t *testing.T) {
+	// The trap's minimum dominating set is exactly the k a-nodes.
+	k := 3
+	g, _ := gen.FujitaTrap(k)
+	set := MinimumExact(g, nil, nil)
+	if len(set) != k {
+		t.Fatalf("|MDS| = %d, want %d", len(set), k)
+	}
+	for i, v := range set {
+		if v != 1+i {
+			t.Fatalf("MDS = %v, want the a-nodes [1..%d]", set, k)
+		}
+	}
+}
+
+func TestIsIndependent(t *testing.T) {
+	g := gen.Path(4)
+	if !IsIndependent(g, []int{0, 2}) {
+		t.Error("{0,2} independent in path4")
+	}
+	if IsIndependent(g, []int{0, 1}) {
+		t.Error("{0,1} not independent in path4")
+	}
+	if !IsIndependent(g, nil) {
+		t.Error("empty set is independent")
+	}
+}

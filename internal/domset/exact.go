@@ -1,0 +1,196 @@
+package domset
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// MinimumExact returns a minimum-cardinality dominating set of g restricted
+// to allowed nodes dominating alive nodes (nil means all). It uses
+// branch-and-bound on the lowest-ID undominated node: one of the allowed
+// members of its closed neighborhood must be in any dominating set, so the
+// branching factor is at most Δ+1. Exponential in the worst case — intended
+// for the small instances of the exact experiments (n ≲ 60 sparse). Returns
+// nil if no allowed dominating set exists.
+func MinimumExact(g *graph.Graph, allowed, alive []bool) []int {
+	n := g.N()
+	mustDominate := make([]bool, n)
+	for v := 0; v < n; v++ {
+		mustDominate[v] = alive == nil || alive[v]
+	}
+	mayUse := func(v int) bool { return allowed == nil || allowed[v] }
+
+	// domCount[v] = how many chosen nodes dominate v.
+	domCount := make([]int, n)
+	inSet := make([]bool, n)
+	var best []int
+	var current []int
+
+	// feasibility: every must-dominate node needs an allowed closed neighbor.
+	for v := 0; v < n; v++ {
+		if !mustDominate[v] {
+			continue
+		}
+		ok := mayUse(v)
+		if !ok {
+			for _, u := range g.Neighbors(v) {
+				if mayUse(int(u)) {
+					ok = true
+					break
+				}
+			}
+		}
+		if !ok {
+			return nil
+		}
+	}
+
+	add := func(v int) {
+		inSet[v] = true
+		current = append(current, v)
+		domCount[v]++
+		for _, u := range g.Neighbors(v) {
+			domCount[u]++
+		}
+	}
+	remove := func(v int) {
+		inSet[v] = false
+		current = current[:len(current)-1]
+		domCount[v]--
+		for _, u := range g.Neighbors(v) {
+			domCount[u]--
+		}
+	}
+
+	var rec func()
+	rec = func() {
+		if best != nil && len(current) >= len(best) {
+			return
+		}
+		// Find the lowest undominated must-dominate node.
+		target := -1
+		for v := 0; v < n; v++ {
+			if mustDominate[v] && domCount[v] == 0 {
+				target = v
+				break
+			}
+		}
+		if target == -1 {
+			best = append([]int(nil), current...)
+			return
+		}
+		// Branch over allowed dominators of target.
+		if mayUse(target) && !inSet[target] {
+			add(target)
+			rec()
+			remove(target)
+		}
+		for _, u := range g.Neighbors(target) {
+			v := int(u)
+			if mayUse(v) && !inSet[v] {
+				add(v)
+				rec()
+				remove(v)
+			}
+		}
+	}
+	rec()
+	if best != nil {
+		sort.Ints(best)
+	}
+	return best
+}
+
+// MinimumWeightExact returns a k-dominating set of g minimizing the total
+// node weight (weights must be non-negative), together with that weight.
+// Branch-and-bound on the lowest-ID deficient node; since weights are
+// non-negative, any superset of a solution weighs at least as much, so the
+// current-weight bound is valid. Exponential; used as the pricing oracle of
+// the column-generation LP (package exact). Returns (nil, +Inf) if no
+// k-dominating set exists.
+func MinimumWeightExact(g *graph.Graph, weights []float64, k int) ([]int, float64) {
+	n := g.N()
+	if len(weights) != n {
+		panic("domset: weight count mismatch")
+	}
+	if k < 1 {
+		panic("domset: k must be >= 1")
+	}
+	for v := 0; v < n; v++ {
+		if weights[v] < 0 {
+			panic("domset: negative weight")
+		}
+		if g.Degree(v)+1 < k {
+			return nil, math.Inf(1)
+		}
+	}
+
+	domCount := make([]int, n)
+	inSet := make([]bool, n)
+	forbidden := make([]bool, n)
+	var current []int
+	currentWeight := 0.0
+	var best []int
+	bestWeight := math.Inf(1)
+
+	var rec func()
+	rec = func() {
+		if currentWeight >= bestWeight {
+			return
+		}
+		target := -1
+		for v := 0; v < n; v++ {
+			if domCount[v] < k {
+				target = v
+				break
+			}
+		}
+		if target == -1 {
+			best = append(best[:0:0], current...)
+			bestWeight = currentWeight
+			return
+		}
+		// Branch over dominators of target, cheapest first for stronger
+		// early incumbents; forbidding tried candidates partitions the
+		// solution space so no set is explored twice.
+		var cands []int
+		if !inSet[target] && !forbidden[target] {
+			cands = append(cands, target)
+		}
+		for _, u := range g.Neighbors(target) {
+			if !inSet[u] && !forbidden[u] {
+				cands = append(cands, int(u))
+			}
+		}
+		sort.Slice(cands, func(i, j int) bool { return weights[cands[i]] < weights[cands[j]] })
+		for _, c := range cands {
+			inSet[c] = true
+			current = append(current, c)
+			currentWeight += weights[c]
+			domCount[c]++
+			for _, u := range g.Neighbors(c) {
+				domCount[u]++
+			}
+			rec()
+			domCount[c]--
+			for _, u := range g.Neighbors(c) {
+				domCount[u]--
+			}
+			currentWeight -= weights[c]
+			current = current[:len(current)-1]
+			inSet[c] = false
+			forbidden[c] = true
+		}
+		for _, c := range cands {
+			forbidden[c] = false
+		}
+	}
+	rec()
+	if best == nil {
+		return nil, math.Inf(1)
+	}
+	sort.Ints(best)
+	return best, bestWeight
+}

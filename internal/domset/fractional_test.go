@@ -1,0 +1,113 @@
+package domset
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func TestFractionalLocalIsFeasible(t *testing.T) {
+	src := rng.New(1)
+	graphs := []*graph.Graph{
+		gen.Path(20),
+		gen.Star(15),
+		gen.Complete(8),
+		gen.Grid(6, 6),
+		gen.GNP(100, 0.1, src),
+		gen.Circulant(60, 8),
+		graph.New(5), // isolated nodes: x_v = 1 each
+	}
+	for i, g := range graphs {
+		x := FractionalLocal(g)
+		if !IsFractionalDominating(g, x) {
+			t.Errorf("graph %d: fractional solution infeasible", i)
+		}
+	}
+}
+
+func TestFractionalLocalNearOptimalOnRegular(t *testing.T) {
+	// On a d-regular graph, x_v = 1/(d+1) for all v: total weight n/(d+1),
+	// which matches the LP optimum for vertex-transitive graphs.
+	g := gen.Circulant(60, 10)
+	x := FractionalLocal(g)
+	total := 0.0
+	for _, w := range x {
+		total += w
+	}
+	want := 60.0 / 11.0
+	if math.Abs(total-want) > 1e-9 {
+		t.Fatalf("total weight %v, want %v", total, want)
+	}
+}
+
+func TestFractionalIsolatedNodesWeightOne(t *testing.T) {
+	g := graph.New(3)
+	for _, w := range FractionalLocal(g) {
+		if w != 1 {
+			t.Fatalf("isolated node weight %v, want 1", w)
+		}
+	}
+}
+
+func TestIsFractionalDominatingRejects(t *testing.T) {
+	g := gen.Path(3)
+	if IsFractionalDominating(g, []float64{0.1, 0.1, 0.1}) {
+		t.Fatal("infeasible weights accepted")
+	}
+	if IsFractionalDominating(g, []float64{1}) {
+		t.Fatal("wrong-length weights accepted")
+	}
+}
+
+func TestRoundFractionalAlwaysDominating(t *testing.T) {
+	src := rng.New(2)
+	for trial := 0; trial < 20; trial++ {
+		g := gen.GNP(80, 0.08, src)
+		set := LPRoundedDS(g, src)
+		if !IsDominating(g, set, nil) {
+			t.Fatalf("trial %d: rounded set not dominating", trial)
+		}
+	}
+}
+
+func TestRoundFractionalSizeIsLogFactorOnRegular(t *testing.T) {
+	// On a circulant with degree d, |DS| should be O(n ln d / d) — compare
+	// against the trivial n and the optimal ~n/(d+1).
+	g := gen.Circulant(300, 20)
+	src := rng.New(3)
+	sizes := 0
+	const trials = 10
+	for i := 0; i < trials; i++ {
+		sizes += len(LPRoundedDS(g, src))
+	}
+	mean := float64(sizes) / trials
+	opt := 300.0 / 21.0
+	if mean > 10*opt*math.Log(21) {
+		t.Fatalf("mean size %.1f too large vs optimum %.1f", mean, opt)
+	}
+	if mean < opt {
+		t.Fatalf("mean size %.1f below the LP optimum %.1f — impossible", mean, opt)
+	}
+}
+
+func TestRoundFractionalPanicsOnSizeMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("size mismatch did not panic")
+		}
+	}()
+	RoundFractional(gen.Path(3), []float64{1}, 2, rng.New(1))
+}
+
+func TestRoundFractionalZeroWeightsRepairedToFullCover(t *testing.T) {
+	// All-zero weights are infeasible, but repair still yields a dominating
+	// set (every uncovered node self-joins).
+	g := gen.Path(5)
+	set := RoundFractional(g, make([]float64, 5), 2, rng.New(4))
+	if !IsDominating(g, set, nil) {
+		t.Fatal("repair failed to produce a dominating set")
+	}
+}

@@ -1,0 +1,120 @@
+package exact
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/domset"
+	"repro/internal/graph"
+	"repro/internal/lp"
+)
+
+// FractionalCG solves the fractional Maximum k-tolerant Cluster-Lifetime LP
+// by column generation, avoiding the exponential enumeration of all minimal
+// dominating sets that Fractional needs:
+//
+//	restricted master:  max Σ t_D  s.t.  Σ_{D∋v} t_D ≤ b_v  over known sets
+//	pricing oracle:     min-weight k-dominating set under the duals y;
+//	                    a set with weight < 1 is an improving column.
+//
+// LP duality certifies optimality when no column prices below 1. The pricing
+// oracle is exponential in the worst case but — with cheapest-first
+// branch-and-bound — handles the n ≈ 40–80 sparse instances the experiments
+// use, an order of magnitude beyond full enumeration. Returns the optimal
+// value, the generated sets, their durations, and the iteration count.
+func FractionalCG(g *graph.Graph, b []int, k int, maxIters int) (float64, [][]int, []float64, int, error) {
+	n := g.N()
+	if len(b) != n {
+		return 0, nil, nil, 0, fmt.Errorf("exact: %d batteries for %d nodes", len(b), n)
+	}
+	for v, bv := range b {
+		if bv < 0 {
+			return 0, nil, nil, 0, fmt.Errorf("exact: negative battery b[%d] = %d", v, bv)
+		}
+	}
+	if maxIters <= 0 {
+		maxIters = 1000
+	}
+	// Initial column: any k-dominating set (greedy); none → lifetime 0.
+	first := domset.GreedyK(g, k, nil, nil)
+	if first == nil {
+		return 0, nil, nil, 0, nil
+	}
+	columns := [][]int{first}
+
+	const eps = 1e-7
+	for iter := 1; ; iter++ {
+		if iter > maxIters {
+			return 0, nil, nil, iter, fmt.Errorf("exact: column generation hit the %d-iteration cap", maxIters)
+		}
+		sol, err := solveMaster(g, b, columns)
+		if err != nil {
+			return 0, nil, nil, iter, err
+		}
+		// Pricing: the reduced cost of column D is 1 - Σ_{v∈D} y_v.
+		// Clamp float noise: duals of a packing LP are ≥ 0 in exact
+		// arithmetic.
+		duals := make([]float64, n)
+		for i, y := range sol.Y {
+			if y > 0 {
+				duals[i] = y
+			}
+		}
+		newCol, weight := domset.MinimumWeightExact(g, duals, k)
+		if weight >= 1-eps {
+			return sol.Value, columns, sol.X, iter, nil
+		}
+		columns = append(columns, newCol)
+	}
+}
+
+func solveMaster(g *graph.Graph, b []int, columns [][]int) (*lp.Solution, error) {
+	n := g.N()
+	c := make([]float64, len(columns))
+	for i := range c {
+		c[i] = 1
+	}
+	a := make([][]float64, n)
+	bounds := make([]float64, n)
+	for v := 0; v < n; v++ {
+		row := make([]float64, len(columns))
+		for j, col := range columns {
+			for _, u := range col {
+				if u == v {
+					row[j] = 1
+					break
+				}
+			}
+		}
+		a[v] = row
+		bounds[v] = float64(b[v])
+	}
+	prob, err := lp.NewProblem(c, a, bounds)
+	if err != nil {
+		return nil, err
+	}
+	return prob.Solve()
+}
+
+// FractionalBound returns the best available upper bound on the integral
+// optimum: the column-generation LP value when it converges within
+// maxIters, else the combinatorial Lemma 5.1/6.1 bound.
+func FractionalBound(g *graph.Graph, b []int, k, maxIters int) float64 {
+	if val, _, _, _, err := FractionalCG(g, b, k, maxIters); err == nil {
+		return val
+	}
+	best := math.Inf(1)
+	for v := 0; v < g.N(); v++ {
+		sum := b[v]
+		for _, u := range g.Neighbors(v) {
+			sum += b[u]
+		}
+		if f := float64(sum); f < best {
+			best = f
+		}
+	}
+	if math.IsInf(best, 1) {
+		return 0
+	}
+	return best / float64(k)
+}

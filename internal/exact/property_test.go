@@ -1,0 +1,89 @@
+package exact
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/rng"
+)
+
+// TestOptimalityChainProperty verifies the fundamental inequality chain on
+// random instances:
+//
+//	algorithm ≤ integral OPT ≤ fractional LP OPT ≤ Lemma 5.1 bound
+func TestOptimalityChainProperty(t *testing.T) {
+	prop := func(seed uint64, bBits uint8) bool {
+		src := rng.New(seed)
+		g := gen.GNP(9, 0.4, src)
+		b := make([]int, g.N())
+		for i := range b {
+			b[i] = 1 + int(bBits%3) + src.Intn(2)
+		}
+		integral, _, _ := Integral(g, b, 1)
+		fractional, _, _, err := Fractional(g, b, 1)
+		if err != nil {
+			return false
+		}
+		bound := core.GeneralUpperBound(g, b)
+		alg := core.GeneralWHP(g, b, core.Options{K: 3, Src: src.Split()}, 10)
+		return float64(alg.Lifetime()) <= float64(integral)+1e-9 &&
+			float64(integral) <= fractional+1e-6 &&
+			fractional <= float64(bound)+1e-6
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestColumnGenerationAgreesWithEnumerationProperty: CG and full enumeration
+// solve the same LP.
+func TestColumnGenerationAgreesWithEnumerationProperty(t *testing.T) {
+	prop := func(seed uint64) bool {
+		src := rng.New(seed)
+		g := gen.GNP(8, 0.45, src)
+		b := make([]int, g.N())
+		for i := range b {
+			b[i] = 1 + src.Intn(3)
+		}
+		full, _, _, err := Fractional(g, b, 1)
+		if err != nil {
+			return false
+		}
+		cg, _, _, _, err := FractionalCG(g, b, 1, 300)
+		if err != nil {
+			return false
+		}
+		diff := full - cg
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff <= 1e-5*(1+full)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestIntegralScheduleFeasibilityProperty: the schedule the exact solver
+// returns always validates.
+func TestIntegralScheduleFeasibilityProperty(t *testing.T) {
+	prop := func(seed uint64) bool {
+		src := rng.New(seed)
+		g := gen.GNP(8, 0.4, src)
+		b := make([]int, g.N())
+		for i := range b {
+			b[i] = 1 + src.Intn(3)
+		}
+		val, sets, durs := Integral(g, b, 1)
+		s := &core.Schedule{}
+		for i := range sets {
+			s.Phases = append(s.Phases, core.Phase{Set: sets[i], Duration: durs[i]})
+		}
+		return s.Lifetime() == val && s.Validate(g, b, 1) == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,37 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableWriteCSV(t *testing.T) {
+	tab := &Table{
+		ID:     "X",
+		Header: []string{"a", "b,with comma"},
+		Rows:   [][]string{{"1", `quote "q"`}, {"2", "plain"}},
+	}
+	var sb strings.Builder
+	if err := tab.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,\"b,with comma\"\n1,\"quote \"\"q\"\"\"\n2,plain\n"
+	if sb.String() != want {
+		t.Fatalf("csv = %q, want %q", sb.String(), want)
+	}
+}
+
+func TestExperimentCSVHasHeaderAndRows(t *testing.T) {
+	tab, err := Run("E7", quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := tab.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != len(tab.Rows)+1 {
+		t.Fatalf("%d CSV lines for %d rows", len(lines), len(tab.Rows))
+	}
+}

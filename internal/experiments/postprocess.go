@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/par"
+	"repro/internal/rng"
+	"repro/internal/sched"
+	"repro/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E17",
+		Title: "Extension — centralized post-processing on top of the distributed schedules",
+		Run:   runE17,
+	})
+}
+
+func runE17(cfg Config) *Table {
+	t := &Table{
+		ID:     "E17",
+		Title:  "Extension — centralized post-processing on top of the distributed schedules",
+		Header: []string{"algorithm", "raw lifetime", "+minimalize+extend", "UB", "raw/UB", "squeezed/UB"},
+	}
+	root := rng.New(cfg.Seed + 17)
+	n := 400
+	if cfg.Quick {
+		n = 120
+	}
+	const b = 4
+	p := 12 * math.Log(float64(n)) / float64(n)
+	if p > 1 {
+		p = 1
+	}
+	type variant struct {
+		name string
+		run  func(src *rng.Source, g *graph.Graph, batteries []int) *core.Schedule
+	}
+	variants := []variant{
+		{"Algorithm 1 (uniform)", func(src *rng.Source, g *graph.Graph, _ []int) *core.Schedule {
+			return core.UniformWHP(g, b, core.Options{K: 3, Src: src}, 30)
+		}},
+		{"Algorithm 2 (general)", func(src *rng.Source, g *graph.Graph, batteries []int) *core.Schedule {
+			return core.GeneralWHP(g, batteries, core.Options{K: 3, Src: src}, 30)
+		}},
+	}
+	for _, v := range variants {
+		srcs := root.SplitN(cfg.trials())
+		type sample struct {
+			raw, squeezed, ub float64
+			ok                bool
+		}
+		samples := par.Map(cfg.trials(), 0, func(i int) sample {
+			src := srcs[i]
+			g := gen.GNP(n, p, src)
+			batteries := make([]int, n)
+			for j := range batteries {
+				batteries[j] = b
+			}
+			s := v.run(src.Split(), g, batteries)
+			if s.Lifetime() == 0 {
+				return sample{}
+			}
+			sq := sched.Squeeze(g, s, batteries, 1)
+			return sample{
+				raw:      float64(s.Lifetime()),
+				squeezed: float64(sq.Lifetime()),
+				ub:       float64(core.GeneralUpperBound(g, batteries)),
+				ok:       true,
+			}
+		})
+		var raw, squeezed, ubs []float64
+		for _, sm := range samples {
+			if sm.ok {
+				raw = append(raw, sm.raw)
+				squeezed = append(squeezed, sm.squeezed)
+				ubs = append(ubs, sm.ub)
+			}
+		}
+		if len(raw) == 0 {
+			continue
+		}
+		r := stats.Summarize(raw)
+		sq := stats.Summarize(squeezed)
+		ub := stats.Summarize(ubs)
+		t.AddRow(v.name, f2(r.Mean), f2(sq.Mean), f2(ub.Mean),
+			f2(r.Mean/ub.Mean), f2(sq.Mean/ub.Mean))
+	}
+	t.Notes = append(t.Notes,
+		"Squeeze = prune each phase to a minimal dominating set, then greedily extract further sets from residual budget",
+		"the distributed schedules leave most of the b(δ+1) budget untouched (the log-factor gap);",
+		"a centralized post-pass recovers most of it — quantifying the price the paper pays for locality")
+	return t
+}

@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"math"
+
+	"repro/internal/distsim"
+	"repro/internal/domset"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/par"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E16",
+		Title: "Related work (§3) — one good dominating set, computed distributedly",
+		Run:   runE16,
+	})
+}
+
+func runE16(cfg Config) *Table {
+	t := &Table{
+		ID:     "E16",
+		Title:  "Related work (§3) — one good dominating set, computed distributedly",
+		Header: []string{"family", "n", "central greedy", "dist greedy (size/rounds)", "Luby MIS (size/rounds)", "LP-rounded (size/rounds)"},
+	}
+	root := rng.New(cfg.Seed + 16)
+	sizes := []int{128, 512}
+	if cfg.Quick {
+		sizes = []int{96}
+	}
+	families := []family{
+		{"udg", func(n int, src *rng.Source) *graph.Graph {
+			side := math.Sqrt(float64(n))
+			g, _ := gen.RandomUDG(n, side, 1.8, src)
+			return g
+		}},
+		{"gnp", func(n int, src *rng.Source) *graph.Graph {
+			return gen.GNP(n, 6*math.Log(float64(n))/float64(n), src)
+		}},
+	}
+	for _, fam := range families {
+		for _, n := range sizes {
+			type sample struct {
+				central, dist, mis, lp          float64
+				distRounds, misRounds, lpRounds float64
+				ok                              bool
+			}
+			srcs := root.SplitN(cfg.trials())
+			samples := par.Map(cfg.trials(), 0, func(i int) sample {
+				src := srcs[i]
+				g := fam.build(n, src)
+
+				central := domset.Greedy(g)
+
+				greedyNodes := distsim.NewGreedyDSNodes(g.N())
+				gStats, err := distsim.Run(g, distsim.Programs(greedyNodes), 4*g.N()+10)
+				if err != nil {
+					return sample{}
+				}
+				ds := distsim.GreedyDSSet(greedyNodes)
+				if !domset.IsDominating(g, ds, nil) {
+					return sample{}
+				}
+
+				misNodes := distsim.NewMISNodes(g.N(), src.SplitN(g.N()))
+				mStats, err := distsim.Run(g, distsim.Programs(misNodes), 3*g.N()+10)
+				if err != nil {
+					return sample{}
+				}
+				mis := distsim.MISSet(misNodes)
+				if !domset.IsMaximalIndependent(g, mis) {
+					return sample{}
+				}
+
+				degrees := make([]int, g.N())
+				for v := range degrees {
+					degrees[v] = g.Degree(v)
+				}
+				lpNodes := distsim.NewLPDSNodes(degrees, src.SplitN(g.N()))
+				lStats, err := distsim.Run(g, distsim.Programs(lpNodes), 10)
+				if err != nil {
+					return sample{}
+				}
+				lpSet := distsim.LPDSSet(lpNodes)
+				if !domset.IsDominating(g, lpSet, nil) {
+					return sample{}
+				}
+				return sample{
+					central:    float64(len(central)),
+					dist:       float64(len(ds)),
+					mis:        float64(len(mis)),
+					lp:         float64(len(lpSet)),
+					distRounds: float64(gStats.Rounds),
+					misRounds:  float64(mStats.Rounds),
+					lpRounds:   float64(lStats.Rounds),
+					ok:         true,
+				}
+			})
+			var central, dist, mis, lp, dr, mr, lr []float64
+			for _, sm := range samples {
+				if sm.ok {
+					central = append(central, sm.central)
+					dist = append(dist, sm.dist)
+					mis = append(mis, sm.mis)
+					lp = append(lp, sm.lp)
+					dr = append(dr, sm.distRounds)
+					mr = append(mr, sm.misRounds)
+					lr = append(lr, sm.lpRounds)
+				}
+			}
+			if len(central) == 0 {
+				continue
+			}
+			t.AddRow(fam.name, itoa(n),
+				f2(stats.Summarize(central).Mean),
+				f2(stats.Summarize(dist).Mean)+" / "+f2(stats.Summarize(dr).Mean),
+				f2(stats.Summarize(mis).Mean)+" / "+f2(stats.Summarize(mr).Mean),
+				f2(stats.Summarize(lp).Mean)+" / "+f2(stats.Summarize(lr).Mean))
+		}
+	}
+	t.Notes = append(t.Notes,
+		"all of §3's approaches find one good dominating set; none addresses schedule lifetime — the paper's gap",
+		"Luby MIS terminates in O(log n) rounds and is a constant-factor dominating set on unit disk graphs",
+		"the span-based distributed greedy tracks the centralized greedy's size at higher round cost",
+		"LP-rounding runs in 3 rounds flat (Kuhn–Wattenhofer's constant-time regime) at an O(log Δ) size factor")
+	return t
+}

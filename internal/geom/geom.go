@@ -1,0 +1,144 @@
+// Package geom provides the 2-D geometry substrate for unit disk graph
+// construction: point sets, uniform random deployments, and a grid-bucket
+// spatial index that answers radius queries in expected O(1) per reported
+// neighbor. The paper's motivating network family is the unit disk graph
+// (UDG): nodes are points in the plane and an edge exists iff the Euclidean
+// distance is at most the communication radius.
+package geom
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// Point is a point in the plane.
+type Point struct {
+	X, Y float64
+}
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// Dist2 returns the squared Euclidean distance (avoids Sqrt in comparisons).
+func (p Point) Dist2(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return dx*dx + dy*dy
+}
+
+// UniformDeployment scatters n points uniformly at random in the
+// side×side square.
+func UniformDeployment(n int, side float64, src *rng.Source) []Point {
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{X: src.Float64() * side, Y: src.Float64() * side}
+	}
+	return pts
+}
+
+// ClusteredDeployment scatters n points around k uniformly placed cluster
+// centers with Gaussian spread sigma, clamped into the side×side square.
+// This models the non-uniform sensor deployments (e.g. air-dropped clusters)
+// that make per-node degree δ_v vary widely — the regime where Algorithm 1's
+// use of the local 2-hop minimum degree matters.
+func ClusteredDeployment(n, k int, side, sigma float64, src *rng.Source) []Point {
+	if k <= 0 {
+		panic("geom: ClusteredDeployment needs k >= 1")
+	}
+	centers := UniformDeployment(k, side, src)
+	pts := make([]Point, n)
+	for i := range pts {
+		c := centers[src.Intn(k)]
+		pts[i] = Point{
+			X: clamp(c.X+src.NormFloat64()*sigma, 0, side),
+			Y: clamp(c.Y+src.NormFloat64()*sigma, 0, side),
+		}
+	}
+	return pts
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// GridIndex is a uniform-grid spatial index over a point set with a fixed
+// query radius. Cells have side length equal to the radius, so a radius
+// query inspects at most the 3×3 block of cells around the query point.
+type GridIndex struct {
+	pts    []Point
+	radius float64
+	cell   float64
+	cols   int
+	rows   int
+	bucket map[int][]int32 // cell id -> point indices
+}
+
+// NewGridIndex builds an index over pts for queries at exactly radius.
+// It panics if radius <= 0.
+func NewGridIndex(pts []Point, radius float64) *GridIndex {
+	if radius <= 0 {
+		panic(fmt.Sprintf("geom: non-positive radius %v", radius))
+	}
+	idx := &GridIndex{
+		pts:    pts,
+		radius: radius,
+		cell:   radius,
+		bucket: make(map[int][]int32),
+	}
+	maxX, maxY := 0.0, 0.0
+	for _, p := range pts {
+		if p.X > maxX {
+			maxX = p.X
+		}
+		if p.Y > maxY {
+			maxY = p.Y
+		}
+	}
+	idx.cols = int(maxX/idx.cell) + 1
+	idx.rows = int(maxY/idx.cell) + 1
+	for i, p := range pts {
+		id := idx.cellID(p)
+		idx.bucket[id] = append(idx.bucket[id], int32(i))
+	}
+	return idx
+}
+
+func (g *GridIndex) cellID(p Point) int {
+	cx := int(p.X / g.cell)
+	cy := int(p.Y / g.cell)
+	return cy*g.cols + cx
+}
+
+// Within returns the indices of all points within radius of pts[i],
+// excluding i itself. Order is unspecified.
+func (g *GridIndex) Within(i int) []int32 {
+	p := g.pts[i]
+	r2 := g.radius * g.radius
+	cx := int(p.X / g.cell)
+	cy := int(p.Y / g.cell)
+	var out []int32
+	for dy := -1; dy <= 1; dy++ {
+		for dx := -1; dx <= 1; dx++ {
+			x, y := cx+dx, cy+dy
+			if x < 0 || y < 0 || x >= g.cols || y >= g.rows {
+				continue
+			}
+			for _, j := range g.bucket[y*g.cols+x] {
+				if int(j) != i && p.Dist2(g.pts[j]) <= r2 {
+					out = append(out, j)
+				}
+			}
+		}
+	}
+	return out
+}

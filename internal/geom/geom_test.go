@@ -1,0 +1,148 @@
+package geom
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestDist(t *testing.T) {
+	p := Point{0, 0}
+	q := Point{3, 4}
+	if d := p.Dist(q); d != 5 {
+		t.Fatalf("dist = %v, want 5", d)
+	}
+	if d2 := p.Dist2(q); d2 != 25 {
+		t.Fatalf("dist2 = %v, want 25", d2)
+	}
+}
+
+func TestUniformDeploymentBounds(t *testing.T) {
+	src := rng.New(1)
+	pts := UniformDeployment(500, 10, src)
+	if len(pts) != 500 {
+		t.Fatalf("len = %d", len(pts))
+	}
+	for _, p := range pts {
+		if p.X < 0 || p.X >= 10 || p.Y < 0 || p.Y >= 10 {
+			t.Fatalf("point %v outside square", p)
+		}
+	}
+}
+
+func TestClusteredDeploymentBounds(t *testing.T) {
+	src := rng.New(2)
+	pts := ClusteredDeployment(300, 5, 10, 0.5, src)
+	for _, p := range pts {
+		if p.X < 0 || p.X > 10 || p.Y < 0 || p.Y > 10 {
+			t.Fatalf("point %v outside square", p)
+		}
+	}
+}
+
+func TestClusteredDeploymentPanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("k=0 did not panic")
+		}
+	}()
+	ClusteredDeployment(10, 0, 1, 0.1, rng.New(1))
+}
+
+// bruteWithin is the O(n) reference for GridIndex.Within.
+func bruteWithin(pts []Point, i int, r float64) []int32 {
+	var out []int32
+	for j, q := range pts {
+		if j != i && pts[i].Dist(q) <= r {
+			out = append(out, int32(j))
+		}
+	}
+	return out
+}
+
+func TestGridIndexMatchesBruteForce(t *testing.T) {
+	src := rng.New(3)
+	for _, n := range []int{1, 2, 10, 200} {
+		pts := UniformDeployment(n, 5, src)
+		const r = 0.8
+		idx := NewGridIndex(pts, r)
+		for i := range pts {
+			got := idx.Within(i)
+			want := bruteWithin(pts, i, r)
+			sortInt32(got)
+			sortInt32(want)
+			if len(got) != len(want) {
+				t.Fatalf("n=%d i=%d: got %v want %v", n, i, got, want)
+			}
+			for k := range want {
+				if got[k] != want[k] {
+					t.Fatalf("n=%d i=%d: got %v want %v", n, i, got, want)
+				}
+			}
+		}
+	}
+}
+
+func sortInt32(s []int32) {
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+}
+
+func TestGridIndexBoundaryDistance(t *testing.T) {
+	// Two points at exactly the radius must be neighbors (<=, not <).
+	pts := []Point{{0, 0}, {1, 0}}
+	idx := NewGridIndex(pts, 1)
+	if got := idx.Within(0); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("Within(0) = %v, want [1]", got)
+	}
+	// Slightly beyond radius: not neighbors.
+	pts2 := []Point{{0, 0}, {1 + 1e-9, 0}}
+	idx2 := NewGridIndex(pts2, 1)
+	if got := idx2.Within(0); len(got) != 0 {
+		t.Fatalf("Within(0) = %v, want empty", got)
+	}
+}
+
+func TestGridIndexPanicsOnBadRadius(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("radius 0 did not panic")
+		}
+	}()
+	NewGridIndex([]Point{{0, 0}}, 0)
+}
+
+func TestGridIndexCoincidentPoints(t *testing.T) {
+	pts := []Point{{1, 1}, {1, 1}, {1, 1}}
+	idx := NewGridIndex(pts, 0.5)
+	for i := range pts {
+		if got := idx.Within(i); len(got) != 2 {
+			t.Fatalf("Within(%d) = %v, want 2 coincident neighbors", i, got)
+		}
+	}
+}
+
+func TestGridIndexDeterministicAcrossSeeds(t *testing.T) {
+	a := UniformDeployment(50, 3, rng.New(11))
+	b := UniformDeployment(50, 3, rng.New(11))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("deployment not reproducible for the same seed")
+		}
+	}
+}
+
+func TestDistSymmetryProperty(t *testing.T) {
+	src := rng.New(9)
+	for i := 0; i < 100; i++ {
+		p := Point{src.Float64() * 100, src.Float64() * 100}
+		q := Point{src.Float64() * 100, src.Float64() * 100}
+		if math.Abs(p.Dist(q)-q.Dist(p)) > 1e-12 {
+			t.Fatalf("distance asymmetric for %v, %v", p, q)
+		}
+		if p.Dist(p) != 0 {
+			t.Fatalf("self distance non-zero for %v", p)
+		}
+	}
+}

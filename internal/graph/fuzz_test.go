@@ -1,0 +1,36 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadEdgeList checks that arbitrary input never panics the parser and
+// that successfully parsed graphs always validate and round-trip.
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add("n 3\n0 1\n1 2\n")
+	f.Add("# comment\nn 0\n")
+	f.Add("n 2\n0 1")
+	f.Add("")
+	f.Add("n 5\n4 0\n# x\n\n3 2\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := ReadEdgeList(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("parsed graph invalid: %v\ninput: %q", err, input)
+		}
+		var sb strings.Builder
+		if err := WriteEdgeList(&sb, g); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadEdgeList(strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if back.N() != g.N() || back.M() != g.M() {
+			t.Fatalf("round trip changed size: %v vs %v", back, g)
+		}
+	})
+}

@@ -1,0 +1,91 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestRandomEdgeInsertionInvariants: inserting an arbitrary simple edge set
+// keeps the graph valid, with degree sum equal to 2M.
+func TestRandomEdgeInsertionInvariants(t *testing.T) {
+	prop := func(pairs []uint16) bool {
+		const n = 32
+		g := New(n)
+		for _, p := range pairs {
+			u := int(p>>8) % n
+			v := int(p&0xff) % n
+			g.AddEdgeIfAbsent(u, v)
+		}
+		if g.Validate() != nil {
+			return false
+		}
+		sum := 0
+		for v := 0; v < n; v++ {
+			sum += g.Degree(v)
+		}
+		return sum == 2*g.M()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTwoHopMinLowerBoundsProperty: δ²_v ≤ δ_v always, and
+// min_v δ²_v == δ (the two-hop minimum can never undercut the global
+// minimum by more than reaching it).
+func TestTwoHopMinLowerBoundsProperty(t *testing.T) {
+	prop := func(pairs []uint16) bool {
+		const n = 24
+		g := New(n)
+		for _, p := range pairs {
+			g.AddEdgeIfAbsent(int(p>>8)%n, int(p&0xff)%n)
+		}
+		d2 := g.TwoHopMinDegree()
+		min2 := d2[0]
+		for v := 0; v < n; v++ {
+			if d2[v] > g.Degree(v) {
+				return false
+			}
+			if d2[v] < min2 {
+				min2 = d2[v]
+			}
+		}
+		return min2 == g.MinDegree()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBFSTriangleInequalityProperty: BFS distances satisfy
+// |d(s,u) - d(s,v)| <= 1 across every edge {u,v}.
+func TestBFSTriangleInequalityProperty(t *testing.T) {
+	prop := func(pairs []uint16, srcBits uint8) bool {
+		const n = 20
+		g := New(n)
+		for _, p := range pairs {
+			g.AddEdgeIfAbsent(int(p>>8)%n, int(p&0xff)%n)
+		}
+		dist := g.BFS(int(srcBits) % n)
+		ok := true
+		g.Edges(func(u, v int) {
+			du, dv := dist[u], dist[v]
+			if (du == -1) != (dv == -1) {
+				ok = false
+			} else if du != -1 && abs(du-dv) > 1 {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,157 @@
+// Package lp implements a dense-tableau primal simplex solver for linear
+// programs in the canonical packing form
+//
+//	maximize    c·x
+//	subject to  A x ≤ b,  x ≥ 0,  with b ≥ 0.
+//
+// The restriction b ≥ 0 means the all-slack basis is feasible and no Phase I
+// is required; every LP the repository solves (fractional Maximum
+// Cluster-Lifetime: pack dominating sets against battery budgets) has this
+// form. Pivoting uses Bland's rule, which precludes cycling at the cost of
+// speed — fine for the instance sizes of the exact experiments.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrUnbounded is returned when the LP has unbounded objective value.
+var ErrUnbounded = errors.New("lp: unbounded objective")
+
+const eps = 1e-9
+
+// Problem is a packing LP: maximize c·x subject to a·x ≤ b, x ≥ 0.
+// All entries of b must be non-negative. Construct with NewProblem.
+type Problem struct {
+	c []float64
+	a [][]float64
+	b []float64
+}
+
+// NewProblem builds a Problem with the given objective c, constraint matrix
+// a (rows are constraints), and right-hand side b. It validates dimensions
+// and the b ≥ 0 requirement.
+func NewProblem(c []float64, a [][]float64, b []float64) (*Problem, error) {
+	if len(a) != len(b) {
+		return nil, fmt.Errorf("lp: %d constraint rows but %d bounds", len(a), len(b))
+	}
+	for i, row := range a {
+		if len(row) != len(c) {
+			return nil, fmt.Errorf("lp: row %d has %d entries, want %d", i, len(row), len(c))
+		}
+	}
+	for i, v := range b {
+		if v < 0 {
+			return nil, fmt.Errorf("lp: negative bound b[%d] = %v (packing form requires b >= 0)", i, v)
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("lp: non-finite bound b[%d] = %v", i, v)
+		}
+	}
+	return &Problem{c: c, a: a, b: b}, nil
+}
+
+// Solution is the result of Solve: the optimal objective value, an optimal
+// assignment X, and the dual values Y (one per constraint; at optimum these
+// are the bottom-row coefficients under the slack columns). The duals drive
+// the column-generation pricing in package exact.
+type Solution struct {
+	Value float64
+	X     []float64
+	Y     []float64
+}
+
+// Solve runs the simplex method and returns an optimal solution.
+// It returns ErrUnbounded if the objective is unbounded above.
+func (p *Problem) Solve() (*Solution, error) {
+	m := len(p.b) // constraints
+	n := len(p.c) // variables
+
+	// Tableau layout: rows 0..m-1 are constraints, row m is the objective.
+	// Columns 0..n-1 are original variables, n..n+m-1 slacks, n+m is RHS.
+	width := n + m + 1
+	t := make([][]float64, m+1)
+	for i := 0; i < m; i++ {
+		t[i] = make([]float64, width)
+		copy(t[i], p.a[i])
+		t[i][n+i] = 1
+		t[i][width-1] = p.b[i]
+	}
+	t[m] = make([]float64, width)
+	for j, v := range p.c {
+		t[m][j] = -v // maximize: negate into the bottom row
+	}
+
+	basis := make([]int, m)
+	for i := range basis {
+		basis[i] = n + i
+	}
+
+	for iter := 0; ; iter++ {
+		if iter > 50000 {
+			return nil, errors.New("lp: iteration limit exceeded")
+		}
+		// Bland's rule: entering variable = lowest index with negative
+		// reduced cost.
+		col := -1
+		for j := 0; j < n+m; j++ {
+			if t[m][j] < -eps {
+				col = j
+				break
+			}
+		}
+		if col == -1 {
+			break // optimal
+		}
+		// Ratio test; Bland tie-break on lowest basis index.
+		row := -1
+		bestRatio := math.Inf(1)
+		for i := 0; i < m; i++ {
+			if t[i][col] > eps {
+				ratio := t[i][width-1] / t[i][col]
+				if ratio < bestRatio-eps || (ratio < bestRatio+eps && (row == -1 || basis[i] < basis[row])) {
+					bestRatio = ratio
+					row = i
+				}
+			}
+		}
+		if row == -1 {
+			return nil, ErrUnbounded
+		}
+		pivot(t, row, col)
+		basis[row] = col
+	}
+
+	sol := &Solution{X: make([]float64, n), Y: make([]float64, m)}
+	for i, bi := range basis {
+		if bi < n {
+			sol.X[bi] = t[i][width-1]
+		}
+	}
+	for i := 0; i < m; i++ {
+		sol.Y[i] = t[m][n+i]
+	}
+	sol.Value = t[m][width-1]
+	return sol, nil
+}
+
+func pivot(t [][]float64, row, col int) {
+	pv := t[row][col]
+	for j := range t[row] {
+		t[row][j] /= pv
+	}
+	for i := range t {
+		if i == row {
+			continue
+		}
+		f := t[i][col]
+		if f == 0 {
+			continue
+		}
+		for j := range t[i] {
+			t[i][j] -= f * t[row][j]
+		}
+	}
+}

@@ -1,0 +1,237 @@
+package lp
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func solveOK(t *testing.T, c []float64, a [][]float64, b []float64) *Solution {
+	t.Helper()
+	p, err := NewProblem(c, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sol
+}
+
+func TestSimpleTwoVariable(t *testing.T) {
+	// max 3x + 2y s.t. x + y <= 4, x + 3y <= 6 → optimum at (4, 0), value 12.
+	sol := solveOK(t, []float64{3, 2}, [][]float64{{1, 1}, {1, 3}}, []float64{4, 6})
+	if math.Abs(sol.Value-12) > 1e-6 {
+		t.Fatalf("value = %v, want 12", sol.Value)
+	}
+	if math.Abs(sol.X[0]-4) > 1e-6 || math.Abs(sol.X[1]) > 1e-6 {
+		t.Fatalf("x = %v, want (4, 0)", sol.X)
+	}
+}
+
+func TestClassicDiet(t *testing.T) {
+	// max 5x + 4y s.t. 6x + 4y <= 24, x + 2y <= 6 → (3, 1.5), value 21.
+	sol := solveOK(t, []float64{5, 4}, [][]float64{{6, 4}, {1, 2}}, []float64{24, 6})
+	if math.Abs(sol.Value-21) > 1e-6 {
+		t.Fatalf("value = %v, want 21", sol.Value)
+	}
+}
+
+func TestDegenerateDoesNotCycle(t *testing.T) {
+	// Beale's classic cycling example (scaled): Bland's rule must terminate.
+	c := []float64{0.75, -150, 0.02, -6}
+	a := [][]float64{
+		{0.25, -60, -0.04, 9},
+		{0.5, -90, -0.02, 3},
+		{0, 0, 1, 0},
+	}
+	b := []float64{0, 0, 1}
+	sol := solveOK(t, c, a, b)
+	if math.Abs(sol.Value-0.05) > 1e-6 {
+		t.Fatalf("value = %v, want 0.05", sol.Value)
+	}
+}
+
+func TestDualValues(t *testing.T) {
+	// max 3x + 2y s.t. x + y <= 4, x + 3y <= 6: dual optimum y = (3, 0)
+	// with dual objective 4·3 + 6·0 = 12 = primal value (strong duality).
+	sol := solveOK(t, []float64{3, 2}, [][]float64{{1, 1}, {1, 3}}, []float64{4, 6})
+	if math.Abs(sol.Y[0]-3) > 1e-6 || math.Abs(sol.Y[1]) > 1e-6 {
+		t.Fatalf("duals = %v, want (3, 0)", sol.Y)
+	}
+	dualObj := 4*sol.Y[0] + 6*sol.Y[1]
+	if math.Abs(dualObj-sol.Value) > 1e-6 {
+		t.Fatalf("strong duality violated: dual %v vs primal %v", dualObj, sol.Value)
+	}
+}
+
+func TestDualFeasibilityProperty(t *testing.T) {
+	// On random packing LPs the duals must be (near) non-negative and
+	// satisfy strong duality.
+	src := rng.New(77)
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + src.Intn(5)
+		m := 1 + src.Intn(5)
+		c := make([]float64, n)
+		for j := range c {
+			c[j] = src.Float64() * 10
+		}
+		a := make([][]float64, m+1)
+		b := make([]float64, m+1)
+		for i := 0; i < m; i++ {
+			a[i] = make([]float64, n)
+			for j := range a[i] {
+				a[i][j] = src.Float64() * 5
+			}
+			b[i] = src.Float64() * 20
+		}
+		sum := make([]float64, n)
+		for j := range sum {
+			sum[j] = 1
+		}
+		a[m], b[m] = sum, 100 // boundedness
+		p, err := NewProblem(c, a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sol, err := p.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		dualObj := 0.0
+		for i, y := range sol.Y {
+			if y < -1e-7 {
+				t.Fatalf("trial %d: negative dual y[%d] = %v", trial, i, y)
+			}
+			dualObj += b[i] * y
+		}
+		if math.Abs(dualObj-sol.Value) > 1e-5*(1+math.Abs(sol.Value)) {
+			t.Fatalf("trial %d: dual %v vs primal %v", trial, dualObj, sol.Value)
+		}
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	// max x with no binding constraint on x.
+	p, err := NewProblem([]float64{1, 0}, [][]float64{{0, 1}}, []float64{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Solve(); err != ErrUnbounded {
+		t.Fatalf("err = %v, want ErrUnbounded", err)
+	}
+}
+
+func TestZeroObjective(t *testing.T) {
+	sol := solveOK(t, []float64{0, 0}, [][]float64{{1, 1}}, []float64{3})
+	if sol.Value != 0 {
+		t.Fatalf("value = %v, want 0", sol.Value)
+	}
+}
+
+func TestNoConstraintsZeroOptimal(t *testing.T) {
+	// With no constraints and a positive objective the LP is unbounded.
+	p, err := NewProblem([]float64{1}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Solve(); err != ErrUnbounded {
+		t.Fatalf("err = %v, want ErrUnbounded", err)
+	}
+	// Negative objective: optimum 0 at x = 0.
+	p2, err := NewProblem([]float64{-1}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := p2.Solve()
+	if err != nil || sol.Value != 0 {
+		t.Fatalf("sol = %v err = %v, want value 0", sol, err)
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	if _, err := NewProblem([]float64{1}, [][]float64{{1, 2}}, []float64{1}); err == nil {
+		t.Error("row width mismatch accepted")
+	}
+	if _, err := NewProblem([]float64{1}, [][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Error("row count mismatch accepted")
+	}
+	if _, err := NewProblem([]float64{1}, [][]float64{{1}}, []float64{-1}); err == nil {
+		t.Error("negative bound accepted")
+	}
+	if _, err := NewProblem([]float64{1}, [][]float64{{1}}, []float64{math.NaN()}); err == nil {
+		t.Error("NaN bound accepted")
+	}
+}
+
+func TestSolutionFeasibilityProperty(t *testing.T) {
+	// Property: on random packing LPs, the returned solution is feasible and
+	// its objective value matches c·x.
+	src := rng.New(42)
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + src.Intn(6)
+		m := 1 + src.Intn(6)
+		c := make([]float64, n)
+		for j := range c {
+			c[j] = src.Float64() * 10
+		}
+		a := make([][]float64, m)
+		b := make([]float64, m)
+		for i := range a {
+			a[i] = make([]float64, n)
+			for j := range a[i] {
+				a[i][j] = src.Float64() * 5
+			}
+			b[i] = src.Float64() * 20
+		}
+		// Ensure boundedness: add a row constraining the sum of all x.
+		sum := make([]float64, n)
+		for j := range sum {
+			sum[j] = 1
+		}
+		a = append(a, sum)
+		b = append(b, 100)
+
+		p, err := NewProblem(c, a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sol, err := p.Solve()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		dot := 0.0
+		for j, x := range sol.X {
+			if x < -1e-7 {
+				t.Fatalf("trial %d: negative x[%d] = %v", trial, j, x)
+			}
+			dot += c[j] * x
+		}
+		if math.Abs(dot-sol.Value) > 1e-6*(1+math.Abs(sol.Value)) {
+			t.Fatalf("trial %d: c·x = %v but Value = %v", trial, dot, sol.Value)
+		}
+		for i := 0; i < len(a); i++ {
+			lhs := 0.0
+			for j := range sol.X {
+				lhs += a[i][j] * sol.X[j]
+			}
+			if lhs > b[i]+1e-6 {
+				t.Fatalf("trial %d: constraint %d violated: %v > %v", trial, i, lhs, b[i])
+			}
+		}
+	}
+}
+
+func TestKnapsackRelaxation(t *testing.T) {
+	// max 10a + 6b + 4c s.t. a+b+c <= 100, 10a+4b+5c <= 600, 2a+2b+6c <= 300
+	// Known optimum ≈ 733.33 at (33.33, 66.67, 0).
+	sol := solveOK(t,
+		[]float64{10, 6, 4},
+		[][]float64{{1, 1, 1}, {10, 4, 5}, {2, 2, 6}},
+		[]float64{100, 600, 300})
+	if math.Abs(sol.Value-2200.0/3) > 1e-4 {
+		t.Fatalf("value = %v, want %v", sol.Value, 2200.0/3)
+	}
+}

@@ -1,0 +1,144 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/rng"
+)
+
+func deployment(n int, side float64, seed uint64) []geom.Point {
+	return geom.UniformDeployment(n, side, rng.New(seed))
+}
+
+func TestBuildUniform(t *testing.T) {
+	p, err := Build(Spec{
+		Points:    deployment(150, 10, 1),
+		Radius:    3,
+		Batteries: []int{4},
+		Seed:      7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(p.Algorithm, "Algorithm 1") {
+		t.Fatalf("algorithm = %q, want Algorithm 1", p.Algorithm)
+	}
+	if p.Schedule.Lifetime() < 4 {
+		t.Fatalf("lifetime %d below the trivial b", p.Schedule.Lifetime())
+	}
+	if p.Schedule.Lifetime() > p.UpperBound {
+		t.Fatal("lifetime beats the bound")
+	}
+	var sb strings.Builder
+	if err := p.WriteReport(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "lifetime:") {
+		t.Fatalf("report missing lifetime:\n%s", sb.String())
+	}
+}
+
+func TestBuildGeneral(t *testing.T) {
+	src := rng.New(2)
+	pts := deployment(120, 9, 3)
+	batteries := make([]int, len(pts))
+	for i := range batteries {
+		batteries[i] = 2 + src.Intn(5)
+	}
+	p, err := Build(Spec{Points: pts, Radius: 3, Batteries: batteries, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(p.Algorithm, "Algorithm 2") {
+		t.Fatalf("algorithm = %q, want Algorithm 2", p.Algorithm)
+	}
+}
+
+func TestBuildKTolerant(t *testing.T) {
+	p, err := Build(Spec{
+		Points:    deployment(200, 8, 4),
+		Radius:    3,
+		Batteries: []int{4},
+		Tolerance: 2,
+		Seed:      11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(p.Algorithm, "Algorithm 3") {
+		t.Fatalf("algorithm = %q, want Algorithm 3", p.Algorithm)
+	}
+	if err := p.Schedule.Validate(p.Graph, p.Batteries, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildSqueeze(t *testing.T) {
+	spec := Spec{
+		Points:    deployment(150, 8, 5),
+		Radius:    3,
+		Batteries: []int{4},
+		Seed:      13,
+	}
+	raw, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Squeeze = true
+	squeezed, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if squeezed.Schedule.Lifetime() < raw.Schedule.Lifetime() {
+		t.Fatalf("squeeze shortened the plan: %d vs %d",
+			squeezed.Schedule.Lifetime(), raw.Schedule.Lifetime())
+	}
+	if !strings.Contains(squeezed.Algorithm, "squeeze") {
+		t.Fatalf("algorithm label %q missing squeeze marker", squeezed.Algorithm)
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	pts := deployment(20, 5, 6)
+	cases := map[string]Spec{
+		"no nodes":             {Radius: 1, Batteries: []int{1}},
+		"bad radius":           {Points: pts, Radius: 0, Batteries: []int{1}},
+		"no batteries":         {Points: pts, Radius: 2},
+		"negative battery":     {Points: pts, Radius: 2, Batteries: []int{-1}},
+		"battery len mismatch": {Points: pts, Radius: 2, Batteries: []int{1, 2}},
+		"tolerance infeasible": {Points: pts, Radius: 0.01, Batteries: []int{2}, Tolerance: 3},
+	}
+	for name, spec := range cases {
+		if _, err := Build(spec); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestBuildNonUniformToleranceRejected(t *testing.T) {
+	pts := deployment(30, 5, 7)
+	b := make([]int, len(pts))
+	for i := range b {
+		b[i] = 1 + i%3
+	}
+	if _, err := Build(Spec{Points: pts, Radius: 3, Batteries: b, Tolerance: 2}); err == nil {
+		t.Fatal("non-uniform batteries with k > 1 accepted")
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	spec := Spec{Points: deployment(100, 8, 8), Radius: 3, Batteries: []int{3}, Seed: 21}
+	a, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Schedule.String() != b.Schedule.String() {
+		t.Fatal("plans differ for identical specs")
+	}
+}

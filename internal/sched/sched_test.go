@@ -1,0 +1,143 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/rng"
+)
+
+func uniformB(n, b int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = b
+	}
+	return out
+}
+
+func TestMinimalizePreservesLifetimeAndValidity(t *testing.T) {
+	g := gen.GNP(100, 0.25, rng.New(1))
+	const b = 3
+	s := core.UniformWHP(g, b, core.Options{K: 3, Src: rng.New(2)}, 20)
+	m := Minimalize(g, s, 1)
+	if m.Lifetime() != s.Lifetime() {
+		t.Fatalf("minimalize changed lifetime: %d vs %d", m.Lifetime(), s.Lifetime())
+	}
+	if err := m.Validate(g, uniformB(g.N(), b), 1); err != nil {
+		t.Fatal(err)
+	}
+	// Usage can only go down.
+	before, after := s.Usage(g.N()), m.Usage(g.N())
+	for v := range before {
+		if after[v] > before[v] {
+			t.Fatalf("node %d usage grew: %d -> %d", v, before[v], after[v])
+		}
+	}
+	// And should go down somewhere on a dense graph (classes are fat).
+	saved := 0
+	for v := range before {
+		saved += before[v] - after[v]
+	}
+	if saved == 0 {
+		t.Error("minimalize freed no budget on a dense graph — suspicious")
+	}
+}
+
+func TestMinimalizeKeepsPhasesKDominating(t *testing.T) {
+	g := gen.Complete(10)
+	s := &core.Schedule{Phases: []core.Phase{{Set: []int{0, 1, 2, 3, 4}, Duration: 1}}}
+	m := Minimalize(g, s, 2)
+	if err := m.Validate(g, uniformB(10, 5), 2); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Phases[0].Set) != 2 {
+		t.Fatalf("minimal 2-dominating subset of K10 phase = %v, want size 2", m.Phases[0].Set)
+	}
+}
+
+func TestMinimalizeLeavesNonDominatingPhasesAlone(t *testing.T) {
+	g := gen.Path(5)
+	s := &core.Schedule{Phases: []core.Phase{{Set: []int{0}, Duration: 1}}}
+	m := Minimalize(g, s, 1)
+	if len(m.Phases[0].Set) != 1 || m.Phases[0].Set[0] != 0 {
+		t.Fatalf("non-dominating phase altered: %v", m.Phases[0].Set)
+	}
+}
+
+func TestExtendFromEmptySchedule(t *testing.T) {
+	g := gen.Path(3)
+	s := Extend(g, &core.Schedule{}, []int{2, 2, 2}, 1)
+	// Optimal is 4 ({1}×2 then {0,2}×2); greedy extension reaches it here.
+	if s.Lifetime() != 4 {
+		t.Fatalf("extended lifetime = %d, want 4", s.Lifetime())
+	}
+	if err := s.Validate(g, []int{2, 2, 2}, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExtendNeverShortens(t *testing.T) {
+	g := gen.GNP(60, 0.3, rng.New(3))
+	const b = 3
+	s := core.UniformWHP(g, b, core.Options{K: 3, Src: rng.New(4)}, 20)
+	e := Extend(g, s, uniformB(g.N(), b), 1)
+	if e.Lifetime() < s.Lifetime() {
+		t.Fatalf("extend shortened: %d -> %d", s.Lifetime(), e.Lifetime())
+	}
+	if err := e.Validate(g, uniformB(g.N(), b), 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExtendPanicsOnOverdrawnInput(t *testing.T) {
+	g := gen.Path(3)
+	s := &core.Schedule{Phases: []core.Phase{{Set: []int{1}, Duration: 5}}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("overdrawn schedule did not panic")
+		}
+	}()
+	Extend(g, s, []int{1, 1, 1}, 1)
+}
+
+func TestSqueezeBeatsRawSchedule(t *testing.T) {
+	// On a dense graph the randomized schedule leaves most budget unused;
+	// Squeeze must recover a significant amount.
+	g := gen.GNP(150, 0.3, rng.New(5))
+	const b = 4
+	raw := core.UniformWHP(g, b, core.Options{K: 3, Src: rng.New(6)}, 20)
+	sq := Squeeze(g, raw, uniformB(g.N(), b), 1)
+	if err := sq.Validate(g, uniformB(g.N(), b), 1); err != nil {
+		t.Fatal(err)
+	}
+	if sq.Lifetime() < 2*raw.Lifetime() {
+		t.Fatalf("squeeze gained too little: %d -> %d", raw.Lifetime(), sq.Lifetime())
+	}
+	if ub := core.UniformUpperBound(g, b); sq.Lifetime() > ub {
+		t.Fatalf("squeezed lifetime %d beats the Lemma 4.1 bound %d", sq.Lifetime(), ub)
+	}
+}
+
+func TestSqueezeKTolerant(t *testing.T) {
+	g := gen.GNP(120, 0.4, rng.New(7))
+	const b, k = 4, 2
+	raw := core.FaultTolerantWHP(g, b, k, core.Options{K: 3, Src: rng.New(8)}, 20)
+	sq := Squeeze(g, raw, uniformB(g.N(), b), k)
+	if err := sq.Validate(g, uniformB(g.N(), b), k); err != nil {
+		t.Fatal(err)
+	}
+	if sq.Lifetime() < raw.Lifetime() {
+		t.Fatalf("squeeze shortened k-tolerant schedule: %d -> %d", raw.Lifetime(), sq.Lifetime())
+	}
+}
+
+func TestSqueezeBadArgsPanics(t *testing.T) {
+	g := gen.Path(3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("k=0 did not panic")
+		}
+	}()
+	Squeeze(g, &core.Schedule{}, []int{1, 1, 1}, 0)
+}

@@ -1,0 +1,222 @@
+package sensim
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/gen"
+	"repro/internal/rng"
+)
+
+func TestRunPerfectSchedule(t *testing.T) {
+	// P3, b=2: {1}×2 then {0,2}×2 → achieved lifetime 4, no violation.
+	g := gen.Path(3)
+	net := energy.NewNetwork(g, energy.Uniform(g, 2))
+	s := &core.Schedule{Phases: []core.Phase{
+		{Set: []int{1}, Duration: 2},
+		{Set: []int{0, 2}, Duration: 2},
+	}}
+	res := Run(net, s, Options{K: 1})
+	if res.AchievedLifetime != 4 {
+		t.Fatalf("achieved = %d, want 4", res.AchievedLifetime)
+	}
+	if res.FirstViolation != -1 {
+		t.Fatalf("violation at %d, want none", res.FirstViolation)
+	}
+	if res.EnergySpent != 6 {
+		t.Fatalf("energy = %d, want 6", res.EnergySpent)
+	}
+	if res.ReportsDelivered != 4*3 {
+		t.Fatalf("reports = %d, want 12", res.ReportsDelivered)
+	}
+	if !Verify(res) {
+		t.Fatal("result fails self-verification")
+	}
+}
+
+func TestRunDetectsViolation(t *testing.T) {
+	g := gen.Path(3)
+	net := energy.NewNetwork(g, energy.Uniform(g, 5))
+	s := &core.Schedule{Phases: []core.Phase{
+		{Set: []int{1}, Duration: 1},
+		{Set: []int{0}, Duration: 1}, // leaves node 2 uncovered
+		{Set: []int{1}, Duration: 1},
+	}}
+	res := Run(net, s, Options{K: 1})
+	if res.AchievedLifetime != 1 {
+		t.Fatalf("achieved = %d, want 1", res.AchievedLifetime)
+	}
+	if res.FirstViolation != 1 {
+		t.Fatalf("violation at %d, want 1", res.FirstViolation)
+	}
+	if len(res.Coverage) != 3 {
+		t.Fatalf("coverage trace length %d, want 3 (ran to completion)", len(res.Coverage))
+	}
+	if !Verify(res) {
+		t.Fatal("result fails self-verification")
+	}
+}
+
+func TestRunStopAtViolation(t *testing.T) {
+	g := gen.Path(3)
+	net := energy.NewNetwork(g, energy.Uniform(g, 5))
+	s := &core.Schedule{Phases: []core.Phase{
+		{Set: []int{0}, Duration: 3}, // uncovered from slot 0
+	}}
+	res := Run(net, s, Options{K: 1, StopAtViolation: true})
+	if len(res.Coverage) != 1 || res.FirstViolation != 0 {
+		t.Fatalf("res = %+v, want stop after slot 0", res)
+	}
+}
+
+func TestRunOutOfBudgetNodesStopServing(t *testing.T) {
+	// Node 1 has budget 1 but is scheduled for 3 slots: from slot 1 on it
+	// cannot serve and coverage collapses.
+	g := gen.Path(3)
+	net := energy.NewNetwork(g, []int{5, 1, 5})
+	s := &core.Schedule{Phases: []core.Phase{{Set: []int{1}, Duration: 3}}}
+	res := Run(net, s, Options{K: 1})
+	if res.AchievedLifetime != 1 {
+		t.Fatalf("achieved = %d, want 1", res.AchievedLifetime)
+	}
+	if res.EnergySpent != 1 {
+		t.Fatalf("energy = %d, want 1", res.EnergySpent)
+	}
+}
+
+func TestRunWithFailures(t *testing.T) {
+	// K4 with schedule {0}×2; node 0 dies at slot 1 → slot 1 uncovered.
+	g := gen.Complete(4)
+	net := energy.NewNetwork(g, energy.Uniform(g, 5))
+	s := &core.Schedule{Phases: []core.Phase{{Set: []int{0}, Duration: 2}}}
+	res := Run(net, s, Options{
+		K:        1,
+		Failures: energy.FailurePlan{{Time: 1, Node: 0}},
+	})
+	if res.Deaths != 1 {
+		t.Fatalf("deaths = %d, want 1", res.Deaths)
+	}
+	if res.AchievedLifetime != 1 || res.FirstViolation != 1 {
+		t.Fatalf("achieved %d violation %d, want 1 and 1", res.AchievedLifetime, res.FirstViolation)
+	}
+}
+
+func TestRunKTolerantSurvivesFailure(t *testing.T) {
+	// K4 with a 2-dominating schedule {0,1}×2; node 0 dies at slot 1.
+	// Coverage at k=1 still holds via node 1.
+	g := gen.Complete(4)
+	net := energy.NewNetwork(g, energy.Uniform(g, 5))
+	s := &core.Schedule{Phases: []core.Phase{{Set: []int{0, 1}, Duration: 2}}}
+	res := Run(net, s, Options{
+		K:        1,
+		Failures: energy.FailurePlan{{Time: 1, Node: 0}},
+	})
+	if res.FirstViolation != -1 {
+		t.Fatalf("violation at %d, want none (redundancy should absorb the death)", res.FirstViolation)
+	}
+	if res.AchievedLifetime != 2 {
+		t.Fatalf("achieved = %d, want 2", res.AchievedLifetime)
+	}
+}
+
+func TestRunDeadNodesNeedNoCoverage(t *testing.T) {
+	// P3: node 2 dies at slot 0; {0} then dominates the alive subgraph
+	// {0, 1}.
+	g := gen.Path(3)
+	net := energy.NewNetwork(g, energy.Uniform(g, 5))
+	s := &core.Schedule{Phases: []core.Phase{{Set: []int{0}, Duration: 1}}}
+	res := Run(net, s, Options{
+		K:        1,
+		Failures: energy.FailurePlan{{Time: 0, Node: 2}},
+	})
+	if res.FirstViolation != -1 {
+		t.Fatalf("violation at %d, want none", res.FirstViolation)
+	}
+}
+
+func TestRunKDominationRequirement(t *testing.T) {
+	g := gen.Complete(4)
+	net := energy.NewNetwork(g, energy.Uniform(g, 5))
+	s := &core.Schedule{Phases: []core.Phase{{Set: []int{0}, Duration: 1}}}
+	res := Run(net, s, Options{K: 2})
+	if res.FirstViolation != 0 {
+		t.Fatal("single server cannot 2-dominate; expected immediate violation")
+	}
+}
+
+func TestNaiveAllOn(t *testing.T) {
+	s := NaiveAllOn(3, 2)
+	if s.Lifetime() != 2 {
+		t.Fatalf("lifetime = %d, want 2", s.Lifetime())
+	}
+	g := gen.Path(3)
+	net := energy.NewNetwork(g, energy.Uniform(g, 2))
+	res := Run(net, s, Options{K: 1})
+	if res.AchievedLifetime != 2 || res.FirstViolation != -1 {
+		t.Fatalf("naive run: %+v", res)
+	}
+	if s := NaiveAllOn(0, 5); s.Lifetime() != 0 {
+		t.Fatal("empty naive schedule should have lifetime 0")
+	}
+}
+
+func TestEndToEndUniformAlgorithmExecution(t *testing.T) {
+	// The full pipeline: Algorithm 1 schedule executed on the energy model
+	// achieves exactly its nominal lifetime.
+	g := gen.GNP(150, 0.3, rng.New(1))
+	const b = 3
+	o := core.Options{K: 3, Src: rng.New(2)}
+	s := core.UniformWHP(g, b, o, 50)
+	net := energy.NewNetwork(g, energy.Uniform(g, b))
+	res := Run(net, s, Options{K: 1})
+	if res.AchievedLifetime != s.Lifetime() {
+		t.Fatalf("achieved %d != nominal %d", res.AchievedLifetime, s.Lifetime())
+	}
+	if res.FirstViolation != -1 {
+		t.Fatalf("violation at %d", res.FirstViolation)
+	}
+}
+
+func TestResidualDominationHorizon(t *testing.T) {
+	g := gen.Path(3)
+	net := energy.NewNetwork(g, []int{1, 2, 1})
+	// min closed-neighborhood residual: node 0 → 1+2 = 3; node 2 → 2+1 = 3;
+	// node 1 → 4. Horizon = 3.
+	if h := ResidualDominationHorizon(net, 1); h != 3 {
+		t.Fatalf("horizon = %d, want 3", h)
+	}
+	if h := ResidualDominationHorizon(net, 2); h != 1 {
+		t.Fatalf("k=2 horizon = %d, want 1", h)
+	}
+	net.Kill(0)
+	// Alive nodes 1, 2: node 2's alive closed nbhd = {1,2} → 3.
+	if h := ResidualDominationHorizon(net, 1); h != 3 {
+		t.Fatalf("post-death horizon = %d, want 3", h)
+	}
+	net.Kill(1)
+	net.Kill(2)
+	if h := ResidualDominationHorizon(net, 1); h != 0 {
+		t.Fatalf("all-dead horizon = %d, want 0", h)
+	}
+}
+
+func TestAchievedNeverExceedsResidualHorizon(t *testing.T) {
+	// Property: achieved lifetime ≤ initial ResidualDominationHorizon
+	// (Lemma 5.1 in executable form).
+	src := rng.New(3)
+	for trial := 0; trial < 10; trial++ {
+		g := gen.GNP(40, 0.2, src)
+		b := make([]int, g.N())
+		for i := range b {
+			b[i] = 1 + src.Intn(4)
+		}
+		net := energy.NewNetwork(g, b)
+		horizon := ResidualDominationHorizon(net, 1)
+		s := core.GeneralWHP(g, b, core.Options{K: 3, Src: rng.New(uint64(100 + trial))}, 10)
+		res := Run(net, s, Options{K: 1})
+		if res.AchievedLifetime > horizon {
+			t.Fatalf("trial %d: achieved %d > horizon %d", trial, res.AchievedLifetime, horizon)
+		}
+	}
+}

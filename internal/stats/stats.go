@@ -1,0 +1,130 @@
+// Package stats provides the small statistical toolkit the experiment
+// harness needs: summary statistics with confidence intervals, medians,
+// histograms, and least-squares fits (used to check that measured
+// approximation ratios grow like ln n).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds the usual summary statistics of a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	Std    float64 // sample standard deviation (n-1)
+	Min    float64
+	Max    float64
+	Median float64
+}
+
+// Summarize computes the Summary of xs. It panics on an empty sample.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		panic("stats: empty sample")
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	if len(xs) > 1 {
+		ss := 0.0
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Std = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		s.Median = sorted[mid]
+	} else {
+		s.Median = (sorted[mid-1] + sorted[mid]) / 2
+	}
+	return s
+}
+
+// CI95 returns the half-width of the normal-approximation 95% confidence
+// interval of the mean: 1.96·std/√n. Zero for samples of size < 2.
+func (s Summary) CI95() float64 {
+	if s.N < 2 {
+		return 0
+	}
+	return 1.96 * s.Std / math.Sqrt(float64(s.N))
+}
+
+// String renders "mean ± ci [min, max]".
+func (s Summary) String() string {
+	return fmt.Sprintf("%.3f ± %.3f [%.3f, %.3f]", s.Mean, s.CI95(), s.Min, s.Max)
+}
+
+// Ints converts an int slice to float64 for Summarize.
+func Ints(xs []int) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = float64(x)
+	}
+	return out
+}
+
+// LinearFit returns the least-squares slope and intercept of y against x.
+// It panics if the slices differ in length or have fewer than 2 points, and
+// returns slope 0 on degenerate (constant-x) input.
+func LinearFit(x, y []float64) (slope, intercept float64) {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("stats: %d x-values but %d y-values", len(x), len(y)))
+	}
+	if len(x) < 2 {
+		panic("stats: need at least 2 points for a fit")
+	}
+	n := float64(len(x))
+	var sx, sy, sxx, sxy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+		sxx += x[i] * x[i]
+		sxy += x[i] * y[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0, sy / n
+	}
+	slope = (n*sxy - sx*sy) / den
+	intercept = (sy - slope*sx) / n
+	return slope, intercept
+}
+
+// Histogram counts xs into `bins` equal-width buckets spanning [min, max].
+// Values at max land in the last bucket. It panics for bins < 1 or an empty
+// sample.
+func Histogram(xs []float64, bins int) []int {
+	if bins < 1 {
+		panic("stats: bins must be >= 1")
+	}
+	s := Summarize(xs)
+	counts := make([]int, bins)
+	width := (s.Max - s.Min) / float64(bins)
+	for _, x := range xs {
+		i := bins - 1
+		if width > 0 {
+			i = int((x - s.Min) / width)
+			if i >= bins {
+				i = bins - 1
+			}
+		}
+		counts[i]++
+	}
+	return counts
+}

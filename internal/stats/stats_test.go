@@ -1,0 +1,115 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || !almost(s.Mean, 3) || !almost(s.Min, 1) || !almost(s.Max, 5) {
+		t.Fatalf("summary = %+v", s)
+	}
+	if !almost(s.Median, 3) {
+		t.Fatalf("median = %v, want 3", s.Median)
+	}
+	// Sample std of 1..5 is sqrt(2.5).
+	if !almost(s.Std, math.Sqrt(2.5)) {
+		t.Fatalf("std = %v, want %v", s.Std, math.Sqrt(2.5))
+	}
+}
+
+func TestSummarizeEvenMedian(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2})
+	if !almost(s.Median, 2.5) {
+		t.Fatalf("median = %v, want 2.5", s.Median)
+	}
+}
+
+func TestSummarizeSingleton(t *testing.T) {
+	s := Summarize([]float64{7})
+	if s.Std != 0 || s.CI95() != 0 || s.Median != 7 {
+		t.Fatalf("singleton summary = %+v", s)
+	}
+}
+
+func TestSummarizeEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty sample did not panic")
+		}
+	}()
+	Summarize(nil)
+}
+
+func TestCI95(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	want := 1.96 * s.Std / 2 // sqrt(4) = 2
+	if !almost(s.CI95(), want) {
+		t.Fatalf("ci = %v, want %v", s.CI95(), want)
+	}
+}
+
+func TestInts(t *testing.T) {
+	xs := Ints([]int{1, 2, 3})
+	if len(xs) != 3 || xs[2] != 3.0 {
+		t.Fatalf("Ints = %v", xs)
+	}
+}
+
+func TestLinearFitExact(t *testing.T) {
+	// y = 2x + 1 exactly.
+	x := []float64{0, 1, 2, 3}
+	y := []float64{1, 3, 5, 7}
+	slope, intercept := LinearFit(x, y)
+	if !almost(slope, 2) || !almost(intercept, 1) {
+		t.Fatalf("fit = (%v, %v), want (2, 1)", slope, intercept)
+	}
+}
+
+func TestLinearFitDegenerateX(t *testing.T) {
+	slope, intercept := LinearFit([]float64{2, 2, 2}, []float64{1, 2, 3})
+	if slope != 0 || !almost(intercept, 2) {
+		t.Fatalf("degenerate fit = (%v, %v)", slope, intercept)
+	}
+}
+
+func TestLinearFitPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched lengths did not panic")
+		}
+	}()
+	LinearFit([]float64{1}, []float64{1, 2})
+}
+
+func TestHistogram(t *testing.T) {
+	// Buckets are half-open: 0.5 lands in the second of two [0,1] buckets.
+	h := Histogram([]float64{0, 0.1, 0.5, 0.9, 1.0}, 2)
+	if h[0] != 2 || h[1] != 3 {
+		t.Fatalf("histogram = %v", h)
+	}
+	// Constant sample: everything in the last bucket (width 0).
+	h = Histogram([]float64{5, 5, 5}, 3)
+	if h[2] != 3 {
+		t.Fatalf("constant histogram = %v", h)
+	}
+}
+
+func TestHistogramPanicsOnBadBins(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bins=0 did not panic")
+		}
+	}()
+	Histogram([]float64{1}, 0)
+}
+
+func TestSummaryString(t *testing.T) {
+	s := Summarize([]float64{1, 1, 1})
+	if got := s.String(); got != "1.000 ± 0.000 [1.000, 1.000]" {
+		t.Fatalf("String() = %q", got)
+	}
+}

@@ -1,0 +1,134 @@
+// Package viz renders unit-disk deployments and schedules as standalone SVG
+// files using only the standard library — visual artifacts a downstream user
+// can open in a browser: node positions, communication edges, and the
+// dominating set of a chosen slot highlighted.
+package viz
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"repro/internal/geom"
+	"repro/internal/graph"
+)
+
+// Options controls the rendering.
+type Options struct {
+	// Width is the SVG canvas width in pixels (height scales with the
+	// deployment's aspect ratio). Zero means 640.
+	Width int
+	// NodeRadius is the dot radius in pixels. Zero means 4.
+	NodeRadius int
+	// Highlight marks a node set (e.g. the active dominating set).
+	Highlight []int
+	// Title is an optional caption.
+	Title string
+}
+
+// WriteSVG renders the deployment. pts must align with g's node IDs.
+func WriteSVG(w io.Writer, g *graph.Graph, pts []geom.Point, opt Options) error {
+	if len(pts) != g.N() {
+		return fmt.Errorf("viz: %d points for %d nodes", len(pts), g.N())
+	}
+	if opt.Width <= 0 {
+		opt.Width = 640
+	}
+	if opt.NodeRadius <= 0 {
+		opt.NodeRadius = 4
+	}
+
+	minX, minY, maxX, maxY := bounds(pts)
+	spanX, spanY := maxX-minX, maxY-minY
+	if spanX == 0 {
+		spanX = 1
+	}
+	if spanY == 0 {
+		spanY = 1
+	}
+	const margin = 16
+	scale := float64(opt.Width-2*margin) / spanX
+	height := int(spanY*scale) + 2*margin
+	px := func(p geom.Point) (float64, float64) {
+		return margin + (p.X-minX)*scale, margin + (p.Y-minY)*scale
+	}
+
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		opt.Width, height, opt.Width, height)
+	fmt.Fprintf(bw, `<rect width="100%%" height="100%%" fill="white"/>`+"\n")
+	if opt.Title != "" {
+		fmt.Fprintf(bw, `<text x="%d" y="12" font-family="monospace" font-size="11">%s</text>`+"\n",
+			margin, escape(opt.Title))
+	}
+
+	var werr error
+	g.Edges(func(u, v int) {
+		if werr != nil {
+			return
+		}
+		x1, y1 := px(pts[u])
+		x2, y2 := px(pts[v])
+		_, werr = fmt.Fprintf(bw,
+			`<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#ccc" stroke-width="0.6"/>`+"\n",
+			x1, y1, x2, y2)
+	})
+	if werr != nil {
+		return werr
+	}
+
+	marked := make(map[int]bool, len(opt.Highlight))
+	for _, v := range opt.Highlight {
+		marked[v] = true
+	}
+	for v, p := range pts {
+		x, y := px(p)
+		fill, r := "#4a90d9", opt.NodeRadius
+		if marked[v] {
+			fill, r = "#d94a4a", opt.NodeRadius+2
+		}
+		fmt.Fprintf(bw, `<circle cx="%.1f" cy="%.1f" r="%d" fill="%s"/>`+"\n", x, y, r, fill)
+	}
+	fmt.Fprintln(bw, `</svg>`)
+	return bw.Flush()
+}
+
+func bounds(pts []geom.Point) (minX, minY, maxX, maxY float64) {
+	if len(pts) == 0 {
+		return 0, 0, 1, 1
+	}
+	minX, minY = pts[0].X, pts[0].Y
+	maxX, maxY = pts[0].X, pts[0].Y
+	for _, p := range pts[1:] {
+		if p.X < minX {
+			minX = p.X
+		}
+		if p.Y < minY {
+			minY = p.Y
+		}
+		if p.X > maxX {
+			maxX = p.X
+		}
+		if p.Y > maxY {
+			maxY = p.Y
+		}
+	}
+	return minX, minY, maxX, maxY
+}
+
+func escape(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch r {
+		case '<':
+			out = append(out, []rune("&lt;")...)
+		case '>':
+			out = append(out, []rune("&gt;")...)
+		case '&':
+			out = append(out, []rune("&amp;")...)
+		default:
+			out = append(out, r)
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,55 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/geom"
+	"repro/internal/rng"
+)
+
+func TestWriteSVGBasics(t *testing.T) {
+	g, pts := gen.RandomUDG(30, 5, 1.5, rng.New(1))
+	var sb strings.Builder
+	err := WriteSVG(&sb, g, pts, Options{Highlight: []int{0, 1}, Title: "demo <udg>"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "<svg") || !strings.HasSuffix(strings.TrimSpace(out), "</svg>") {
+		t.Fatal("not a complete SVG document")
+	}
+	if strings.Count(out, "<circle") != 30 {
+		t.Fatalf("expected 30 circles, got %d", strings.Count(out, "<circle"))
+	}
+	if strings.Count(out, "<line") != g.M() {
+		t.Fatalf("expected %d lines, got %d", g.M(), strings.Count(out, "<line"))
+	}
+	if !strings.Contains(out, "#d94a4a") {
+		t.Fatal("highlight color missing")
+	}
+	if !strings.Contains(out, "demo &lt;udg&gt;") {
+		t.Fatal("title not escaped")
+	}
+}
+
+func TestWriteSVGSizeMismatch(t *testing.T) {
+	g, _ := gen.RandomUDG(5, 3, 1, rng.New(2))
+	if err := WriteSVG(&strings.Builder{}, g, []geom.Point{{X: 0, Y: 0}}, Options{}); err == nil {
+		t.Fatal("point count mismatch accepted")
+	}
+}
+
+func TestWriteSVGDegeneratePoints(t *testing.T) {
+	// All points identical: bounds collapse; must not divide by zero.
+	g, _ := gen.RandomUDG(3, 1, 1, rng.New(3))
+	pts := []geom.Point{{X: 1, Y: 1}, {X: 1, Y: 1}, {X: 1, Y: 1}}
+	var sb strings.Builder
+	if err := WriteSVG(&sb, g, pts, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "<svg") {
+		t.Fatal("no SVG output")
+	}
+}
