@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test vet bench cover experiments examples clean
+.PHONY: all build test vet race bench cover experiments examples clean
 
 all: build vet test
 
@@ -12,6 +12,9 @@ vet:
 
 test:
 	go test ./...
+
+race:
+	go test -race ./...
 
 bench:
 	go test -bench=. -benchmem ./...

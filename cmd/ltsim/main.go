@@ -1,12 +1,14 @@
 // Command ltsim executes a cluster-lifetime schedule slot by slot on the
-// energy simulator, optionally injecting random node failures, and reports
-// the achieved lifetime, coverage trace, and energy use.
+// energy simulator, optionally injecting faults (random node failures or a
+// full chaos plan) and optionally running the self-healing runtime, and
+// reports the achieved lifetime, coverage trace, and energy use.
 //
 // Usage:
 //
 //	graphgen -family gnp -n 200 -p 0.08 | ltsim -alg uniform -b 4
 //	ltsim -graph g.edges -alg ft -b 4 -k 2 -failures 10
 //	ltsim -graph g.edges -alg general -bmax 6 -trace
+//	ltsim -graph g.edges -alg uniform -b 4 -chaos "crash=10,leak=5x2" -heal -loss 0.15
 package main
 
 import (
@@ -15,9 +17,11 @@ import (
 	"io"
 	"os"
 
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/energy"
 	"repro/internal/graph"
+	"repro/internal/heal"
 	"repro/internal/rng"
 	"repro/internal/sensim"
 )
@@ -29,27 +33,79 @@ func main() {
 	}
 }
 
+// flags collects the command-line configuration so validation is testable.
+type flags struct {
+	alg      string
+	b        int
+	bmax     int
+	k        int
+	failures int
+	loss     float64
+	healing  bool
+	chaos    string
+}
+
+// validate rejects nonsensical flag combinations with actionable errors —
+// historically several of these panicked deep inside the libraries.
+func (f flags) validate() error {
+	switch f.alg {
+	case "uniform", "general", "ft":
+	default:
+		return fmt.Errorf("unknown algorithm %q (have uniform, general, ft)", f.alg)
+	}
+	if f.b < 0 {
+		return fmt.Errorf("-b %d: battery must be >= 0", f.b)
+	}
+	if f.bmax < 0 {
+		return fmt.Errorf("-bmax %d: battery cap must be >= 0", f.bmax)
+	}
+	if f.k < 1 {
+		return fmt.Errorf("-k %d: domination tolerance must be >= 1", f.k)
+	}
+	if f.failures < 0 {
+		return fmt.Errorf("-failures %d: crash count must be >= 0", f.failures)
+	}
+	if f.failures > 0 && f.b == 0 && f.bmax == 0 {
+		return fmt.Errorf("-failures %d with -b 0: a zero-battery network has no schedule to crash; give -b or -bmax", f.failures)
+	}
+	if f.loss < 0 || f.loss >= 1 {
+		return fmt.Errorf("-loss %v: loss probability must be in [0, 1)", f.loss)
+	}
+	if f.loss > 0 && !f.healing {
+		return fmt.Errorf("-loss degrades the patch-protocol radio and needs -heal")
+	}
+	return nil
+}
+
 func run() error {
 	graphPath := flag.String("graph", "-", "edge-list file (\"-\" = stdin)")
-	alg := flag.String("alg", "uniform", "uniform|general|ft")
-	b := flag.Int("b", 3, "uniform battery")
-	bmax := flag.Int("bmax", 0, "random batteries in [1, bmax] (0 = uniform b)")
-	k := flag.Int("k", 1, "domination tolerance")
+	var f flags
+	flag.StringVar(&f.alg, "alg", "uniform", "uniform|general|ft")
+	flag.IntVar(&f.b, "b", 3, "uniform battery")
+	flag.IntVar(&f.bmax, "bmax", 0, "random batteries in [1, bmax] (0 = uniform b)")
+	flag.IntVar(&f.k, "k", 1, "domination tolerance")
 	kConst := flag.Float64("K", 3, "color-range constant")
 	seed := flag.Uint64("seed", 1, "random seed")
 	tries := flag.Int("tries", 30, "WHP retry budget")
-	failures := flag.Int("failures", 0, "random node crashes to inject")
+	flag.IntVar(&f.failures, "failures", 0, "random node crashes to inject")
+	flag.StringVar(&f.chaos, "chaos", "", `chaos plan spec, e.g. "crash=10,blackout=2x3,leak=5x2,loss=0.1"`)
+	flag.BoolVar(&f.healing, "heal", false, "run the self-healing runtime (patch → replan → degrade)")
+	flag.Float64Var(&f.loss, "loss", 0, "patch-protocol radio loss probability (with -heal)")
 	trace := flag.Bool("trace", false, "print the per-slot coverage trace")
 	flag.Parse()
 
+	if err := f.validate(); err != nil {
+		return err
+	}
+
 	var in io.Reader = os.Stdin
 	if *graphPath != "-" {
-		f, err := os.Open(*graphPath)
+		file, err := os.Open(*graphPath)
 		if err != nil {
 			return err
 		}
-		defer f.Close()
-		in = f
+		defer file.Close()
+		in = file
 	}
 	g, err := graph.ReadEdgeList(in)
 	if err != nil {
@@ -59,46 +115,75 @@ func run() error {
 	src := rng.New(*seed)
 	batteries := make([]int, g.N())
 	for i := range batteries {
-		if *bmax > 0 {
-			batteries[i] = 1 + src.Intn(*bmax)
+		if f.bmax > 0 {
+			batteries[i] = 1 + src.Intn(f.bmax)
 		} else {
-			batteries[i] = *b
+			batteries[i] = f.b
 		}
 	}
 	opt := core.Options{K: *kConst, Src: src.Split()}
 
 	var s *core.Schedule
-	switch *alg {
+	switch f.alg {
 	case "uniform":
-		s = core.UniformWHP(g, *b, opt, *tries)
+		s = core.UniformWHP(g, f.b, opt, *tries)
 	case "general":
 		s = core.GeneralWHP(g, batteries, opt, *tries)
 	case "ft":
-		s = core.FaultTolerantWHP(g, *b, *k, opt, *tries)
-	default:
-		return fmt.Errorf("unknown algorithm %q", *alg)
+		s = core.FaultTolerantWHP(g, f.b, f.k, opt, *tries)
+	}
+
+	horizon := maxInt(1, s.Lifetime())
+	plan := chaos.Plan{Crashes: energy.RandomFailures(g, f.failures, horizon, src.Split())}
+	if f.chaos != "" {
+		spec, err := chaos.ParseSpec(f.chaos, g, horizon, src.Split())
+		if err != nil {
+			return err
+		}
+		plan = chaos.Merge(plan, spec)
 	}
 
 	net := energy.NewNetwork(g, batteries)
-	plan := energy.RandomFailures(g, *failures, maxInt(1, s.Lifetime()), src.Split())
-	res := sensim.Run(net, s, sensim.Options{K: *k, Failures: plan})
-
 	fmt.Printf("graph: %v\n", g)
-	fmt.Printf("schedule: %s, nominal lifetime %d\n", *alg, s.Lifetime())
-	fmt.Printf("failures injected: %d\n", res.Deaths)
-	fmt.Printf("achieved lifetime: %d slots", res.AchievedLifetime)
-	if res.FirstViolation >= 0 {
-		fmt.Printf(" (first coverage violation at slot %d)", res.FirstViolation)
+	fmt.Printf("schedule: %s, nominal lifetime %d\n", f.alg, s.Lifetime())
+
+	var coverage []float64
+	if f.healing {
+		res := heal.Run(net, s, heal.Options{
+			K: f.k, Chaos: plan, Loss: f.loss, Src: src.Split(),
+		})
+		coverage = res.Coverage
+		report(res.Deaths, res.AchievedLifetime, res.FirstViolation)
+		fmt.Printf("healing: %d patch attempts (%d retries), %d slots patched, %d recruits\n",
+			res.PatchAttempts, res.Retries, res.PatchSuccesses, res.Recruited)
+		fmt.Printf("healing: %d replans, %d degraded slots; protocol %d msgs / %d rounds / %d dropped\n",
+			res.Replans, res.DegradedSlots,
+			res.Protocol.Messages, res.Protocol.Rounds, res.Protocol.Dropped)
+		fmt.Printf("energy spent: %d units\n", res.EnergySpent)
+	} else {
+		res := sensim.Run(net, s, sensim.Options{K: f.k, Inject: plan.Injector()})
+		coverage = res.Coverage
+		report(res.Deaths, res.AchievedLifetime, res.FirstViolation)
+		fmt.Printf("energy spent: %d units; sensor reports delivered: %d\n",
+			res.EnergySpent, res.ReportsDelivered)
 	}
-	fmt.Println()
-	fmt.Printf("energy spent: %d units; sensor reports delivered: %d\n",
-		res.EnergySpent, res.ReportsDelivered)
 	if *trace {
-		for t, c := range res.Coverage {
+		for t, c := range coverage {
 			fmt.Printf("slot %3d: coverage %.3f\n", t, c)
 		}
 	}
 	return nil
+}
+
+// report prints the fault and lifetime summary shared by both runtimes.
+func report(deaths, achieved, firstViolation int) {
+	fmt.Printf("deaths: %d\n", deaths)
+	fmt.Printf("achieved lifetime: %d slots\n", achieved)
+	if firstViolation >= 0 {
+		fmt.Printf("first coverage violation: slot %d\n", firstViolation)
+	} else {
+		fmt.Printf("first coverage violation: none\n")
+	}
 }
 
 func maxInt(a, b int) int {

@@ -1,0 +1,38 @@
+package main
+
+import "testing"
+
+func TestValidateFlags(t *testing.T) {
+	valid := flags{alg: "uniform", b: 3, k: 1}
+	if err := valid.validate(); err != nil {
+		t.Fatalf("valid flags rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		f    flags
+	}{
+		{"unknown alg", flags{alg: "frob", b: 3, k: 1}},
+		{"negative b", flags{alg: "uniform", b: -1, k: 1}},
+		{"negative bmax", flags{alg: "uniform", b: 3, bmax: -2, k: 1}},
+		{"zero k", flags{alg: "uniform", b: 3, k: 0}},
+		{"negative k", flags{alg: "ft", b: 3, k: -2}},
+		{"negative failures", flags{alg: "uniform", b: 3, k: 1, failures: -1}},
+		{"failures with b 0", flags{alg: "uniform", b: 0, k: 1, failures: 5}},
+		{"loss out of range", flags{alg: "uniform", b: 3, k: 1, healing: true, loss: 1.0}},
+		{"loss without heal", flags{alg: "uniform", b: 3, k: 1, loss: 0.2}},
+	}
+	for _, c := range cases {
+		if err := c.f.validate(); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+	// -failures with -bmax set is fine: batteries are positive.
+	ok := flags{alg: "uniform", b: 0, bmax: 4, k: 1, failures: 5}
+	if err := ok.validate(); err != nil {
+		t.Errorf("failures with bmax rejected: %v", err)
+	}
+	healOK := flags{alg: "uniform", b: 3, k: 1, healing: true, loss: 0.3}
+	if err := healOK.validate(); err != nil {
+		t.Errorf("heal with loss rejected: %v", err)
+	}
+}

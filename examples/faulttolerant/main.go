@@ -12,11 +12,13 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/domatic"
 	"repro/internal/energy"
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/internal/heal"
 	"repro/internal/rng"
 	"repro/internal/sensim"
 )
@@ -58,6 +60,40 @@ func main() {
 	fmt.Println("\nthe k-dominating schedule provably survives ANY k-1 crashes per")
 	fmt.Println("neighborhood (here k = 3); the lifetime-maximal plain schedule is")
 	fmt.Println("broken by a single well-aimed failure — the trade-off §6 motivates.")
+
+	// Act two: the online alternative to pre-provisioning. Under a chaos
+	// plan (random crashes + a regional blackout + battery leaks) the SAME
+	// plain schedule runs once statically and once under the self-healing
+	// runtime, which patches coverage holes by recruiting replacement
+	// clusterheads with a distributed protocol, replans over residual
+	// batteries when patching fails, and degrades gracefully otherwise.
+	fmt.Println("\n--- self-healing under a chaos plan ---")
+	plan := chaos.Merge(
+		chaos.Crashes(g, 30, plain.Lifetime(), src.Split()),
+		chaos.Blackouts(g, 2, 3, plain.Lifetime(), src.Split()),
+		chaos.LeakSpikes(g, 20, 2, plain.Lifetime(), src.Split()),
+	)
+	fmt.Printf("chaos plan: %d crashes, %d battery leaks\n", plan.CrashCount(), len(plan.Leaks))
+
+	netStatic := energy.NewNetwork(g, energy.Uniform(g, b))
+	static := sensim.Run(netStatic, plain, sensim.Options{K: 1, Inject: plan.Injector()})
+	fmt.Printf("static run:  covered %3d/%3d slots", static.AchievedLifetime, plain.Lifetime())
+	if static.FirstViolation >= 0 {
+		fmt.Printf(" (first hole at slot %d, then runs degraded)", static.FirstViolation)
+	}
+	fmt.Println()
+
+	netHeal := energy.NewNetwork(g, energy.Uniform(g, b))
+	healed := heal.Run(netHeal, plain, heal.Options{K: 1, Chaos: plan, Loss: 0.15, Src: src.Split()})
+	fmt.Printf("healed run:  covered %3d/%3d slots — %d recruits over %d patches, %d replans, %d degraded slots\n",
+		healed.AchievedLifetime, plain.Lifetime(), healed.Recruited,
+		healed.PatchSuccesses, healed.Replans, healed.DegradedSlots)
+	fmt.Printf("repair traffic: %d messages in %d protocol rounds (%d dropped by the 15%% lossy radio)\n",
+		healed.Protocol.Messages, healed.Protocol.Rounds, healed.Protocol.Dropped)
+
+	fmt.Println("\npre-provisioning (Algorithm 3) buys provable tolerance up front at ~k×")
+	fmt.Println("energy; online healing keeps a cheap 1-dominating schedule alive by")
+	fmt.Println("repairing holes as they open — E23 quantifies the trade.")
 }
 
 // report crashes the victim's serving clusterheads in the earliest

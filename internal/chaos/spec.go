@@ -1,0 +1,108 @@
+package chaos
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// ParseSpec builds a Plan from a compact comma-separated directive string,
+// the format behind ltsim's -chaos flag. Directives:
+//
+//	crash=N          N random node crashes in [0, horizon)
+//	blackout=RxM     R regional blackouts, up to M crashes per neighborhood
+//	leak=NxA         N battery-leak spikes of up to A units each
+//	loss=P           flat radio loss with probability P in [0, 1)
+//	burst=PBAD:PBG   Gilbert–Elliott radio: bad-state loss PBAD, bad→good
+//	                 probability PBG (good state is lossless, good→bad 0.05)
+//
+// Example: "crash=10,blackout=2x3,leak=5x2,loss=0.15". Directives may repeat;
+// repeated crash/leak directives accumulate, a later radio replaces an
+// earlier one. All randomness is drawn from src, so a spec plus a seed is a
+// complete, reproducible chaos scenario.
+func ParseSpec(spec string, g *graph.Graph, horizon int, src *rng.Source) (Plan, error) {
+	var out Plan
+	if strings.TrimSpace(spec) == "" {
+		return out, nil
+	}
+	for _, field := range strings.Split(spec, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(field, "=")
+		if !ok {
+			return Plan{}, fmt.Errorf("chaos: directive %q is not key=value", field)
+		}
+		switch key {
+		case "crash":
+			n, err := parseCount(val)
+			if err != nil {
+				return Plan{}, fmt.Errorf("chaos: crash=%s: %v", val, err)
+			}
+			out = Merge(out, Crashes(g, n, horizon, src.Split()))
+		case "blackout":
+			r, m, err := parsePair(val)
+			if err != nil {
+				return Plan{}, fmt.Errorf("chaos: blackout=%s: %v", val, err)
+			}
+			out = Merge(out, Blackouts(g, r, m, horizon, src.Split()))
+		case "leak":
+			n, a, err := parsePair(val)
+			if err != nil {
+				return Plan{}, fmt.Errorf("chaos: leak=%s: %v", val, err)
+			}
+			out = Merge(out, LeakSpikes(g, n, a, horizon, src.Split()))
+		case "loss":
+			p, err := strconv.ParseFloat(val, 64)
+			if err != nil || p < 0 || p >= 1 {
+				return Plan{}, fmt.Errorf("chaos: loss=%s: want probability in [0, 1)", val)
+			}
+			out = Merge(out, FlatLoss(p, src.Split()))
+		case "burst":
+			badStr, bgStr, ok := strings.Cut(val, ":")
+			if !ok {
+				return Plan{}, fmt.Errorf("chaos: burst=%s: want PBAD:PBG", val)
+			}
+			pBad, err1 := strconv.ParseFloat(badStr, 64)
+			pBG, err2 := strconv.ParseFloat(bgStr, 64)
+			if err1 != nil || err2 != nil || pBad < 0 || pBad >= 1 || pBG <= 0 || pBG > 1 {
+				return Plan{}, fmt.Errorf("chaos: burst=%s: want PBAD in [0,1) and PBG in (0,1]", val)
+			}
+			out = Merge(out, BurstyLoss(0, pBad, 0.05, pBG, src.Split()))
+		default:
+			return Plan{}, fmt.Errorf("chaos: unknown directive %q (have crash, blackout, leak, loss, burst)", key)
+		}
+	}
+	return out, nil
+}
+
+func parseCount(s string) (int, error) {
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("not an integer")
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("negative count")
+	}
+	return n, nil
+}
+
+func parsePair(s string) (int, int, error) {
+	a, b, ok := strings.Cut(s, "x")
+	if !ok {
+		return 0, 0, fmt.Errorf("want NxM")
+	}
+	n, err := parseCount(a)
+	if err != nil {
+		return 0, 0, err
+	}
+	m, err := parseCount(b)
+	if err != nil {
+		return 0, 0, err
+	}
+	return n, m, nil
+}

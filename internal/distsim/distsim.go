@@ -36,7 +36,39 @@ type Program interface {
 type Stats struct {
 	Rounds   int // communication rounds executed (including the Start round)
 	Messages int // point-to-point messages sent (one per edge direction per broadcast)
-	Dropped  int // messages lost to the unreliable radio (RunLossy only)
+	Dropped  int // messages lost to the unreliable radio (RunLossy/RunRadio only)
+}
+
+// Add accumulates another execution's cost into s, so callers that run a
+// protocol repeatedly (retries, per-slot repairs) can report a total.
+func (s *Stats) Add(o Stats) {
+	s.Rounds += o.Rounds
+	s.Messages += o.Messages
+	s.Dropped += o.Dropped
+}
+
+// Radio models an unreliable medium: Drop is consulted once per
+// point-to-point delivery of a non-nil payload and reports whether that
+// delivery is lost. from/to are node IDs; round is the 0-based delivery
+// round of the current execution. Implementations may keep per-link state
+// (e.g. Gilbert–Elliott burst models); they are called in a deterministic
+// order (receivers in increasing node ID, then the receiver's sorted
+// neighbor list), which is what makes lossy executions reproducible.
+//
+// The interface is defined here, but implementations live wherever the
+// fault model does (package chaos provides flat and bursty radios).
+type Radio interface {
+	Drop(from, to, round int) bool
+}
+
+// flatRadio drops every delivery independently with fixed probability.
+type flatRadio struct {
+	loss float64
+	src  *rng.Source
+}
+
+func (r flatRadio) Drop(from, to, round int) bool {
+	return r.src.Float64() < r.loss
 }
 
 // Run executes one Program per node of g until every node terminates or
@@ -62,6 +94,18 @@ func RunLossy(g *graph.Graph, programs []Program, maxRounds int, loss float64, s
 	if loss > 0 && src == nil {
 		return Stats{}, fmt.Errorf("distsim: loss > 0 requires a randomness source")
 	}
+	var radio Radio
+	if loss > 0 {
+		radio = flatRadio{loss: loss, src: src}
+	}
+	return RunRadio(g, programs, maxRounds, radio)
+}
+
+// RunRadio is Run under an arbitrary unreliable-radio model: every
+// point-to-point delivery is offered to radio.Drop, and dropped deliveries
+// count in Stats.Dropped (the sender still pays the transmission). A nil
+// radio is the reliable medium, identical to Run.
+func RunRadio(g *graph.Graph, programs []Program, maxRounds int, radio Radio) (Stats, error) {
 	n := g.N()
 	if len(programs) != n {
 		return Stats{}, fmt.Errorf("distsim: %d programs for %d nodes", len(programs), n)
@@ -102,7 +146,7 @@ func RunLossy(g *graph.Graph, programs []Program, maxRounds int, loss float64, s
 			received := make([]any, len(nbrs))
 			for i, u := range nbrs {
 				m := outbox[u]
-				if m != nil && loss > 0 && src.Float64() < loss {
+				if m != nil && radio != nil && radio.Drop(int(u), v, round) {
 					stats.Dropped++
 					m = nil
 				}

@@ -81,3 +81,55 @@ func TestRunLossyDropRateSane(t *testing.T) {
 		t.Fatalf("drop rate %.3f far from configured 0.2", rate)
 	}
 }
+
+func TestRunLossyDeterministic(t *testing.T) {
+	// Identical (graph, programs, loss, seed) inputs must yield identical
+	// Stats and identical protocol outcomes across runs: the loss coins are
+	// drawn in a fixed receiver-then-neighbor order, never from map
+	// iteration or scheduling order.
+	g := gen.GNP(120, 0.12, rng.New(21))
+	run := func() (Stats, []int) {
+		nodes := NewUniformNodes(g, 3, rng.New(33).SplitN(g.N()))
+		st, err := RunLossy(g, Programs(nodes), 10, 0.35, rng.New(77))
+		if err != nil {
+			t.Fatal(err)
+		}
+		colors := make([]int, len(nodes))
+		for v, nd := range nodes {
+			colors[v] = nd.Color
+		}
+		return st, colors
+	}
+	s1, c1 := run()
+	for rep := 0; rep < 3; rep++ {
+		s2, c2 := run()
+		if s1 != s2 {
+			t.Fatalf("stats diverge across identical runs: %+v vs %+v", s1, s2)
+		}
+		for v := range c1 {
+			if c1[v] != c2[v] {
+				t.Fatalf("node %d outcome diverges across identical runs", v)
+			}
+		}
+	}
+	if s1.Dropped == 0 {
+		t.Fatal("test exercised no losses")
+	}
+}
+
+func TestRunRadioNilRadioEqualsRun(t *testing.T) {
+	g := gen.GNP(50, 0.2, rng.New(4))
+	a := NewUniformNodes(g, 3, rng.New(9).SplitN(g.N()))
+	sa, err := Run(g, Programs(a), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewUniformNodes(g, 3, rng.New(9).SplitN(g.N()))
+	sb, err := RunRadio(g, Programs(b), 10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sa != sb {
+		t.Fatalf("nil-radio RunRadio diverged from Run: %+v vs %+v", sa, sb)
+	}
+}

@@ -153,3 +153,53 @@ func TestNeighborhoodFailures(t *testing.T) {
 		seen[f.Node] = true
 	}
 }
+
+func TestDrainRejectsDuplicates(t *testing.T) {
+	// Regression: a repeated member of set used to be double-charged
+	// silently; an active set is a set, so Drain must reject it atomically.
+	g := gen.Path(3)
+	net := NewNetwork(g, Uniform(g, 5))
+	if err := net.Drain([]int{1, 0, 1}); err == nil {
+		t.Fatal("duplicate member accepted")
+	}
+	for v, r := range net.Residual {
+		if r != 5 {
+			t.Fatalf("node %d charged (%d) despite rejected set", v, r)
+		}
+	}
+	if err := net.Drain([]int{0, 1}); err != nil {
+		t.Fatalf("duplicate-free set rejected: %v", err)
+	}
+}
+
+func TestDrainServiceable(t *testing.T) {
+	g := gen.Path(5)
+	net := NewNetwork(g, []int{2, 0, 1, 2, 2})
+	net.Kill(3)
+	served := net.DrainServiceable([]int{0, 1, 2, 3, 4, 0, 7, -1})
+	want := []int{0, 2, 4}
+	if len(served) != len(want) {
+		t.Fatalf("served %v, want %v", served, want)
+	}
+	for i := range want {
+		if served[i] != want[i] {
+			t.Fatalf("served %v, want %v", served, want)
+		}
+	}
+	// Node 0 appeared twice but is charged once; dead/empty/out-of-range
+	// members are skipped without effect.
+	if net.Residual[0] != 1 || net.Residual[1] != 0 || net.Residual[2] != 0 {
+		t.Fatalf("unexpected residuals %v", net.Residual)
+	}
+	if net.Residual[3] != 2 {
+		t.Fatal("dead node was charged")
+	}
+}
+
+func TestDrainServiceableEmpty(t *testing.T) {
+	g := gen.Path(2)
+	net := NewNetwork(g, Uniform(g, 0))
+	if served := net.DrainServiceable([]int{0, 1}); served != nil {
+		t.Fatalf("zero-budget network served %v", served)
+	}
+}

@@ -1,0 +1,280 @@
+// Package heal is the self-healing schedule runtime: it executes a
+// cluster-lifetime schedule against the energy model the way sensim does,
+// but instead of letting the network run degraded after a fault opens a
+// coverage hole, it repairs the hole online through a three-rung escalation
+// ladder:
+//
+//  1. local patching — a bounded-retry distributed recruitment protocol
+//     (three broadcast exchanges under the lossy radio, retried with
+//     exponential backoff) enlists the highest-residual-energy alive
+//     neighbor of each under-covered node;
+//  2. centralized re-planning — when patching keeps failing, the runtime
+//     rebuilds the remaining schedule from the residual budgets of the
+//     alive nodes (sched.Replan), as a sink with a global view would;
+//  3. graceful degradation — when even a fresh plan cannot cover everyone,
+//     the slot executes with partial coverage and is reported, rather than
+//     aborting the run.
+//
+// The paper pre-provisions against failure (Algorithm 3's k-tolerant
+// schedules); this package adds the complementary online half, in the
+// spirit of distributed self-stabilizing reconfiguration (Censor-Hillel &
+// Rabie, arXiv:1810.02106) and local dominator recruitment (Penso &
+// Barbosa, arXiv:cs/0309040). Experiment E23 measures what that buys: a
+// 1-tolerant schedule plus healing against a statically k-tolerant one
+// under the identical chaos plan.
+package heal
+
+import (
+	"sort"
+
+	"repro/internal/chaos"
+	"repro/internal/core"
+	"repro/internal/distsim"
+	"repro/internal/domset"
+	"repro/internal/energy"
+	"repro/internal/rng"
+	"repro/internal/sched"
+)
+
+// Options configures a self-healing execution.
+type Options struct {
+	// K is the required domination tolerance per slot (>= 1; 0 means 1).
+	K int
+	// Chaos is the fault plan injected during execution (zero value = none).
+	// Its Radio, when set, also degrades the patch protocol's messages.
+	Chaos chaos.Plan
+	// Loss is a flat patch-radio loss probability used when Chaos carries no
+	// radio of its own.
+	Loss float64
+	// PatchAttempts bounds the recruitment retries per slot (0 means 3).
+	// Attempt a rebroadcasts every protocol message 2^a times.
+	PatchAttempts int
+	// ReplanAfter is the number of consecutive patch-failure slots that
+	// triggers centralized re-planning (0 means 2).
+	ReplanAfter int
+	// MaxSlots caps the execution (0 means schedule lifetime plus total
+	// residual budget — enough for any replan to play out).
+	MaxSlots int
+	// Src seeds the patch radio fallback (nil = fixed seed).
+	Src *rng.Source
+}
+
+func (o Options) normalize(net *energy.Network, s *core.Schedule) Options {
+	if o.K < 1 {
+		o.K = 1
+	}
+	if o.PatchAttempts <= 0 {
+		o.PatchAttempts = 3
+	}
+	if o.ReplanAfter <= 0 {
+		o.ReplanAfter = 2
+	}
+	if o.MaxSlots <= 0 {
+		o.MaxSlots = s.Lifetime() + net.TotalResidual() + 1
+	}
+	if o.Src == nil {
+		o.Src = rng.New(1)
+	}
+	return o
+}
+
+// Result summarizes a self-healing execution. The coverage bookkeeping
+// matches sensim.Result so the two runtimes are directly comparable.
+type Result struct {
+	// AchievedLifetime is the number of consecutive slots from time 0
+	// during which every alive node was k-dominated by serving nodes.
+	AchievedLifetime int
+	// ScheduleLifetime is the nominal lifetime of the input schedule.
+	ScheduleLifetime int
+	// Coverage[t] is the fraction of alive nodes k-dominated in slot t.
+	Coverage []float64
+	// FirstViolation is the first slot that stayed under-covered after the
+	// full escalation ladder, or -1.
+	FirstViolation int
+	// EnergySpent is the total budget units drained (schedule + recruits).
+	EnergySpent int
+	// Deaths counts chaos-plan crashes applied.
+	Deaths int
+
+	// PatchAttempts counts recruitment protocol executions; Retries the
+	// attempts beyond the first within a slot; PatchSuccesses the slots
+	// whose holes local patching closed; Recruited the nodes enlisted.
+	PatchAttempts  int
+	Retries        int
+	PatchSuccesses int
+	Recruited      int
+	// Protocol is the aggregate message cost of all patch attempts.
+	Protocol distsim.Stats
+
+	// Replans counts centralized re-planning escalations; DegradedSlots the
+	// slots that ran with partial coverage after the ladder was exhausted.
+	Replans       int
+	DegradedSlots int
+}
+
+// Run executes schedule s on net with online self-healing. The network is
+// mutated: budgets drain, chaos faults apply, recruits spend energy. The
+// run continues past the nominal schedule end as long as re-planning over
+// residual budgets can still produce covering phases, and past coverage
+// violations (degraded slots) until the plan and the replanner are both
+// exhausted.
+func Run(net *energy.Network, s *core.Schedule, opt Options) Result {
+	opt = opt.normalize(net, s)
+	res := Result{ScheduleLifetime: s.Lifetime(), FirstViolation: -1}
+	g := net.G
+
+	radio := patchRadio(opt)
+	inject := opt.Chaos.Injector()
+
+	cur := s
+	pos := 0 // slot index within cur
+	failStreak := 0
+	recruits := map[int]bool{}
+	lastPhase := -1
+
+	for t := 0; t < opt.MaxSlots; t++ {
+		res.Deaths += inject.Inject(net, t)
+
+		// Locate the scheduled set; when the plan is exhausted, escalate to
+		// the replanner before giving up — the residual budgets may still
+		// hold whole covering phases (the squeeze a static run leaves on
+		// the table).
+		phaseSet, phaseIdx := activeAt(cur, pos)
+		if phaseSet == nil {
+			next := sched.Replan(g, net.Residual, opt.K, net.Alive)
+			if next.Lifetime() == 0 {
+				break
+			}
+			res.Replans++
+			cur, pos = next, 0
+			recruits = map[int]bool{}
+			lastPhase = -1
+			phaseSet, phaseIdx = activeAt(cur, pos)
+		}
+		if phaseIdx != lastPhase {
+			// Recruits backstop the phase that was broken when they were
+			// enlisted; a fresh phase starts from its own scheduled set.
+			recruits = map[int]bool{}
+			lastPhase = phaseIdx
+		}
+
+		serving := serviceable(net, phaseSet, recruits)
+		uncovered := domset.UndominatedNodes(g, serving, opt.K, net.Alive)
+
+		// Rung 1: local patching with exponential backoff.
+		if len(uncovered) > 0 {
+			for attempt := 0; attempt < opt.PatchAttempts && len(uncovered) > 0; attempt++ {
+				res.PatchAttempts++
+				if attempt > 0 {
+					res.Retries++
+				}
+				repeats := 1 << attempt
+				enlisted, stats, err := runPatch(g, net, serving, uncovered, opt.K, repeats, radio)
+				res.Protocol.Add(stats)
+				if err != nil {
+					break
+				}
+				if len(enlisted) > 0 {
+					res.Recruited += len(enlisted)
+					for _, v := range enlisted {
+						recruits[v] = true
+					}
+					serving = serviceable(net, phaseSet, recruits)
+					uncovered = domset.UndominatedNodes(g, serving, opt.K, net.Alive)
+				}
+			}
+			if len(uncovered) == 0 {
+				res.PatchSuccesses++
+				failStreak = 0
+			}
+		}
+
+		// Rung 2: centralized re-planning over residual budgets.
+		if len(uncovered) > 0 {
+			failStreak++
+			if failStreak >= opt.ReplanAfter {
+				failStreak = 0
+				next := sched.Replan(g, net.Residual, opt.K, net.Alive)
+				if next.Lifetime() > 0 {
+					res.Replans++
+					cur, pos = next, 0
+					recruits = map[int]bool{}
+					phaseSet, lastPhase = activeAt(cur, pos)
+					serving = serviceable(net, phaseSet, recruits)
+					uncovered = domset.UndominatedNodes(g, serving, opt.K, net.Alive)
+				}
+			}
+		}
+
+		// Rung 3: graceful degradation — the slot still runs.
+		if len(uncovered) > 0 {
+			res.DegradedSlots++
+		}
+
+		served := net.DrainServiceable(serving)
+		res.EnergySpent += len(served) * net.ActiveCost
+
+		alive := net.AliveCount()
+		covered := alive - len(domset.UndominatedNodes(g, served, opt.K, net.Alive))
+		if alive > 0 {
+			res.Coverage = append(res.Coverage, float64(covered)/float64(alive))
+		} else {
+			res.Coverage = append(res.Coverage, 1)
+		}
+		if covered == alive {
+			if res.FirstViolation == -1 {
+				res.AchievedLifetime = t + 1
+			}
+		} else if res.FirstViolation == -1 {
+			res.FirstViolation = t
+		}
+		pos++
+	}
+	return res
+}
+
+// activeAt returns the active set and phase index of slot pos in s, or
+// (nil, -1) past the end. Zero-duration phases are skipped.
+func activeAt(s *core.Schedule, pos int) ([]int, int) {
+	for i, p := range s.Phases {
+		if pos < p.Duration {
+			return p.Set, i
+		}
+		pos -= p.Duration
+	}
+	return nil, -1
+}
+
+// serviceable merges the scheduled set with the surviving recruits and
+// filters both down to nodes that can actually serve the slot.
+func serviceable(net *energy.Network, phaseSet []int, recruits map[int]bool) []int {
+	var out []int
+	seen := make(map[int]bool, len(phaseSet)+len(recruits))
+	for _, v := range phaseSet {
+		if !seen[v] && net.CanServe(v) {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	for v := range recruits {
+		if !seen[v] && net.CanServe(v) {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// patchRadio picks the radio degrading the recruitment protocol: the chaos
+// plan's radio when present, a flat-loss radio for Options.Loss > 0, or a
+// reliable medium.
+func patchRadio(opt Options) distsim.Radio {
+	if opt.Chaos.Radio != nil {
+		return opt.Chaos.Radio
+	}
+	if opt.Loss > 0 {
+		return chaos.FlatLoss(opt.Loss, opt.Src.Split()).Radio
+	}
+	return nil
+}

@@ -87,21 +87,31 @@ func Extend(g *graph.Graph, s *core.Schedule, batteries []int, k int) *core.Sche
 			panic(fmt.Sprintf("sched: schedule overdraws node %d", v))
 		}
 	}
+	appendGreedyPhases(g, out, residual, k, nil)
+	return out
+}
+
+// appendGreedyPhases repeatedly extracts a greedy k-dominating set over the
+// nodes with positive residual (restricted to alive nodes when alive is
+// non-nil — dead nodes can neither serve nor need coverage) and appends it
+// as a phase running as long as its weakest member allows. residual is
+// consumed in place.
+func appendGreedyPhases(g *graph.Graph, out *core.Schedule, residual []int, k int, alive []bool) {
 	for {
 		allowed := make([]bool, g.N())
 		any := false
 		for v, r := range residual {
-			if r > 0 {
+			if r > 0 && (alive == nil || alive[v]) {
 				allowed[v] = true
 				any = true
 			}
 		}
 		if !any {
-			return out
+			return
 		}
-		set := domset.GreedyK(g, k, allowed, nil)
+		set := domset.GreedyK(g, k, allowed, alive)
 		if set == nil {
-			return out
+			return
 		}
 		// Run the new phase as long as its weakest member allows.
 		dur := -1
@@ -111,13 +121,33 @@ func Extend(g *graph.Graph, s *core.Schedule, batteries []int, k int) *core.Sche
 			}
 		}
 		if dur <= 0 {
-			return out
+			return
 		}
 		for _, v := range set {
 			residual[v] -= dur
 		}
 		out.Phases = append(out.Phases, core.Phase{Set: set, Duration: dur})
 	}
+}
+
+// Replan builds a fresh schedule for a degraded network from scratch: greedy
+// k-dominating phases over the residual budgets, where only alive nodes may
+// serve and only alive nodes need coverage. This is the centralized
+// escalation step of the self-healing runtime (package heal) — what a sink
+// with a global view would broadcast after local patching gives up. It
+// returns an empty schedule when the residual network admits no k-dominating
+// set at all.
+func Replan(g *graph.Graph, residual []int, k int, alive []bool) *core.Schedule {
+	if len(residual) != g.N() {
+		panic(fmt.Sprintf("sched: %d residuals for %d nodes", len(residual), g.N()))
+	}
+	if k < 1 {
+		panic(fmt.Sprintf("sched: tolerance k = %d must be >= 1", k))
+	}
+	out := &core.Schedule{}
+	rem := append([]int(nil), residual...)
+	appendGreedyPhases(g, out, rem, k, alive)
+	return out
 }
 
 // Squeeze is the full post-processing pipeline: prune every phase to a

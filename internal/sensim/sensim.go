@@ -34,12 +34,25 @@ type Result struct {
 	Deaths int
 }
 
+// Injector applies per-slot faults to the network at the start of slot t and
+// returns the number of nodes it killed. chaos.Plan's Injector satisfies
+// this, giving Run access to the full unified fault taxonomy (crashes,
+// regional blackouts, battery leaks) without this package depending on the
+// chaos framework.
+type Injector interface {
+	Inject(net *energy.Network, t int) int
+}
+
 // Options configures an execution.
 type Options struct {
 	// K is the required domination tolerance per slot (>= 1).
 	K int
 	// Failures is the crash plan applied during execution (may be nil).
 	Failures energy.FailurePlan
+	// Inject, if non-nil, is invoked at the start of every slot after the
+	// Failures plan, typically with a chaos.Plan injector. Its kills count
+	// toward Result.Deaths.
+	Inject Injector
 	// StopAtViolation stops execution at the first uncovered slot rather
 	// than running the schedule to completion.
 	StopAtViolation bool
@@ -70,18 +83,13 @@ func Run(net *energy.Network, s *core.Schedule, opt Options) Result {
 				}
 				next++
 			}
-			// Serving set: scheduled, alive, and with budget.
-			var serving []int
-			for _, v := range phase.Set {
-				if net.CanServe(v) {
-					serving = append(serving, v)
-				}
+			if opt.Inject != nil {
+				res.Deaths += opt.Inject.Inject(net, t)
 			}
-			if err := net.Drain(serving); err != nil {
-				// Unreachable: CanServe filtered, but keep the invariant
-				// visible rather than silently diverging.
-				panic("sensim: drain failed after CanServe filter: " + err.Error())
-			}
+			// Serving set: the scheduled nodes that are alive and have
+			// budget; the rest are silently excluded (they cannot serve),
+			// exactly as a deployment would experience.
+			serving := net.DrainServiceable(phase.Set)
 			res.EnergySpent += len(serving) * net.ActiveCost
 
 			covered := coveredCount(net, serving, opt.K)
