@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test vet race bench cover experiments examples clean
+.PHONY: all build test vet race bench microbench cover experiments examples clean
 
 all: build vet test
 
@@ -16,7 +16,13 @@ test:
 race:
 	go test -race ./...
 
+# Fixed benchmark suite → BENCH_PR2.json (the performance trajectory; see
+# EXPERIMENTS.md "Benchmarks"). Pass BENCHFLAGS=-quick for the CI smoke run.
 bench:
+	go run ./cmd/ltbench -bench -benchout BENCH_PR2.json $(BENCHFLAGS)
+
+# Raw go-test microbenchmarks across all packages.
+microbench:
 	go test -bench=. -benchmem ./...
 
 cover:

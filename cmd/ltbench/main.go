@@ -1,44 +1,93 @@
 // Command ltbench runs the reproduction experiments of DESIGN.md and prints
 // their tables. By default it runs everything at full scale; use -quick for
-// a fast smoke pass and -run to select specific experiments.
+// a fast smoke pass and -run to select specific experiments. With -bench it
+// instead runs the fixed benchmark suite of internal/bench and writes a
+// BENCH_*.json report (the repository's performance trajectory).
 //
 // Usage:
 //
 //	ltbench [-run E1,E7] [-seed 42] [-trials 10] [-quick]
+//	ltbench -bench [-quick] [-benchout BENCH_PR2.json]
+//	        [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
+	"repro/internal/bench"
 	"repro/internal/experiments"
 )
 
 func main() {
-	run := flag.String("run", "all", "comma-separated experiment IDs (e.g. E1,E7) or \"all\"")
+	os.Exit(run())
+}
+
+// run is main minus os.Exit, so deferred profile writers actually flush.
+func run() int {
+	runExps := flag.String("run", "all", "comma-separated experiment IDs (e.g. E1,E7) or \"all\"")
 	seed := flag.Uint64("seed", 42, "root random seed")
 	trials := flag.Int("trials", 0, "trials per data point (0 = experiment default)")
 	quick := flag.Bool("quick", false, "shrink sweeps for a fast pass")
 	list := flag.Bool("list", false, "list available experiments and exit")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	doBench := flag.Bool("bench", false, "run the fixed benchmark suite instead of experiments")
+	benchOut := flag.String("benchout", "BENCH_PR2.json", "benchmark report path (with -bench)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ltbench:", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "ltbench:", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ltbench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "ltbench:", err)
+			}
+		}()
+	}
+
+	if *doBench {
+		return runBench(*quick, *benchOut)
+	}
 
 	if *list {
 		for _, id := range experiments.IDs() {
 			e, _ := experiments.Get(id)
 			fmt.Printf("%-4s %s\n", id, e.Title)
 		}
-		return
+		return 0
 	}
 
 	cfg := experiments.Config{Seed: *seed, Trials: *trials, Quick: *quick}
 	var ids []string
-	if strings.EqualFold(*run, "all") {
+	if strings.EqualFold(*runExps, "all") {
 		ids = experiments.IDs()
 	} else {
-		for _, id := range strings.Split(*run, ",") {
+		for _, id := range strings.Split(*runExps, ",") {
 			ids = append(ids, strings.TrimSpace(id))
 		}
 	}
@@ -46,7 +95,7 @@ func main() {
 		tab, err := experiments.Run(id, cfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ltbench:", err)
-			os.Exit(1)
+			return 1
 		}
 		if i > 0 {
 			fmt.Println()
@@ -60,7 +109,31 @@ func main() {
 		}
 		if rerr != nil {
 			fmt.Fprintln(os.Stderr, "ltbench:", rerr)
-			os.Exit(1)
+			return 1
 		}
 	}
+	return 0
+}
+
+func runBench(quick bool, out string) int {
+	rep := bench.Run(quick)
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ltbench:", err)
+		return 1
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "ltbench:", err)
+		return 1
+	}
+	for _, c := range rep.Cases {
+		line := fmt.Sprintf("%-40s %12.0f ns/op %6d allocs/op", c.Name, c.NsPerOp, c.AllocsPerOp)
+		if c.Speedup > 0 {
+			line += fmt.Sprintf("   %.2fx vs baseline", c.Speedup)
+		}
+		fmt.Println(line)
+	}
+	fmt.Printf("wrote %s (%d cases)\n", out, len(rep.Cases))
+	return 0
 }

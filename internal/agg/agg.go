@@ -10,6 +10,7 @@ package agg
 import (
 	"fmt"
 
+	"repro/internal/bitset"
 	"repro/internal/graph"
 )
 
@@ -87,11 +88,11 @@ func (t *Tree) PathToSink(v int) []int {
 // the number of distinct tree edges on the union of the sources' root
 // paths (the Steiner tree of sources ∪ {sink} within the tree).
 func (t *Tree) DeliveryCost(sources []int) int {
-	used := make(map[int]bool)
+	used := bitset.New(len(t.Parent))
 	cost := 0
 	for _, s := range sources {
-		for v := s; v != t.Sink && !used[v]; v = t.Parent[v] {
-			used[v] = true
+		for v := s; v != t.Sink && !used.Test(v); v = t.Parent[v] {
+			used.Set(v)
 			cost++
 		}
 	}

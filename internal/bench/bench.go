@@ -1,0 +1,275 @@
+// Package bench is the repository's performance trajectory: a fixed suite of
+// kernel microbenchmarks and end-to-end runs whose results are serialized to
+// BENCH_<PR>.json files at the repo root, one per performance-relevant PR, so
+// speedups and regressions are visible across the stacked-PR history.
+//
+// The kernel cases benchmark the allocation-free domset.Checker against
+// frozen copies of the pre-Checker implementations (the []bool-allocating
+// adjacency walks that shipped before PR 2), yielding an honest speedup
+// figure that later refactors cannot silently erode: the baselines live here,
+// not in the packages they came from.
+package bench
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/domset"
+	"repro/internal/energy"
+	"repro/internal/experiments"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/sensim"
+)
+
+// Schema identifies the BENCH_*.json layout; bump on breaking changes.
+const Schema = "repro-bench/v1"
+
+// Case is one benchmark result. BaselineNsPerOp and Speedup are zero for
+// cases without a frozen pre-change baseline (the end-to-end runs).
+type Case struct {
+	Name            string  `json:"name"`
+	Iterations      int     `json:"iterations"`
+	NsPerOp         float64 `json:"ns_per_op"`
+	AllocsPerOp     int64   `json:"allocs_per_op"`
+	BytesPerOp      int64   `json:"bytes_per_op"`
+	BaselineNsPerOp float64 `json:"baseline_ns_per_op,omitempty"`
+	Speedup         float64 `json:"speedup,omitempty"`
+}
+
+// Report is the top-level BENCH_*.json document.
+type Report struct {
+	Schema      string `json:"schema"`
+	PR          string `json:"pr"`
+	GoVersion   string `json:"go_version"`
+	GOOS        string `json:"goos"`
+	GOARCH      string `json:"goarch"`
+	Quick       bool   `json:"quick"`
+	GeneratedAt string `json:"generated_at"`
+	Cases       []Case `json:"cases"`
+}
+
+// baselineCoveredCount is the frozen pre-PR-2 sensim.coveredCount: it
+// allocates a fresh membership slice per call and walks adjacency lists.
+// Kept verbatim modulo taking g/alive instead of a Network and filtering
+// dead members (the original's caller passed only alive nodes, so the filter
+// was implicit). Do not "optimize" it — its cost IS the datum.
+func baselineCoveredCount(g *graph.Graph, serving []int, k int, alive []bool) int {
+	in := make([]bool, g.N())
+	for _, v := range serving {
+		if alive == nil || alive[v] {
+			in[v] = true
+		}
+	}
+	covered := 0
+	for v := 0; v < g.N(); v++ {
+		if alive != nil && !alive[v] {
+			continue
+		}
+		count := 0
+		if in[v] {
+			count++
+		}
+		for _, u := range g.Neighbors(v) {
+			if in[u] {
+				count++
+				if count >= k {
+					break
+				}
+			}
+		}
+		if count >= k {
+			covered++
+		}
+	}
+	return covered
+}
+
+// baselineIsKDominating is the frozen pre-PR-2 domset.IsKDominating.
+func baselineIsKDominating(g *graph.Graph, set []int, k int, alive []bool) bool {
+	in := make([]bool, g.N())
+	for _, v := range set {
+		if v < 0 || v >= g.N() {
+			panic(fmt.Sprintf("domset: node %d out of range", v))
+		}
+		if alive == nil || alive[v] {
+			in[v] = true
+		}
+	}
+	for v := 0; v < g.N(); v++ {
+		if alive != nil && !alive[v] {
+			continue
+		}
+		count := 0
+		if in[v] {
+			count++
+		}
+		for _, u := range g.Neighbors(v) {
+			if in[u] {
+				count++
+				if count >= k {
+					break
+				}
+			}
+		}
+		if count < k {
+			return false
+		}
+	}
+	return true
+}
+
+// kernelInstance is a shared fixture: a connected-ish GNP graph with a
+// greedy k-dominating set per benchmarked k and an all-alive mask. The sets
+// are genuinely k-dominating so the verifier answers true and neither
+// implementation can exit early — the hot-loop workload (validating the
+// valid phases of a schedule), measured apples to apples.
+type kernelInstance struct {
+	g     *graph.Graph
+	sets  map[int][]int
+	alive []bool
+}
+
+func newKernelInstance(n int, ks []int) kernelInstance {
+	p := 10 * math.Log(float64(n)) / float64(n)
+	if p > 1 {
+		p = 1
+	}
+	g := gen.GNP(n, p, rng.New(uint64(n)))
+	alive := make([]bool, n)
+	for v := range alive {
+		alive[v] = true
+	}
+	sets := make(map[int][]int, len(ks))
+	for _, k := range ks {
+		set := domset.GreedyK(g, k, nil, nil)
+		if set == nil {
+			panic(fmt.Sprintf("bench: no %d-dominating set on the n=%d fixture", k, n))
+		}
+		sets[k] = set
+	}
+	return kernelInstance{g: g, sets: sets, alive: alive}
+}
+
+func run(fn func(b *testing.B)) testing.BenchmarkResult {
+	return testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		fn(b)
+	})
+}
+
+func toCase(name string, r testing.BenchmarkResult, baseline float64) Case {
+	c := Case{
+		Name:        name,
+		Iterations:  r.N,
+		NsPerOp:     float64(r.NsPerOp()),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+	if baseline > 0 && c.NsPerOp > 0 {
+		c.BaselineNsPerOp = baseline
+		c.Speedup = baseline / c.NsPerOp
+	}
+	return c
+}
+
+// Run executes the fixed suite. quick shrinks graph sizes and experiment
+// sweeps so CI smoke jobs finish in seconds.
+func Run(quick bool) Report {
+	rep := Report{
+		Schema:      Schema,
+		PR:          "PR2",
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		Quick:       quick,
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+	}
+
+	sizes := []int{1024, 4096}
+	if quick {
+		sizes = []int{256}
+	}
+	ks := []int{1, 2}
+	for _, n := range sizes {
+		inst := newKernelInstance(n, ks)
+		ck := domset.NewChecker(inst.g)
+		for _, k := range ks {
+			set := inst.sets[k]
+			ck.CoveredCount(set, k, inst.alive) // warm scratch
+			base := run(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					baselineCoveredCount(inst.g, set, k, inst.alive)
+				}
+			})
+			opt := run(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					ck.CoveredCount(set, k, inst.alive)
+				}
+			})
+			rep.Cases = append(rep.Cases,
+				toCase(fmt.Sprintf("kernel/CoveredCount/n=%d/k=%d", n, k), opt, float64(base.NsPerOp())))
+
+			base = run(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					baselineIsKDominating(inst.g, set, k, inst.alive)
+				}
+			})
+			opt = run(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					ck.IsKDominating(set, k, inst.alive)
+				}
+			})
+			rep.Cases = append(rep.Cases,
+				toCase(fmt.Sprintf("kernel/IsKDominating/n=%d/k=%d", n, k), opt, float64(base.NsPerOp())))
+		}
+	}
+
+	rep.Cases = append(rep.Cases, runSensimCase(quick), runExperimentCase(quick))
+	return rep
+}
+
+// runSensimCase benchmarks a full sensim.Run execution: GeneralWHP schedule
+// on a GNP network, rebuilt (cheaply) every iteration because Run drains it.
+func runSensimCase(quick bool) Case {
+	n := 512
+	if quick {
+		n = 128
+	}
+	src := rng.New(42)
+	g := gen.GNP(n, 8*math.Log(float64(n))/float64(n), src)
+	b := make([]int, n)
+	for i := range b {
+		b[i] = 4 + src.Intn(4)
+	}
+	s := core.GeneralWHP(g, b, core.Options{Src: rng.New(7)}, 5)
+	r := run(func(tb *testing.B) {
+		for i := 0; i < tb.N; i++ {
+			net := energy.NewNetwork(g, b)
+			sensim.Run(net, s, sensim.Options{K: 1})
+		}
+	})
+	return toCase(fmt.Sprintf("e2e/sensim.Run/n=%d", n), r, 0)
+}
+
+// runExperimentCase times one full experiment table (E1, the paper's
+// Figure 1 reproduction) — the coarsest end-to-end signal in the suite.
+func runExperimentCase(quick bool) Case {
+	cfg := experiments.Config{Seed: 42, Quick: true}
+	if !quick {
+		cfg.Trials = 5
+	}
+	r := run(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := experiments.Run("E1", cfg); err != nil {
+				b.Fatalf("E1: %v", err)
+			}
+		}
+	})
+	return toCase("e2e/experiment/E1", r, 0)
+}

@@ -1,0 +1,71 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/domset"
+	"repro/internal/gen"
+	"repro/internal/rng"
+)
+
+// TestBaselinesAgreeWithChecker pins the benchmark's honesty: the frozen
+// baselines and the optimized kernel must compute identical answers, so the
+// reported speedup compares like with like.
+func TestBaselinesAgreeWithChecker(t *testing.T) {
+	src := rng.New(21)
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + src.Intn(80)
+		g := gen.GNP(n, 0.12, src)
+		ck := domset.NewChecker(g)
+		var set []int
+		for v := 0; v < n; v++ {
+			if src.Intn(3) == 0 {
+				set = append(set, v)
+			}
+		}
+		var alive []bool
+		if src.Intn(2) == 0 {
+			alive = make([]bool, n)
+			for v := range alive {
+				alive[v] = src.Intn(5) != 0
+			}
+		}
+		for k := 1; k <= 3; k++ {
+			if got, want := ck.CoveredCount(set, k, alive), baselineCoveredCount(g, set, k, alive); got != want {
+				t.Fatalf("n=%d k=%d: CoveredCount %d, baseline %d", n, k, got, want)
+			}
+			if got, want := ck.IsKDominating(set, k, alive), baselineIsKDominating(g, set, k, alive); got != want {
+				t.Fatalf("n=%d k=%d: IsKDominating %v, baseline %v", n, k, got, want)
+			}
+		}
+	}
+}
+
+// TestRunQuickProducesReport smoke-tests the suite end to end at quick
+// scale: every case must have run at least one iteration, the kernel cases
+// must carry baselines, and the Checker cases must be allocation-free.
+func TestRunQuickProducesReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench suite is slow")
+	}
+	rep := Run(true)
+	if rep.Schema != Schema || rep.PR != "PR2" || !rep.Quick {
+		t.Fatalf("bad report header: %+v", rep)
+	}
+	if len(rep.Cases) == 0 {
+		t.Fatal("no cases")
+	}
+	for _, c := range rep.Cases {
+		if c.Iterations <= 0 || c.NsPerOp <= 0 {
+			t.Fatalf("case %s did not run: %+v", c.Name, c)
+		}
+		if len(c.Name) > 7 && c.Name[:7] == "kernel/" {
+			if c.BaselineNsPerOp <= 0 {
+				t.Fatalf("kernel case %s has no baseline", c.Name)
+			}
+			if c.AllocsPerOp != 0 {
+				t.Fatalf("kernel case %s allocates %d/op, want 0", c.Name, c.AllocsPerOp)
+			}
+		}
+	}
+}

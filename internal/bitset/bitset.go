@@ -1,0 +1,212 @@
+// Package bitset implements dense word-packed bit sets over [0, n). It is
+// the storage layer of the allocation-free domination kernel (package
+// domset): closed neighborhoods, candidate memberships, and coverage levels
+// are all Sets, so a coverage decision is a handful of word-wide AND/OR/
+// popcount passes instead of a per-node adjacency walk.
+//
+// All binary operations require both operands to have the same length and
+// maintain the invariant that bits at positions >= Len() are zero, so Count
+// and word-level comparisons never need tail masking.
+package bitset
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+const wordBits = 64
+
+// Set is a fixed-length bit set over positions [0, Len()). The zero value is
+// an empty zero-length set; use New for anything useful.
+type Set struct {
+	words []uint64
+	n     int
+}
+
+// WordsFor returns the number of 64-bit words a set of length n occupies.
+func WordsFor(n int) int { return (n + wordBits - 1) / wordBits }
+
+// New returns a set of length n with all bits clear. It panics if n < 0.
+func New(n int) *Set {
+	if n < 0 {
+		panic("bitset: negative length")
+	}
+	return &Set{words: make([]uint64, WordsFor(n)), n: n}
+}
+
+// Len returns the length of the set (number of addressable positions).
+func (s *Set) Len() int { return s.n }
+
+// Words exposes the backing words for kernel loops. Bits >= Len() must be
+// kept zero by callers that write through this slice.
+func (s *Set) Words() []uint64 { return s.words }
+
+func (s *Set) check(i int) {
+	if i < 0 || i >= s.n {
+		panic(fmt.Sprintf("bitset: position %d out of range [0, %d)", i, s.n))
+	}
+}
+
+// Set sets bit i.
+func (s *Set) Set(i int) {
+	s.check(i)
+	s.words[i>>6] |= 1 << uint(i&63)
+}
+
+// Clear clears bit i.
+func (s *Set) Clear(i int) {
+	s.check(i)
+	s.words[i>>6] &^= 1 << uint(i&63)
+}
+
+// Test reports whether bit i is set.
+func (s *Set) Test(i int) bool {
+	s.check(i)
+	return s.words[i>>6]&(1<<uint(i&63)) != 0
+}
+
+// Reset clears every bit. The compiler lowers the loop to memclr, so a reset
+// costs O(n/64) with no allocation — the reuse primitive of the kernel.
+func (s *Set) Reset() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// Fill sets every bit in [0, Len()), keeping tail bits zero.
+func (s *Set) Fill() {
+	for i := range s.words {
+		s.words[i] = ^uint64(0)
+	}
+	s.maskTail()
+}
+
+// maskTail zeroes the bits of the last word at positions >= n.
+func (s *Set) maskTail() {
+	if rem := s.n & 63; rem != 0 && len(s.words) > 0 {
+		s.words[len(s.words)-1] &= (1 << uint(rem)) - 1
+	}
+}
+
+// Count returns the number of set bits (population count).
+func (s *Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Any reports whether at least one bit is set.
+func (s *Set) Any() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *Set) sameLen(o *Set) {
+	if s.n != o.n {
+		panic(fmt.Sprintf("bitset: length mismatch %d != %d", s.n, o.n))
+	}
+}
+
+// CopyFrom overwrites s with the contents of o.
+func (s *Set) CopyFrom(o *Set) {
+	s.sameLen(o)
+	copy(s.words, o.words)
+}
+
+// UnionWith sets s to s ∪ o — the union-into-scratch primitive.
+func (s *Set) UnionWith(o *Set) {
+	s.sameLen(o)
+	for i, w := range o.words {
+		s.words[i] |= w
+	}
+}
+
+// IntersectWith sets s to s ∩ o.
+func (s *Set) IntersectWith(o *Set) {
+	s.sameLen(o)
+	for i, w := range o.words {
+		s.words[i] &= w
+	}
+}
+
+// AndNot sets s to s \ o.
+func (s *Set) AndNot(o *Set) {
+	s.sameLen(o)
+	for i, w := range o.words {
+		s.words[i] &^= w
+	}
+}
+
+// AndCount returns |s ∩ o| without modifying either set.
+func (s *Set) AndCount(o *Set) int {
+	s.sameLen(o)
+	c := 0
+	for i, w := range o.words {
+		c += bits.OnesCount64(s.words[i] & w)
+	}
+	return c
+}
+
+// AndNotCount returns |s \ o| without modifying either set.
+func (s *Set) AndNotCount(o *Set) int {
+	s.sameLen(o)
+	c := 0
+	for i, w := range o.words {
+		c += bits.OnesCount64(s.words[i] &^ w)
+	}
+	return c
+}
+
+// SubsetOf reports whether s ⊆ o, short-circuiting on the first word with a
+// bit of s outside o.
+func (s *Set) SubsetOf(o *Set) bool {
+	s.sameLen(o)
+	for i, w := range o.words {
+		if s.words[i]&^w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether s and o have the same length and bits.
+func (s *Set) Equal(o *Set) bool {
+	if s.n != o.n {
+		return false
+	}
+	for i, w := range o.words {
+		if s.words[i] != w {
+			return false
+		}
+	}
+	return true
+}
+
+// ForEach calls fn for every set bit in ascending order.
+func (s *Set) ForEach(fn func(i int)) {
+	for wi, w := range s.words {
+		for w != 0 {
+			fn(wi<<6 + bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+}
+
+// AppendBits appends the positions of the set bits to dst in ascending order
+// and returns the extended slice. With a pre-grown dst this allocates
+// nothing.
+func (s *Set) AppendBits(dst []int) []int {
+	for wi, w := range s.words {
+		for w != 0 {
+			dst = append(dst, wi<<6+bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+	return dst
+}

@@ -1,0 +1,196 @@
+package bitset
+
+import (
+	"testing"
+)
+
+func TestSetClearTest(t *testing.T) {
+	for _, n := range []int{1, 63, 64, 65, 130} {
+		s := New(n)
+		for i := 0; i < n; i++ {
+			if s.Test(i) {
+				t.Fatalf("n=%d: fresh set has bit %d", n, i)
+			}
+		}
+		s.Set(0)
+		s.Set(n - 1)
+		if !s.Test(0) || !s.Test(n-1) {
+			t.Fatalf("n=%d: boundary bits not set", n)
+		}
+		want := 2
+		if n == 1 {
+			want = 1 // bit 0 and bit n-1 coincide
+		}
+		if got := s.Count(); got != want {
+			t.Fatalf("n=%d: count = %d, want %d", n, got, want)
+		}
+		s.Clear(n - 1)
+		if s.Test(n-1) || s.Count() != want-1 {
+			t.Fatalf("n=%d: clear failed", n)
+		}
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	s := New(10)
+	for _, fn := range []func(){
+		func() { s.Set(10) },
+		func() { s.Set(-1) },
+		func() { s.Test(10) },
+		func() { s.Clear(64) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("out-of-range access did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestLengthMismatchPanics(t *testing.T) {
+	a, b := New(10), New(11)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	a.UnionWith(b)
+}
+
+func TestFillMasksTail(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 127} {
+		s := New(n)
+		s.Fill()
+		if got := s.Count(); got != n {
+			t.Fatalf("n=%d: Fill count = %d, want %d", n, got, n)
+		}
+		if n > 0 && !s.Test(n-1) {
+			t.Fatalf("n=%d: last bit not set after Fill", n)
+		}
+	}
+}
+
+func TestResetAndAny(t *testing.T) {
+	s := New(100)
+	if s.Any() {
+		t.Fatal("fresh set reports Any")
+	}
+	s.Set(77)
+	if !s.Any() {
+		t.Fatal("set with a bit reports empty")
+	}
+	s.Reset()
+	if s.Any() || s.Count() != 0 {
+		t.Fatal("Reset left bits behind")
+	}
+}
+
+func TestBooleanOps(t *testing.T) {
+	a, b := New(130), New(130)
+	for _, i := range []int{0, 5, 64, 99, 129} {
+		a.Set(i)
+	}
+	for _, i := range []int{5, 64, 100} {
+		b.Set(i)
+	}
+	if got := a.AndCount(b); got != 2 {
+		t.Fatalf("AndCount = %d, want 2", got)
+	}
+	if got := a.AndNotCount(b); got != 3 {
+		t.Fatalf("AndNotCount = %d, want 3", got)
+	}
+
+	u := New(130)
+	u.CopyFrom(a)
+	u.UnionWith(b)
+	if u.Count() != 6 {
+		t.Fatalf("union count = %d, want 6", u.Count())
+	}
+	if !a.SubsetOf(u) || !b.SubsetOf(u) {
+		t.Fatal("operands not subsets of their union")
+	}
+	if u.SubsetOf(a) {
+		t.Fatal("union wrongly a subset of one operand")
+	}
+
+	i := New(130)
+	i.CopyFrom(a)
+	i.IntersectWith(b)
+	if i.Count() != 2 || !i.Test(5) || !i.Test(64) {
+		t.Fatalf("intersection wrong: count=%d", i.Count())
+	}
+
+	d := New(130)
+	d.CopyFrom(a)
+	d.AndNot(b)
+	if d.Count() != 3 || d.Test(5) || !d.Test(129) {
+		t.Fatalf("difference wrong: count=%d", d.Count())
+	}
+}
+
+func TestForEachAndAppendBits(t *testing.T) {
+	s := New(200)
+	want := []int{0, 1, 63, 64, 65, 128, 199}
+	for _, i := range want {
+		s.Set(i)
+	}
+	var got []int
+	s.ForEach(func(i int) { got = append(got, i) })
+	if len(got) != len(want) {
+		t.Fatalf("ForEach visited %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ForEach order: %v, want %v", got, want)
+		}
+	}
+	app := s.AppendBits(make([]int, 0, 8))
+	if len(app) != len(want) {
+		t.Fatalf("AppendBits = %v, want %v", app, want)
+	}
+	for i := range want {
+		if app[i] != want[i] {
+			t.Fatalf("AppendBits = %v, want %v", app, want)
+		}
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a, b := New(70), New(70)
+	if !a.Equal(b) {
+		t.Fatal("fresh equal-length sets differ")
+	}
+	a.Set(69)
+	if a.Equal(b) {
+		t.Fatal("differing sets report equal")
+	}
+	b.Set(69)
+	if !a.Equal(b) {
+		t.Fatal("same sets report unequal")
+	}
+	if a.Equal(New(71)) {
+		t.Fatal("different lengths report equal")
+	}
+}
+
+func TestZeroLength(t *testing.T) {
+	s := New(0)
+	if s.Len() != 0 || s.Count() != 0 || s.Any() {
+		t.Fatal("zero-length set misbehaves")
+	}
+	s.Reset()
+	s.Fill()
+	if s.Count() != 0 {
+		t.Fatal("Fill on zero-length set set bits")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

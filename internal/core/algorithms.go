@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/domatic"
+	"repro/internal/domset"
 	"repro/internal/graph"
 	"repro/internal/rng"
 )
@@ -70,9 +71,10 @@ func UniformWHP(g *graph.Graph, b int, opt Options, maxTries int) *Schedule {
 		maxTries = 1
 	}
 	target := GuaranteedPhases(g, opt) * b
+	ck := domset.NewChecker(g)
 	var best *Schedule
 	for try := 0; try < maxTries; try++ {
-		s := Uniform(g, b, opt).TruncateInvalid(g, 1)
+		s := Uniform(g, b, opt).TruncateInvalidWith(ck, 1)
 		if best == nil || s.Lifetime() > best.Lifetime() {
 			best = s
 		}
@@ -223,9 +225,10 @@ func GeneralWHP(g *graph.Graph, b []int, opt Options, maxTries int) *Schedule {
 		maxTries = 1
 	}
 	target := GeneralGuaranteedSlots(g, b, opt)
+	ck := domset.NewChecker(g)
 	var best *Schedule
 	for try := 0; try < maxTries; try++ {
-		s := General(g, b, opt).TruncateInvalid(g, 1)
+		s := General(g, b, opt).TruncateInvalidWith(ck, 1)
 		if best == nil || s.Lifetime() > best.Lifetime() {
 			best = s
 		}
@@ -338,9 +341,10 @@ func GeneralFaultTolerantWHP(g *graph.Graph, b []int, k int, opt Options, maxTri
 		maxTries = 1
 	}
 	target := GeneralGuaranteedSlots(g, b, opt) / k
+	ck := domset.NewChecker(g)
 	var best *Schedule
 	for try := 0; try < maxTries; try++ {
-		s := GeneralFaultTolerant(g, b, k, opt).TruncateInvalid(g, k)
+		s := GeneralFaultTolerant(g, b, k, opt).TruncateInvalidWith(ck, k)
 		if best == nil || s.Lifetime() > best.Lifetime() {
 			best = s
 		}
@@ -374,9 +378,10 @@ func FaultTolerantWHP(g *graph.Graph, b, k int, opt Options, maxTries int) *Sche
 	if groups > 0 {
 		target += groups * (b - b/2)
 	}
+	ck := domset.NewChecker(g)
 	var best *Schedule
 	for try := 0; try < maxTries; try++ {
-		s := FaultTolerant(g, b, k, opt).TruncateInvalid(g, k)
+		s := FaultTolerant(g, b, k, opt).TruncateInvalidWith(ck, k)
 		if best == nil || s.Lifetime() > best.Lifetime() {
 			best = s
 		}

@@ -80,6 +80,14 @@ func (s *Schedule) ActiveAt(t int) []int {
 // non-negative, node usage never exceeds the battery, and all node IDs are
 // in range. k = 1 is the plain problem.
 func (s *Schedule) Validate(g *graph.Graph, batteries []int, k int) error {
+	return s.ValidateWith(domset.NewChecker(g), batteries, k)
+}
+
+// ValidateWith is Validate against a caller-held Checker, amortizing the
+// packed-neighborhood build across many validations of schedules on the same
+// graph (the WHP retry loops and experiment sweeps).
+func (s *Schedule) ValidateWith(ck *domset.Checker, batteries []int, k int) error {
+	g := ck.Graph()
 	if len(batteries) != g.N() {
 		return fmt.Errorf("core: %d batteries for %d nodes", len(batteries), g.N())
 	}
@@ -100,7 +108,7 @@ func (s *Schedule) Validate(g *graph.Graph, batteries []int, k int) error {
 			}
 			usage[v] += p.Duration
 		}
-		if !domset.IsKDominating(g, p.Set, k, nil) {
+		if !ck.IsKDominating(p.Set, k, nil) {
 			return fmt.Errorf("core: phase %d (duration %d) is not %d-dominating", i, p.Duration, k)
 		}
 	}
@@ -117,9 +125,14 @@ func (s *Schedule) Validate(g *graph.Graph, batteries []int, k int) error {
 // repair for the probabilistic color-class guarantee: the schedule runs
 // until the first broken phase and stops.
 func (s *Schedule) TruncateInvalid(g *graph.Graph, k int) *Schedule {
+	return s.TruncateInvalidWith(domset.NewChecker(g), k)
+}
+
+// TruncateInvalidWith is TruncateInvalid against a caller-held Checker.
+func (s *Schedule) TruncateInvalidWith(ck *domset.Checker, k int) *Schedule {
 	out := &Schedule{}
 	for _, p := range s.Phases {
-		if p.Duration > 0 && !domset.IsKDominating(g, p.Set, k, nil) {
+		if p.Duration > 0 && !ck.IsKDominating(p.Set, k, nil) {
 			break
 		}
 		out.Phases = append(out.Phases, p)
@@ -131,9 +144,14 @@ func (s *Schedule) TruncateInvalid(g *graph.Graph, k int) *Schedule {
 // (rather than truncating at the first). This is the ablation counterpart of
 // TruncateInvalid: it assumes a coordinator can skip broken classes.
 func (s *Schedule) DropInvalid(g *graph.Graph, k int) *Schedule {
+	return s.DropInvalidWith(domset.NewChecker(g), k)
+}
+
+// DropInvalidWith is DropInvalid against a caller-held Checker.
+func (s *Schedule) DropInvalidWith(ck *domset.Checker, k int) *Schedule {
 	out := &Schedule{}
 	for _, p := range s.Phases {
-		if p.Duration > 0 && !domset.IsKDominating(g, p.Set, k, nil) {
+		if p.Duration > 0 && !ck.IsKDominating(p.Set, k, nil) {
 			continue
 		}
 		out.Phases = append(out.Phases, p)

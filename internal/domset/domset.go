@@ -8,7 +8,6 @@
 package domset
 
 import (
-	"fmt"
 	"sort"
 
 	"repro/internal/graph"
@@ -26,67 +25,19 @@ func IsDominating(g *graph.Graph, set []int, alive []bool) bool {
 // IsKDominating reports whether every alive node has at least k dominators
 // in its closed neighborhood within set (counting itself if it is in the
 // set), considering only alive dominators.
+//
+// This is the one-shot convenience form; hot loops should hold a Checker
+// and call its methods to amortize the scratch buffers across calls.
 func IsKDominating(g *graph.Graph, set []int, k int, alive []bool) bool {
-	in := make([]bool, g.N())
-	for _, v := range set {
-		if v < 0 || v >= g.N() {
-			panic(fmt.Sprintf("domset: node %d out of range", v))
-		}
-		if alive == nil || alive[v] {
-			in[v] = true
-		}
-	}
-	for v := 0; v < g.N(); v++ {
-		if alive != nil && !alive[v] {
-			continue
-		}
-		count := 0
-		if in[v] {
-			count++
-		}
-		for _, u := range g.Neighbors(v) {
-			if in[u] {
-				count++
-				if count >= k {
-					break
-				}
-			}
-		}
-		if count < k {
-			return false
-		}
-	}
-	return true
+	return newSparseChecker(g).IsKDominating(set, k, alive)
 }
 
 // UndominatedNodes returns the sorted alive nodes with fewer than k
 // dominators in set. Useful for diagnostics and failure-injection reports.
+// Hot loops should hold a Checker and use AppendUndominated with a reused
+// buffer instead.
 func UndominatedNodes(g *graph.Graph, set []int, k int, alive []bool) []int {
-	in := make([]bool, g.N())
-	for _, v := range set {
-		if alive == nil || alive[v] {
-			in[v] = true
-		}
-	}
-	var out []int
-	for v := 0; v < g.N(); v++ {
-		if alive != nil && !alive[v] {
-			continue
-		}
-		count := 0
-		if in[v] {
-			count++
-		}
-		for _, u := range g.Neighbors(v) {
-			if in[u] {
-				count++
-			}
-		}
-		if count < k {
-			out = append(out, v)
-		}
-	}
-	return out
+	return newSparseChecker(g).AppendUndominated(nil, set, k, alive)
 }
 
 // Greedy returns a dominating set via the classical set-cover greedy: it

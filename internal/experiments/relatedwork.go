@@ -52,6 +52,7 @@ func runE16(cfg Config) *Table {
 			samples := par.Map(cfg.trials(), 0, func(i int) sample {
 				src := srcs[i]
 				g := fam.build(n, src)
+				ck := domset.NewChecker(g)
 
 				central := domset.Greedy(g)
 
@@ -61,7 +62,7 @@ func runE16(cfg Config) *Table {
 					return sample{}
 				}
 				ds := distsim.GreedyDSSet(greedyNodes)
-				if !domset.IsDominating(g, ds, nil) {
+				if !ck.IsKDominating(ds, 1, nil) {
 					return sample{}
 				}
 
@@ -71,7 +72,7 @@ func runE16(cfg Config) *Table {
 					return sample{}
 				}
 				mis := distsim.MISSet(misNodes)
-				if !domset.IsMaximalIndependent(g, mis) {
+				if !domset.IsIndependent(g, mis) || !ck.IsKDominating(mis, 1, nil) {
 					return sample{}
 				}
 
@@ -85,7 +86,7 @@ func runE16(cfg Config) *Table {
 					return sample{}
 				}
 				lpSet := distsim.LPDSSet(lpNodes)
-				if !domset.IsDominating(g, lpSet, nil) {
+				if !ck.IsKDominating(lpSet, 1, nil) {
 					return sample{}
 				}
 				return sample{

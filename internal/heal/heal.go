@@ -125,6 +125,8 @@ func Run(net *energy.Network, s *core.Schedule, opt Options) Result {
 
 	radio := patchRadio(opt)
 	inject := opt.Chaos.Injector()
+	ck := domset.NewChecker(g)
+	uncovBuf := make([]int, 0, g.N())
 
 	cur := s
 	pos := 0 // slot index within cur
@@ -134,6 +136,16 @@ func Run(net *energy.Network, s *core.Schedule, opt Options) Result {
 
 	for t := 0; t < opt.MaxSlots; t++ {
 		res.Deaths += inject.Inject(net, t)
+
+		if net.AliveCount() == 0 && g.N() > 0 {
+			// Dead network: no recruit or replan can revive anyone, so this
+			// is a terminal coverage violation (same semantics as sensim.Run).
+			res.Coverage = append(res.Coverage, 0)
+			if res.FirstViolation == -1 {
+				res.FirstViolation = t
+			}
+			break
+		}
 
 		// Locate the scheduled set; when the plan is exhausted, escalate to
 		// the replanner before giving up — the residual budgets may still
@@ -159,7 +171,7 @@ func Run(net *energy.Network, s *core.Schedule, opt Options) Result {
 		}
 
 		serving := serviceable(net, phaseSet, recruits)
-		uncovered := domset.UndominatedNodes(g, serving, opt.K, net.Alive)
+		uncovered := ck.AppendUndominated(uncovBuf[:0], serving, opt.K, net.Alive)
 
 		// Rung 1: local patching with exponential backoff.
 		if len(uncovered) > 0 {
@@ -180,7 +192,7 @@ func Run(net *energy.Network, s *core.Schedule, opt Options) Result {
 						recruits[v] = true
 					}
 					serving = serviceable(net, phaseSet, recruits)
-					uncovered = domset.UndominatedNodes(g, serving, opt.K, net.Alive)
+					uncovered = ck.AppendUndominated(uncovBuf[:0], serving, opt.K, net.Alive)
 				}
 			}
 			if len(uncovered) == 0 {
@@ -201,7 +213,7 @@ func Run(net *energy.Network, s *core.Schedule, opt Options) Result {
 					recruits = map[int]bool{}
 					phaseSet, lastPhase = activeAt(cur, pos)
 					serving = serviceable(net, phaseSet, recruits)
-					uncovered = domset.UndominatedNodes(g, serving, opt.K, net.Alive)
+					uncovered = ck.AppendUndominated(uncovBuf[:0], serving, opt.K, net.Alive)
 				}
 			}
 		}
@@ -215,11 +227,11 @@ func Run(net *energy.Network, s *core.Schedule, opt Options) Result {
 		res.EnergySpent += len(served) * net.ActiveCost
 
 		alive := net.AliveCount()
-		covered := alive - len(domset.UndominatedNodes(g, served, opt.K, net.Alive))
+		covered := ck.CoveredCount(served, opt.K, net.Alive)
 		if alive > 0 {
 			res.Coverage = append(res.Coverage, float64(covered)/float64(alive))
 		} else {
-			res.Coverage = append(res.Coverage, 1)
+			res.Coverage = append(res.Coverage, 1) // only the 0-node network
 		}
 		if covered == alive {
 			if res.FirstViolation == -1 {

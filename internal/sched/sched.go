@@ -31,8 +31,10 @@ func Minimalize(g *graph.Graph, s *core.Schedule, k int) *core.Schedule {
 		panic(fmt.Sprintf("sched: tolerance k = %d must be >= 1", k))
 	}
 	out := &core.Schedule{}
+	ck := domset.NewChecker(g)
+	trial := make([]int, 0, g.N())
 	for _, p := range s.Phases {
-		pruned := minimalizeSet(g, p.Set, k)
+		pruned := minimalizeSet(ck, p.Set, k, trial)
 		out.Phases = append(out.Phases, core.Phase{Set: pruned, Duration: p.Duration})
 	}
 	return out
@@ -40,9 +42,11 @@ func Minimalize(g *graph.Graph, s *core.Schedule, k int) *core.Schedule {
 
 // minimalizeSet removes redundant members of a k-dominating set. Members
 // are considered for removal in increasing degree order, so high-degree
-// nodes (which cover many others) survive.
-func minimalizeSet(g *graph.Graph, set []int, k int) []int {
-	if !domset.IsKDominating(g, set, k, nil) {
+// nodes (which cover many others) survive. trial is caller-owned scratch
+// reused across phases; the returned slice is freshly allocated.
+func minimalizeSet(ck *domset.Checker, set []int, k int, trial []int) []int {
+	g := ck.Graph()
+	if !ck.IsKDominating(set, k, nil) {
 		// Not dominating to begin with (possible for raw randomized
 		// schedules): leave untouched — Validate/Truncate is the caller's
 		// tool for that.
@@ -52,14 +56,14 @@ func minimalizeSet(g *graph.Graph, set []int, k int) []int {
 	order := append([]int(nil), set...)
 	sort.Slice(order, func(i, j int) bool { return g.Degree(order[i]) < g.Degree(order[j]) })
 	for _, candidate := range order {
-		trial := current[:0:0]
+		trial = trial[:0]
 		for _, v := range current {
 			if v != candidate {
 				trial = append(trial, v)
 			}
 		}
-		if domset.IsKDominating(g, trial, k, nil) {
-			current = trial
+		if ck.IsKDominating(trial, k, nil) {
+			current = current[:copy(current, trial)]
 		}
 	}
 	sort.Ints(current)

@@ -36,9 +36,10 @@ func TestRunFailureAtSlotZero(t *testing.T) {
 }
 
 func TestRunWholeNetworkCrashPlan(t *testing.T) {
-	// A plan crashing every node mid-run must terminate without panic; once
-	// nobody is alive, coverage is vacuously perfect (there is no one left
-	// to dominate).
+	// A plan crashing every node mid-run is a terminal coverage violation:
+	// the death slot is recorded with coverage 0, FirstViolation points at
+	// it, the lifetime stops accruing, and the run ends (crashed nodes never
+	// revive, so executing further slots would only repeat the violation).
 	g := gen.Complete(6)
 	net := energy.NewNetwork(g, energy.Uniform(g, 4))
 	s := allOn(6, 4)
@@ -50,15 +51,50 @@ func TestRunWholeNetworkCrashPlan(t *testing.T) {
 	if res.Deaths != 6 {
 		t.Fatalf("deaths = %d, want 6", res.Deaths)
 	}
-	if len(res.Coverage) != 4 {
-		t.Fatalf("executed %d slots, want 4 (schedule must run to completion)", len(res.Coverage))
+	if len(res.Coverage) != 2 {
+		t.Fatalf("executed %d slots, want 2 (run must stop at the death slot)", len(res.Coverage))
 	}
-	// Slot 0 covered; slots 1..3 have zero alive nodes — vacuously covered.
-	if res.FirstViolation != -1 {
-		t.Fatalf("FirstViolation = %d, want -1 (empty network is vacuously covered)", res.FirstViolation)
+	if res.Coverage[1] != 0 {
+		t.Fatalf("death slot coverage = %v, want 0", res.Coverage[1])
 	}
-	if res.AchievedLifetime != 4 {
-		t.Fatalf("AchievedLifetime = %d, want 4", res.AchievedLifetime)
+	if res.FirstViolation != 1 {
+		t.Fatalf("FirstViolation = %d, want 1 (the slot the network died)", res.FirstViolation)
+	}
+	if res.AchievedLifetime != 1 {
+		t.Fatalf("AchievedLifetime = %d, want 1 (only slot 0 was covered)", res.AchievedLifetime)
+	}
+	if !Verify(res) {
+		t.Fatal("result fails Verify")
+	}
+}
+
+func TestRunChaosKillsAllNodesMidSchedule(t *testing.T) {
+	// The PR 2 regression: a chaos plan that kills every node mid-schedule
+	// must be reported as a violation at the death slot — not as a
+	// "vacuously covered" run whose lifetime keeps growing.
+	g := gen.Complete(5)
+	net := energy.NewNetwork(g, energy.Uniform(g, 6))
+	s := allOn(5, 6)
+	var crashes energy.FailurePlan
+	for v := 0; v < 5; v++ {
+		crashes = append(crashes, energy.Failure{Time: 3, Node: v})
+	}
+	plan := chaos.Plan{Crashes: crashes}
+	res := Run(net, s, Options{K: 1, Inject: plan.Injector()})
+	if res.Deaths != 5 {
+		t.Fatalf("deaths = %d, want 5", res.Deaths)
+	}
+	if res.FirstViolation != 3 {
+		t.Fatalf("FirstViolation = %d, want 3 (the death slot)", res.FirstViolation)
+	}
+	if res.AchievedLifetime != 3 {
+		t.Fatalf("AchievedLifetime = %d, want 3 — lifetime must stop accruing at network death", res.AchievedLifetime)
+	}
+	if len(res.Coverage) != 4 || res.Coverage[3] != 0 {
+		t.Fatalf("coverage trace %v, want 4 entries ending in 0", res.Coverage)
+	}
+	if !Verify(res) {
+		t.Fatal("result fails Verify")
 	}
 }
 

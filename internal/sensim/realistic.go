@@ -4,7 +4,9 @@ import (
 	"fmt"
 
 	"repro/internal/agg"
+	"repro/internal/bitset"
 	"repro/internal/core"
+	"repro/internal/domset"
 	"repro/internal/graph"
 )
 
@@ -51,6 +53,9 @@ type RealisticResult struct {
 // nodes wake up to forward — the realistic cost the paper's reserved-budget
 // argument hides). Nodes whose battery is exhausted die and neither serve
 // nor need coverage. tree may be nil to skip delivery accounting.
+//
+// As in Run, a fully dead network is a terminal coverage violation: the slot
+// that finds no node alive sets FirstViolation (if unset) and ends the run.
 func RunRealistic(g *graph.Graph, s *core.Schedule, batteries []int, m Model, tree *agg.Tree) RealisticResult {
 	if len(batteries) != g.N() {
 		panic(fmt.Sprintf("sensim: %d batteries for %d nodes", len(batteries), g.N()))
@@ -61,12 +66,12 @@ func RunRealistic(g *graph.Graph, s *core.Schedule, batteries []int, m Model, tr
 	res := RealisticResult{FirstViolation: -1}
 	battery := append([]int(nil), batteries...)
 	alive := make([]bool, g.N())
+	aliveCount := 0
 	for v := range alive {
+		// Nodes starting at 0 battery count as dead, not deaths.
 		alive[v] = battery[v] > 0
-	}
-	for v, a := range alive {
-		if !a && batteries[v] <= 0 {
-			_ = v // nodes starting at 0 battery count as dead, not deaths
+		if alive[v] {
+			aliveCount++
 		}
 	}
 
@@ -81,29 +86,39 @@ func RunRealistic(g *graph.Graph, s *core.Schedule, batteries []int, m Model, tr
 		res.EnergySpent += amount
 		if battery[v] == 0 {
 			alive[v] = false
+			aliveCount--
 			res.Deaths++
 		}
 	}
 
+	ck := domset.NewChecker(g)
+	inServing := bitset.New(g.N())
+	sent := bitset.New(g.N())
+	serving := make([]int, 0, g.N())
+
 	t := 0
 	for _, phase := range s.Phases {
 		for dt := 0; dt < phase.Duration; dt++ {
+			if aliveCount == 0 && g.N() > 0 {
+				// Dead network: terminal violation, stop the run.
+				if res.FirstViolation == -1 {
+					res.FirstViolation = t
+				}
+				res.SlotsExecuted++
+				return res
+			}
 			// Serving set: scheduled, alive, able to pay a full active slot.
-			var serving []int
+			serving = serving[:0]
+			inServing.Reset()
 			for _, v := range phase.Set {
 				if alive[v] && battery[v] >= m.ActiveCost {
 					serving = append(serving, v)
+					inServing.Set(v)
 				}
 			}
 			// Coverage check before charging (the slot's service happens
 			// while the energy is still there).
-			covered := coveredCountAlive(g, alive, serving)
-			aliveCount := 0
-			for _, a := range alive {
-				if a {
-					aliveCount++
-				}
-			}
+			covered := ck.CoveredCount(serving, 1, alive)
 			if covered == aliveCount {
 				if res.FirstViolation == -1 {
 					res.AchievedLifetime = t + 1
@@ -112,22 +127,19 @@ func RunRealistic(g *graph.Graph, s *core.Schedule, batteries []int, m Model, tr
 				res.FirstViolation = t
 			}
 			// Charges.
-			inServing := make(map[int]bool, len(serving))
-			for _, v := range serving {
-				inServing[v] = true
-			}
 			for v := 0; v < g.N(); v++ {
 				if !alive[v] {
 					continue
 				}
-				if inServing[v] {
+				if inServing.Test(v) {
 					charge(v, m.ActiveCost)
 				} else {
 					charge(v, m.SleepCost)
 				}
 			}
 			if tree != nil && m.TxCost > 0 {
-				chargeDelivery(tree, serving, alive, m.TxCost, charge)
+				sent.Reset()
+				chargeDelivery(tree, serving, alive, m.TxCost, charge, sent)
 			}
 			t++
 			res.SlotsExecuted++
@@ -138,43 +150,15 @@ func RunRealistic(g *graph.Graph, s *core.Schedule, batteries []int, m Model, tr
 
 // chargeDelivery charges TxCost to every distinct transmitting node on the
 // union of root paths from the serving clusterheads (in-network
-// aggregation: each tree edge fires once).
-func chargeDelivery(tree *agg.Tree, serving []int, alive []bool, txCost int, charge func(v, amount int)) {
-	sent := map[int]bool{}
+// aggregation: each tree edge fires once). sent is caller-owned scratch,
+// reset before the call.
+func chargeDelivery(tree *agg.Tree, serving []int, alive []bool, txCost int, charge func(v, amount int), sent *bitset.Set) {
 	for _, s := range serving {
-		for v := s; v != tree.Sink && !sent[v]; v = tree.Parent[v] {
-			sent[v] = true
+		for v := s; v != tree.Sink && !sent.Test(v); v = tree.Parent[v] {
+			sent.Set(v)
 			if alive[v] {
 				charge(v, txCost)
 			}
 		}
 	}
-}
-
-// coveredCountAlive counts alive nodes with at least one serving closed
-// neighbor.
-func coveredCountAlive(g *graph.Graph, alive []bool, serving []int) int {
-	in := make([]bool, g.N())
-	for _, v := range serving {
-		in[v] = true
-	}
-	covered := 0
-	for v := 0; v < g.N(); v++ {
-		if !alive[v] {
-			continue
-		}
-		ok := in[v]
-		if !ok {
-			for _, u := range g.Neighbors(v) {
-				if in[u] {
-					ok = true
-					break
-				}
-			}
-		}
-		if ok {
-			covered++
-		}
-	}
-	return covered
 }

@@ -9,6 +9,7 @@ package sensim
 
 import (
 	"repro/internal/core"
+	"repro/internal/domset"
 	"repro/internal/energy"
 	"repro/internal/graph"
 )
@@ -63,6 +64,13 @@ type Options struct {
 // failures are applied. Nodes that are dead or out of budget are silently
 // excluded from the active set (they cannot serve), exactly as a deployment
 // would experience.
+//
+// A fully dead network is a terminal coverage violation: crashed nodes never
+// revive, so the slot in which the last node dies is recorded with coverage
+// 0, FirstViolation is set (if not already), and the run stops — lifetime
+// never accrues past the death of the network. (Earlier versions scored the
+// empty network as "vacuously covered", which let a chaos plan that kills
+// everyone *improve* the reported lifetime.)
 func Run(net *energy.Network, s *core.Schedule, opt Options) Result {
 	if opt.K < 1 {
 		opt.K = 1
@@ -70,6 +78,7 @@ func Run(net *energy.Network, s *core.Schedule, opt Options) Result {
 	res := Result{ScheduleLifetime: s.Lifetime(), FirstViolation: -1}
 	plan := append(energy.FailurePlan(nil), opt.Failures...)
 	plan.Sort()
+	ck := domset.NewChecker(net.G)
 	next := 0
 	t := 0
 
@@ -92,12 +101,20 @@ func Run(net *energy.Network, s *core.Schedule, opt Options) Result {
 			serving := net.DrainServiceable(phase.Set)
 			res.EnergySpent += len(serving) * net.ActiveCost
 
-			covered := coveredCount(net, serving, opt.K)
 			alive := net.AliveCount()
+			if alive == 0 && net.G.N() > 0 {
+				// Dead network: terminal violation, stop the run.
+				res.Coverage = append(res.Coverage, 0)
+				if res.FirstViolation == -1 {
+					res.FirstViolation = t
+				}
+				return res
+			}
+			covered := ck.CoveredCount(serving, opt.K, net.Alive)
 			if alive > 0 {
 				res.Coverage = append(res.Coverage, float64(covered)/float64(alive))
 			} else {
-				res.Coverage = append(res.Coverage, 1)
+				res.Coverage = append(res.Coverage, 1) // only the 0-node network
 			}
 			res.ReportsDelivered += covered
 			if covered == alive {
@@ -116,38 +133,6 @@ func Run(net *energy.Network, s *core.Schedule, opt Options) Result {
 	return res
 }
 
-// coveredCount returns how many alive nodes have at least k serving
-// dominators in their closed neighborhood.
-func coveredCount(net *energy.Network, serving []int, k int) int {
-	g := net.G
-	in := make([]bool, g.N())
-	for _, v := range serving {
-		in[v] = true
-	}
-	covered := 0
-	for v := 0; v < g.N(); v++ {
-		if !net.Alive[v] {
-			continue
-		}
-		count := 0
-		if in[v] {
-			count++
-		}
-		for _, u := range g.Neighbors(v) {
-			if in[u] {
-				count++
-				if count >= k {
-					break
-				}
-			}
-		}
-		if count >= k {
-			covered++
-		}
-	}
-	return covered
-}
-
 // NaiveAllOn returns the baseline schedule with every node active in every
 // slot until the uniform budget b runs out: lifetime exactly b. This is the
 // "no scheduling" strawman every partition-based schedule must beat.
@@ -164,7 +149,10 @@ func NaiveAllOn(n, b int) *core.Schedule {
 
 // Verify re-checks a claimed coverage trace against first principles: the
 // achieved lifetime equals the index of the first sub-1 coverage entry (or
-// the trace length). Used by tests as a cross-check on Run's bookkeeping.
+// the trace length). This also holds under the dead-network semantics: the
+// slot in which the network dies is recorded as coverage 0, so it is the
+// first sub-1 entry, matches FirstViolation, and ends the trace. Used by
+// tests as a cross-check on Run's bookkeeping.
 func Verify(res Result) bool {
 	for t, c := range res.Coverage {
 		if c < 1 {
@@ -220,10 +208,7 @@ func ResidualDominationHorizon(net *energy.Network, k int) int {
 		if !net.Alive[v] {
 			continue
 		}
-		sum := 0
-		if net.Alive[v] {
-			sum += net.Residual[v]
-		}
+		sum := net.Residual[v] // v itself passed the alive guard above
 		for _, u := range g.Neighbors(v) {
 			if net.Alive[u] {
 				sum += net.Residual[u]

@@ -201,6 +201,60 @@ func TestResidualDominationHorizon(t *testing.T) {
 	}
 }
 
+func TestResidualDominationHorizonMatchesBruteForce(t *testing.T) {
+	// Property test: the horizon must equal a from-scratch recomputation of
+	// the Lemma 5.1 bound — min over alive v of the summed residual budget in
+	// N+[v] ∩ alive, divided by k — on random graphs with random budgets and
+	// random dead subsets (including the everyone-dead network).
+	brute := func(net *energy.Network, k int) int {
+		if k < 1 {
+			k = 1
+		}
+		best := -1
+		for v := 0; v < net.G.N(); v++ {
+			if !net.Alive[v] {
+				continue
+			}
+			sum := 0
+			closed := append([]int32{int32(v)}, net.G.Neighbors(v)...)
+			for _, u := range closed {
+				if net.Alive[u] {
+					sum += net.Residual[u]
+				}
+			}
+			if best == -1 || sum < best {
+				best = sum
+			}
+		}
+		if best < 0 {
+			return 0
+		}
+		return best / k
+	}
+	src := rng.New(11)
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + src.Intn(60)
+		g := gen.GNP(n, 0.1, src)
+		b := make([]int, n)
+		for i := range b {
+			b[i] = src.Intn(6)
+		}
+		net := energy.NewNetwork(g, b)
+		// Kill a random subset; the last trials kill everyone.
+		for v := 0; v < n; v++ {
+			if src.Intn(4) == 0 || trial >= 45 {
+				net.Kill(v)
+			}
+		}
+		for k := 1; k <= 3; k++ {
+			want := brute(net, k)
+			if got := ResidualDominationHorizon(net, k); got != want {
+				t.Fatalf("trial %d n=%d k=%d: horizon %d, want %d", trial, n, k, got, want)
+			}
+		}
+	}
+}
+
 func TestAchievedNeverExceedsResidualHorizon(t *testing.T) {
 	// Property: achieved lifetime ≤ initial ResidualDominationHorizon
 	// (Lemma 5.1 in executable form).

@@ -107,7 +107,10 @@ func LinearFit(x, y []float64) (slope, intercept float64) {
 }
 
 // Histogram counts xs into `bins` equal-width buckets spanning [min, max].
-// Values at max land in the last bucket. It panics for bins < 1 or an empty
+// Values at max land in the last bucket. A constant sample (max == min, so
+// the bucket width is zero) lands entirely in bucket 0: the degenerate range
+// [min, min] collapses to the first bucket, matching where min itself falls
+// in any non-degenerate histogram. It panics for bins < 1 or an empty
 // sample.
 func Histogram(xs []float64, bins int) []int {
 	if bins < 1 {
@@ -117,7 +120,7 @@ func Histogram(xs []float64, bins int) []int {
 	counts := make([]int, bins)
 	width := (s.Max - s.Min) / float64(bins)
 	for _, x := range xs {
-		i := bins - 1
+		i := 0
 		if width > 0 {
 			i = int((x - s.Min) / width)
 			if i >= bins {

@@ -91,10 +91,25 @@ func TestHistogram(t *testing.T) {
 	if h[0] != 2 || h[1] != 3 {
 		t.Fatalf("histogram = %v", h)
 	}
-	// Constant sample: everything in the last bucket (width 0).
-	h = Histogram([]float64{5, 5, 5}, 3)
-	if h[2] != 3 {
-		t.Fatalf("constant histogram = %v", h)
+	// x == Max lands in the last bucket, not a phantom bucket past the end.
+	h = Histogram([]float64{0, 1, 2, 3, 4}, 4)
+	if h[3] != 2 {
+		t.Fatalf("x==Max histogram = %v, want counts[3]=2 (3 and 4)", h)
+	}
+}
+
+func TestHistogramConstantSample(t *testing.T) {
+	// Constant sample: the width-0 range [5,5] collapses to bucket 0 —
+	// where min falls in every non-degenerate histogram — not the last
+	// bucket.
+	h := Histogram([]float64{5, 5, 5}, 3)
+	if h[0] != 3 || h[1] != 0 || h[2] != 0 {
+		t.Fatalf("constant histogram = %v, want [3 0 0]", h)
+	}
+	// Single value, single bucket: both rules agree.
+	h = Histogram([]float64{-2}, 1)
+	if h[0] != 1 {
+		t.Fatalf("single-value histogram = %v, want [1]", h)
 	}
 }
 
