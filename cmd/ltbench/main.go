@@ -7,7 +7,7 @@
 // Usage:
 //
 //	ltbench [-run E1,E7] [-seed 42] [-trials 10] [-quick]
-//	ltbench -bench [-quick] [-benchout BENCH_PR2.json]
+//	ltbench -bench [-quick] [-benchout BENCH_PR3.json]
 //	        [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 package main
 
@@ -37,7 +37,7 @@ func run() int {
 	list := flag.Bool("list", false, "list available experiments and exit")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	doBench := flag.Bool("bench", false, "run the fixed benchmark suite instead of experiments")
-	benchOut := flag.String("benchout", "BENCH_PR2.json", "benchmark report path (with -bench)")
+	benchOut := flag.String("benchout", "BENCH_PR3.json", "benchmark report path (with -bench)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()

@@ -7,14 +7,23 @@
 //
 //	graphgen -family gnp -n 200 -p 0.08 | ltsim -alg uniform -b 4
 //	ltsim -graph g.edges -alg ft -b 4 -k 2 -failures 10
-//	ltsim -graph g.edges -alg general -bmax 6 -trace
+//	ltsim -graph g.edges -alg general -bmax 6 -covtrace
 //	ltsim -graph g.edges -alg uniform -b 4 -chaos "crash=10,leak=5x2" -heal -loss 0.15
+//	ltsim -graph g.edges -alg uniform -b 4 -trace run.jsonl -metrics -obs-addr 127.0.0.1:8135
+//
+// Observability: -trace FILE streams the typed per-slot event trace as JSONL
+// (byte-identical across runs with the same seed), -metrics prints the
+// aggregated counters after the run, and -obs-addr serves the live metrics
+// snapshot as JSON over HTTP while the simulation runs.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 
 	"repro/internal/chaos"
@@ -22,6 +31,7 @@ import (
 	"repro/internal/energy"
 	"repro/internal/graph"
 	"repro/internal/heal"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/sensim"
 )
@@ -43,6 +53,9 @@ type flags struct {
 	loss     float64
 	healing  bool
 	chaos    string
+	trace    string // JSONL event-trace output path ("" = off)
+	metrics  bool   // print the aggregated metrics after the run
+	obsAddr  string // serve the live metrics snapshot over HTTP ("" = off)
 }
 
 // validate rejects nonsensical flag combinations with actionable errors —
@@ -91,7 +104,10 @@ func run() error {
 	flag.StringVar(&f.chaos, "chaos", "", `chaos plan spec, e.g. "crash=10,blackout=2x3,leak=5x2,loss=0.1"`)
 	flag.BoolVar(&f.healing, "heal", false, "run the self-healing runtime (patch → replan → degrade)")
 	flag.Float64Var(&f.loss, "loss", 0, "patch-protocol radio loss probability (with -heal)")
-	trace := flag.Bool("trace", false, "print the per-slot coverage trace")
+	covtrace := flag.Bool("covtrace", false, "print the per-slot coverage trace")
+	flag.StringVar(&f.trace, "trace", "", "write the typed event trace as JSONL to this file")
+	flag.BoolVar(&f.metrics, "metrics", false, "print the aggregated metrics after the run")
+	flag.StringVar(&f.obsAddr, "obs-addr", "", "serve the live metrics snapshot as JSON on this address (e.g. 127.0.0.1:8135)")
 	flag.Parse()
 
 	if err := f.validate(); err != nil {
@@ -143,14 +159,46 @@ func run() error {
 		plan = chaos.Merge(plan, spec)
 	}
 
-	net := energy.NewNetwork(g, batteries)
+	// Observability: assemble the tracer fan-out (JSONL file, metrics
+	// registry) and optionally serve the live snapshot over HTTP.
+	var tracers []obs.Tracer
+	var jsonl *obs.JSONL
+	var traceBuf *bufio.Writer
+	var traceFile *os.File
+	if f.trace != "" {
+		tf, err := os.Create(f.trace)
+		if err != nil {
+			return err
+		}
+		traceFile = tf
+		traceBuf = bufio.NewWriter(tf)
+		jsonl = obs.NewJSONL(traceBuf)
+		tracers = append(tracers, jsonl)
+	}
+	var reg *obs.Registry
+	if f.metrics || f.obsAddr != "" {
+		reg = obs.NewRegistry()
+		tracers = append(tracers, obs.NewMetricsSink(reg))
+	}
+	hooks := obs.Hooks{Trace: obs.Tee(tracers...)}
+	if f.obsAddr != "" {
+		ln, err := net.Listen("tcp", f.obsAddr)
+		if err != nil {
+			return fmt.Errorf("-obs-addr %s: %w", f.obsAddr, err)
+		}
+		defer ln.Close()
+		fmt.Printf("obs: serving metrics snapshot at http://%s/\n", ln.Addr())
+		go func() { _ = http.Serve(ln, reg) }()
+	}
+
+	enet := energy.NewNetwork(g, batteries)
 	fmt.Printf("graph: %v\n", g)
 	fmt.Printf("schedule: %s, nominal lifetime %d\n", f.alg, s.Lifetime())
 
 	var coverage []float64
 	if f.healing {
-		res := heal.Run(net, s, heal.Options{
-			K: f.k, Chaos: plan, Loss: f.loss, Src: src.Split(),
+		res := heal.Run(enet, s, heal.Options{
+			K: f.k, Chaos: plan, Loss: f.loss, Src: src.Split(), Hooks: hooks,
 		})
 		coverage = res.Coverage
 		report(res.Deaths, res.AchievedLifetime, res.FirstViolation)
@@ -161,15 +209,35 @@ func run() error {
 			res.Protocol.Messages, res.Protocol.Rounds, res.Protocol.Dropped)
 		fmt.Printf("energy spent: %d units\n", res.EnergySpent)
 	} else {
-		res := sensim.Run(net, s, sensim.Options{K: f.k, Inject: plan.Injector()})
+		res := sensim.Run(enet, s, sensim.Options{
+			K: f.k, Inject: plan.Injector().WithHooks(hooks), Hooks: hooks,
+		})
 		coverage = res.Coverage
 		report(res.Deaths, res.AchievedLifetime, res.FirstViolation)
 		fmt.Printf("energy spent: %d units; sensor reports delivered: %d\n",
 			res.EnergySpent, res.ReportsDelivered)
 	}
-	if *trace {
+	if *covtrace {
 		for t, c := range coverage {
 			fmt.Printf("slot %3d: coverage %.3f\n", t, c)
+		}
+	}
+	if jsonl != nil {
+		if err := jsonl.Err(); err != nil {
+			return fmt.Errorf("-trace %s: %w", f.trace, err)
+		}
+		if err := traceBuf.Flush(); err != nil {
+			return fmt.Errorf("-trace %s: %w", f.trace, err)
+		}
+		if err := traceFile.Close(); err != nil {
+			return fmt.Errorf("-trace %s: %w", f.trace, err)
+		}
+		fmt.Printf("trace written to %s\n", f.trace)
+	}
+	if f.metrics {
+		fmt.Println("metrics:")
+		if err := reg.WriteSummary(os.Stdout); err != nil {
+			return err
 		}
 	}
 	return nil

@@ -35,4 +35,15 @@ func TestValidateFlags(t *testing.T) {
 	if err := healOK.validate(); err != nil {
 		t.Errorf("heal with loss rejected: %v", err)
 	}
+	// The observability flags are valid in any combination, on either
+	// runtime.
+	obsOK := flags{alg: "uniform", b: 3, k: 1,
+		trace: "run.jsonl", metrics: true, obsAddr: "127.0.0.1:0"}
+	if err := obsOK.validate(); err != nil {
+		t.Errorf("obs flags rejected: %v", err)
+	}
+	obsHeal := flags{alg: "ft", b: 3, k: 2, healing: true, trace: "run.jsonl"}
+	if err := obsHeal.validate(); err != nil {
+		t.Errorf("obs flags with heal rejected: %v", err)
+	}
 }

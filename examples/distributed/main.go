@@ -32,7 +32,7 @@ func main() {
 	sources := src.SplitN(g.N())
 	nodes := distsim.NewGeneralNodes(g, batteries, 3, sources)
 
-	stats, err := distsim.Run(g, distsim.Programs(nodes), 10)
+	stats, err := distsim.Run(g, distsim.Programs(nodes), distsim.Options{MaxRounds: 10})
 	if err != nil {
 		log.Fatal(err)
 	}

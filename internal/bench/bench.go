@@ -23,6 +23,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/sensim"
 )
@@ -183,7 +184,7 @@ func toCase(name string, r testing.BenchmarkResult, baseline float64) Case {
 func Run(quick bool) Report {
 	rep := Report{
 		Schema:      Schema,
-		PR:          "PR2",
+		PR:          "PR3",
 		GoVersion:   runtime.Version(),
 		GOOS:        runtime.GOOS,
 		GOARCH:      runtime.GOARCH,
@@ -230,13 +231,19 @@ func Run(quick bool) Report {
 		}
 	}
 
-	rep.Cases = append(rep.Cases, runSensimCase(quick), runExperimentCase(quick))
+	rep.Cases = append(rep.Cases, runSensimCases(quick)...)
+	rep.Cases = append(rep.Cases, runExperimentCase(quick))
 	return rep
 }
 
-// runSensimCase benchmarks a full sensim.Run execution: GeneralWHP schedule
+// runSensimCases benchmarks a full sensim.Run execution: GeneralWHP schedule
 // on a GNP network, rebuilt (cheaply) every iteration because Run drains it.
-func runSensimCase(quick bool) Case {
+// It reports three cases: the plain run (obs off, the instrumented-but-idle
+// hot path), the same run with a metrics sink attached, and the same run
+// with a trace sink consuming every event. The obs=on cases carry the obs=off
+// time as their baseline, so their Speedup field is the overhead ratio
+// (1.0 = free; 0.5 = tracing doubled the runtime).
+func runSensimCases(quick bool) []Case {
 	n := 512
 	if quick {
 		n = 128
@@ -248,14 +255,41 @@ func runSensimCase(quick bool) Case {
 		b[i] = 4 + src.Intn(4)
 	}
 	s := core.GeneralWHP(g, b, core.Options{Src: rng.New(7)}, 5)
-	r := run(func(tb *testing.B) {
+	off := run(func(tb *testing.B) {
 		for i := 0; i < tb.N; i++ {
 			net := energy.NewNetwork(g, b)
 			sensim.Run(net, s, sensim.Options{K: 1})
 		}
 	})
-	return toCase(fmt.Sprintf("e2e/sensim.Run/n=%d", n), r, 0)
+	reg := obs.NewRegistry()
+	metricsHooks := obs.Hooks{Trace: obs.NewMetricsSink(reg)}
+	withMetrics := run(func(tb *testing.B) {
+		for i := 0; i < tb.N; i++ {
+			net := energy.NewNetwork(g, b)
+			sensim.Run(net, s, sensim.Options{K: 1, Hooks: metricsHooks})
+		}
+	})
+	var sink discardTracer
+	traceHooks := obs.Hooks{Trace: &sink}
+	withTrace := run(func(tb *testing.B) {
+		for i := 0; i < tb.N; i++ {
+			net := energy.NewNetwork(g, b)
+			sensim.Run(net, s, sensim.Options{K: 1, Hooks: traceHooks})
+		}
+	})
+	offNs := float64(off.NsPerOp())
+	return []Case{
+		toCase(fmt.Sprintf("e2e/sensim.Run/obs=off/n=%d", n), off, 0),
+		toCase(fmt.Sprintf("e2e/sensim.Run/obs=metrics/n=%d", n), withMetrics, offNs),
+		toCase(fmt.Sprintf("e2e/sensim.Run/obs=trace/n=%d", n), withTrace, offNs),
+	}
 }
+
+// discardTracer counts events and drops them — the cheapest possible
+// non-nil sink, isolating the emission cost itself.
+type discardTracer struct{ events uint64 }
+
+func (d *discardTracer) Emit(obs.Event) { d.events++ }
 
 // runExperimentCase times one full experiment table (E1, the paper's
 // Figure 1 reproduction) — the coarsest end-to-end signal in the suite.

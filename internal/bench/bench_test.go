@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"strings"
 	"testing"
 
 	"repro/internal/domset"
@@ -49,13 +50,14 @@ func TestRunQuickProducesReport(t *testing.T) {
 		t.Skip("bench suite is slow")
 	}
 	rep := Run(true)
-	if rep.Schema != Schema || rep.PR != "PR2" || !rep.Quick {
+	if rep.Schema != Schema || rep.PR != "PR3" || !rep.Quick {
 		t.Fatalf("bad report header: %+v", rep)
 	}
 	if len(rep.Cases) == 0 {
 		t.Fatal("no cases")
 	}
-	for _, c := range rep.Cases {
+	var obsOff, obsMetrics *Case
+	for i, c := range rep.Cases {
 		if c.Iterations <= 0 || c.NsPerOp <= 0 {
 			t.Fatalf("case %s did not run: %+v", c.Name, c)
 		}
@@ -67,5 +69,26 @@ func TestRunQuickProducesReport(t *testing.T) {
 				t.Fatalf("kernel case %s allocates %d/op, want 0", c.Name, c.AllocsPerOp)
 			}
 		}
+		if strings.Contains(c.Name, "obs=off") {
+			obsOff = &rep.Cases[i]
+		}
+		if strings.Contains(c.Name, "obs=metrics") {
+			obsMetrics = &rep.Cases[i]
+		}
+	}
+	if obsOff == nil || obsMetrics == nil {
+		t.Fatal("obs overhead cases missing from the suite")
+	}
+	// The obs=on cases carry the obs=off time as baseline, so Speedup is the
+	// overhead ratio. Attaching a metrics sink must not change the run's
+	// allocation profile — the hot path observes through pre-resolved
+	// pointers.
+	if obsMetrics.BaselineNsPerOp != obsOff.NsPerOp {
+		t.Fatalf("obs=metrics baseline %v, want obs=off time %v",
+			obsMetrics.BaselineNsPerOp, obsOff.NsPerOp)
+	}
+	if obsMetrics.AllocsPerOp != obsOff.AllocsPerOp {
+		t.Fatalf("metrics sink changed allocs/op: off %d, metrics %d",
+			obsOff.AllocsPerOp, obsMetrics.AllocsPerOp)
 	}
 }

@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/energy"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/rng"
 )
 
@@ -38,7 +39,7 @@ type Leak struct {
 }
 
 // Radio is the message-loss model of a plan. It matches distsim.Radio
-// structurally, so a chaos radio plugs straight into distsim.RunRadio
+// structurally, so a chaos radio plugs straight into distsim.Options.Radio
 // without this package importing the simulator.
 type Radio interface {
 	Drop(from, to, round int) bool
@@ -193,11 +194,22 @@ type Injector struct {
 	plan      Plan
 	nextCrash int
 	nextLeak  int
+	hooks     obs.Hooks
 }
 
 // Injector returns a fresh executor over the plan.
 func (p Plan) Injector() *Injector {
 	return &Injector{plan: p}
+}
+
+// WithHooks attaches observability to the injector and returns it, so a
+// caller can chain plan.Injector().WithHooks(h): every crash that lands on
+// an alive node emits an obs crash event, every leak that lands a leak
+// event. With the zero Hooks (the default) injection stays silent and
+// allocation-free.
+func (in *Injector) WithHooks(h obs.Hooks) *Injector {
+	in.hooks = h
+	return in
 }
 
 // Inject applies every crash and leak scheduled at or before slot t that has
@@ -211,6 +223,7 @@ func (in *Injector) Inject(net *energy.Network, t int) int {
 		if v >= 0 && v < len(net.Alive) && net.Alive[v] {
 			net.Kill(v)
 			deaths++
+			in.hooks.Emit(obs.Crash(t, v))
 		}
 		in.nextCrash++
 	}
@@ -222,6 +235,7 @@ func (in *Injector) Inject(net *energy.Network, t int) int {
 			if net.Residual[l.Node] < 0 {
 				net.Residual[l.Node] = 0
 			}
+			in.hooks.Emit(obs.Leak(t, l.Node, l.Amount))
 		}
 		in.nextLeak++
 	}

@@ -7,13 +7,20 @@
 // The model is the standard synchronous LOCAL/CONGEST round model the paper
 // assumes: in each round every node broadcasts one message to all its
 // neighbors, then processes the messages received that round. The simulator
-// counts rounds and messages so experiment E8 can report both.
+// counts rounds and messages so experiment E8 can report both, and emits
+// per-round trace events through the obs layer so long protocol executions
+// can be watched live.
+//
+// The single entry point is Run(g, programs, Options); the historical
+// RunMaxRounds/RunLossy/RunRadio entry points survive as thin deprecated
+// wrappers (see DESIGN.md §"Deprecated entry points").
 package distsim
 
 import (
 	"fmt"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/rng"
 )
 
@@ -36,7 +43,7 @@ type Program interface {
 type Stats struct {
 	Rounds   int // communication rounds executed (including the Start round)
 	Messages int // point-to-point messages sent (one per edge direction per broadcast)
-	Dropped  int // messages lost to the unreliable radio (RunLossy/RunRadio only)
+	Dropped  int // messages lost to the unreliable radio
 }
 
 // Add accumulates another execution's cost into s, so callers that run a
@@ -56,9 +63,40 @@ func (s *Stats) Add(o Stats) {
 // neighbor list), which is what makes lossy executions reproducible.
 //
 // The interface is defined here, but implementations live wherever the
-// fault model does (package chaos provides flat and bursty radios).
+// fault model does (package chaos provides flat and bursty radios;
+// FlatRadio below covers the common independent-loss case locally).
 type Radio interface {
 	Drop(from, to, round int) bool
+}
+
+// Options configures a protocol execution. The knob names follow the
+// canonical shape documented in package obs: an execution cap (MaxRounds),
+// an unreliable-medium model (Radio), and an embedded obs.Hooks whose
+// promoted Trace field receives one obs.Round event per communication round
+// (sent/dropped message counts). The zero value is a reliable medium with
+// the default round cap and tracing off.
+type Options struct {
+	// MaxRounds bounds the execution; exceeding it is a protocol failure.
+	// 0 means DefaultMaxRounds(g).
+	MaxRounds int
+	// Radio is the unreliable-medium model; nil is the reliable medium.
+	Radio Radio
+	// Hooks carries the observability sinks (obs.Hooks; the promoted Trace
+	// field receives per-round events). The zero value is the no-op
+	// default: the round loop stays allocation-free.
+	obs.Hooks
+}
+
+// DefaultMaxRounds is the round cap used when Options.MaxRounds is 0:
+// generous for every protocol in this repository (the paper's algorithms
+// need a constant number of rounds; the iterative baselines need O(n)).
+func DefaultMaxRounds(g *graph.Graph) int { return 4*g.N() + 16 }
+
+// FlatRadio returns a Radio dropping every delivery independently with
+// probability loss, drawn from src. It is the model RunLossy hard-coded
+// before the unified Options API.
+func FlatRadio(loss float64, src *rng.Source) Radio {
+	return flatRadio{loss: loss, src: src}
 }
 
 // flatRadio drops every delivery independently with fixed probability.
@@ -72,44 +110,21 @@ func (r flatRadio) Drop(from, to, round int) bool {
 }
 
 // Run executes one Program per node of g until every node terminates or
-// maxRounds is reached. programs[v] is node v's state machine. It returns
-// the execution stats; an error is returned only if the protocol fails to
-// terminate within maxRounds.
-func Run(g *graph.Graph, programs []Program, maxRounds int) (Stats, error) {
-	return RunLossy(g, programs, maxRounds, 0, nil)
-}
-
-// RunLossy is Run under an unreliable radio: each point-to-point delivery
-// is dropped independently with probability loss (the sender still pays the
-// transmission — Messages counts sends, Dropped counts losses). src supplies
-// the loss coin flips and must be non-nil when loss > 0. This measures the
-// robustness of the constant-round protocols to the message loss real
-// wireless links exhibit (experiment E21).
-func RunLossy(g *graph.Graph, programs []Program, maxRounds int, loss float64, src *rng.Source) (Stats, error) {
-	if loss < 0 || loss >= 1 {
-		if loss != 0 {
-			return Stats{}, fmt.Errorf("distsim: loss probability %v out of [0, 1)", loss)
-		}
-	}
-	if loss > 0 && src == nil {
-		return Stats{}, fmt.Errorf("distsim: loss > 0 requires a randomness source")
-	}
-	var radio Radio
-	if loss > 0 {
-		radio = flatRadio{loss: loss, src: src}
-	}
-	return RunRadio(g, programs, maxRounds, radio)
-}
-
-// RunRadio is Run under an arbitrary unreliable-radio model: every
-// point-to-point delivery is offered to radio.Drop, and dropped deliveries
-// count in Stats.Dropped (the sender still pays the transmission). A nil
-// radio is the reliable medium, identical to Run.
-func RunRadio(g *graph.Graph, programs []Program, maxRounds int, radio Radio) (Stats, error) {
+// opt.MaxRounds is reached. programs[v] is node v's state machine. It
+// returns the execution stats; an error is returned only if the protocol
+// fails to terminate in time. Every point-to-point delivery is offered to
+// opt.Radio (when non-nil), and dropped deliveries count in Stats.Dropped —
+// the sender still pays the transmission.
+func Run(g *graph.Graph, programs []Program, opt Options) (Stats, error) {
 	n := g.N()
 	if len(programs) != n {
 		return Stats{}, fmt.Errorf("distsim: %d programs for %d nodes", len(programs), n)
 	}
+	maxRounds := opt.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = DefaultMaxRounds(g)
+	}
+	radio := opt.Radio
 	var stats Stats
 	if n == 0 {
 		return stats, nil
@@ -121,15 +136,18 @@ func RunRadio(g *graph.Graph, programs []Program, maxRounds int, radio Radio) (S
 
 	// Start round.
 	anySent := false
+	sentNow := 0
 	for v := 0; v < n; v++ {
 		outbox[v] = programs[v].Start()
 		if outbox[v] != nil {
 			anySent = true
-			stats.Messages += g.Degree(v)
+			sentNow += g.Degree(v)
 		}
 	}
+	stats.Messages += sentNow
 	if anySent {
 		stats.Rounds++
+		opt.Emit(obs.Round(0, sentNow, 0))
 	}
 
 	for round := 0; remaining > 0; round++ {
@@ -138,6 +156,8 @@ func RunRadio(g *graph.Graph, programs []Program, maxRounds int, radio Radio) (S
 		}
 		next := make([]any, n)
 		anySent = false
+		sentNow = 0
+		droppedNow := 0
 		for v := 0; v < n; v++ {
 			if done[v] {
 				continue
@@ -147,7 +167,7 @@ func RunRadio(g *graph.Graph, programs []Program, maxRounds int, radio Radio) (S
 			for i, u := range nbrs {
 				m := outbox[u]
 				if m != nil && radio != nil && radio.Drop(int(u), v, round) {
-					stats.Dropped++
+					droppedNow++
 					m = nil
 				}
 				received[i] = m
@@ -160,13 +180,61 @@ func RunRadio(g *graph.Graph, programs []Program, maxRounds int, radio Radio) (S
 			if out != nil {
 				next[v] = out
 				anySent = true
-				stats.Messages += len(nbrs)
+				sentNow += len(nbrs)
 			}
 		}
 		outbox = next
+		stats.Messages += sentNow
+		stats.Dropped += droppedNow
 		if anySent {
 			stats.Rounds++
 		}
+		// One trace event per delivery round with traffic: the start round
+		// is event round 0, loop iteration r is round r+1, so indices stay
+		// unique even when a round only drops inherited messages.
+		if anySent || droppedNow > 0 {
+			opt.Emit(obs.Round(round+1, sentNow, droppedNow))
+		}
 	}
 	return stats, nil
+}
+
+// RunMaxRounds is the pre-Options entry point: a reliable medium with an
+// explicit round cap.
+//
+// Deprecated: use Run(g, programs, Options{MaxRounds: maxRounds}).
+func RunMaxRounds(g *graph.Graph, programs []Program, maxRounds int) (Stats, error) {
+	return Run(g, programs, Options{MaxRounds: maxRounds})
+}
+
+// RunLossy is Run under an unreliable radio: each point-to-point delivery
+// is dropped independently with probability loss (the sender still pays the
+// transmission — Messages counts sends, Dropped counts losses). src supplies
+// the loss coin flips and must be non-nil when loss > 0.
+//
+// Deprecated: use Run(g, programs, Options{MaxRounds: maxRounds,
+// Radio: FlatRadio(loss, src)}).
+func RunLossy(g *graph.Graph, programs []Program, maxRounds int, loss float64, src *rng.Source) (Stats, error) {
+	if loss < 0 || loss >= 1 {
+		if loss != 0 {
+			return Stats{}, fmt.Errorf("distsim: loss probability %v out of [0, 1)", loss)
+		}
+	}
+	if loss > 0 && src == nil {
+		return Stats{}, fmt.Errorf("distsim: loss > 0 requires a randomness source")
+	}
+	var radio Radio
+	if loss > 0 {
+		radio = FlatRadio(loss, src)
+	}
+	return Run(g, programs, Options{MaxRounds: maxRounds, Radio: radio})
+}
+
+// RunRadio is Run under an arbitrary unreliable-radio model. A nil radio is
+// the reliable medium.
+//
+// Deprecated: use Run(g, programs, Options{MaxRounds: maxRounds,
+// Radio: radio}).
+func RunRadio(g *graph.Graph, programs []Program, maxRounds int, radio Radio) (Stats, error) {
+	return Run(g, programs, Options{MaxRounds: maxRounds, Radio: radio})
 }

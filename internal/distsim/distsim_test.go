@@ -23,7 +23,7 @@ func TestUniformProtocolConstantRounds(t *testing.T) {
 		g := gen.GNP(n, 8.0/float64(n), rng.New(uint64(n)))
 		sources := rng.New(1).SplitN(n)
 		nodes := NewUniformNodes(g, 3, sources)
-		stats, err := Run(g, Programs(nodes), 10)
+		stats, err := Run(g, Programs(nodes), Options{MaxRounds: 10})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -43,7 +43,7 @@ func TestUniformProtocolMatchesLocalComputation(t *testing.T) {
 	root := rng.New(42)
 	sources := root.SplitN(g.N())
 	nodes := NewUniformNodes(g, 3, sources)
-	if _, err := Run(g, Programs(nodes), 10); err != nil {
+	if _, err := Run(g, Programs(nodes), Options{MaxRounds: 10}); err != nil {
 		t.Fatal(err)
 	}
 	d2 := g.TwoHopMinDegree()
@@ -61,7 +61,7 @@ func TestUniformProtocolScheduleIsValid(t *testing.T) {
 	const b = 3
 	sources := rng.New(7).SplitN(g.N())
 	nodes := NewUniformNodes(g, 3, sources)
-	if _, err := Run(g, Programs(nodes), 10); err != nil {
+	if _, err := Run(g, Programs(nodes), Options{MaxRounds: 10}); err != nil {
 		t.Fatal(err)
 	}
 	s := UniformSchedule(nodes, b).TruncateInvalid(g, 1)
@@ -82,7 +82,7 @@ func TestGeneralProtocolTwoRounds(t *testing.T) {
 	}
 	sources := rng.New(8).SplitN(g.N())
 	nodes := NewGeneralNodes(g, b, 3, sources)
-	stats, err := Run(g, Programs(nodes), 10)
+	stats, err := Run(g, Programs(nodes), Options{MaxRounds: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +104,7 @@ func TestGeneralProtocolComputesCorrectAggregates(t *testing.T) {
 	}
 	sources := rng.New(10).SplitN(g.N())
 	nodes := NewGeneralNodes(g, b, 3, sources)
-	if _, err := Run(g, Programs(nodes), 10); err != nil {
+	if _, err := Run(g, Programs(nodes), Options{MaxRounds: 10}); err != nil {
 		t.Fatal(err)
 	}
 	for v := 0; v < g.N(); v++ {
@@ -130,7 +130,7 @@ func TestGeneralProtocolScheduleFeasible(t *testing.T) {
 	}
 	sources := rng.New(12).SplitN(g.N())
 	nodes := NewGeneralNodes(g, b, 3, sources)
-	if _, err := Run(g, Programs(nodes), 10); err != nil {
+	if _, err := Run(g, Programs(nodes), Options{MaxRounds: 10}); err != nil {
 		t.Fatal(err)
 	}
 	s := GeneralSchedule(nodes)
@@ -150,7 +150,7 @@ func TestFaultTolerantScheduleFromProtocol(t *testing.T) {
 	const b, k = 4, 2
 	sources := rng.New(13).SplitN(g.N())
 	nodes := NewUniformNodes(g, 3, sources)
-	if _, err := Run(g, Programs(nodes), 10); err != nil {
+	if _, err := Run(g, Programs(nodes), Options{MaxRounds: 10}); err != nil {
 		t.Fatal(err)
 	}
 	s := FaultTolerantSchedule(nodes, b, k).TruncateInvalid(g, k)
@@ -168,7 +168,7 @@ func TestRunDetectsNonTermination(t *testing.T) {
 	for i := range progs {
 		progs[i] = &forever{}
 	}
-	if _, err := Run(g, progs, 5); err == nil {
+	if _, err := Run(g, progs, Options{MaxRounds: 5}); err == nil {
 		t.Fatal("non-terminating protocol not detected")
 	}
 }
@@ -179,14 +179,14 @@ func (*forever) Start() any              { return 0 }
 func (*forever) Round([]any) (any, bool) { return 0, false }
 
 func TestRunEmptyGraph(t *testing.T) {
-	stats, err := Run(graph.New(0), nil, 5)
+	stats, err := Run(graph.New(0), nil, Options{MaxRounds: 5})
 	if err != nil || stats.Rounds != 0 || stats.Messages != 0 {
 		t.Fatalf("empty run: stats=%v err=%v", stats, err)
 	}
 }
 
 func TestRunProgramCountMismatch(t *testing.T) {
-	if _, err := Run(gen.Path(3), make([]Program, 2), 5); err == nil {
+	if _, err := Run(gen.Path(3), make([]Program, 2), Options{MaxRounds: 5}); err == nil {
 		t.Fatal("program count mismatch accepted")
 	}
 }
@@ -202,7 +202,7 @@ func TestDistributedUniformMatchesCentralizedGuarantee(t *testing.T) {
 
 	sources := rng.New(22).SplitN(g.N())
 	nodes := NewUniformNodes(g, 3, sources)
-	if _, err := Run(g, Programs(nodes), 10); err != nil {
+	if _, err := Run(g, Programs(nodes), Options{MaxRounds: 10}); err != nil {
 		t.Fatal(err)
 	}
 	dist := UniformSchedule(nodes, b).TruncateInvalid(g, 1)

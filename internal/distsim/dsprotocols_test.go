@@ -12,7 +12,7 @@ import (
 func runMIS(t *testing.T, g *graph.Graph, seed uint64) []int {
 	t.Helper()
 	nodes := NewMISNodes(g.N(), rng.New(seed).SplitN(g.N()))
-	if _, err := Run(g, Programs(nodes), 40*3+10); err != nil {
+	if _, err := Run(g, Programs(nodes), Options{MaxRounds: 40*3 + 10}); err != nil {
 		t.Fatal(err)
 	}
 	return MISSet(nodes)
@@ -61,7 +61,7 @@ func TestMISProtocolRoundsLogarithmic(t *testing.T) {
 	// O(log n) Luby rounds w.h.p.; each costs 3 broadcasts. Generous cap.
 	g := gen.GNP(400, 0.05, rng.New(3))
 	nodes := NewMISNodes(g.N(), rng.New(11).SplitN(g.N()))
-	stats, err := Run(g, Programs(nodes), 200)
+	stats, err := Run(g, Programs(nodes), Options{MaxRounds: 200})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +76,7 @@ func TestMISProtocolRoundsLogarithmic(t *testing.T) {
 func runGreedyDS(t *testing.T, g *graph.Graph) ([]int, Stats) {
 	t.Helper()
 	nodes := NewGreedyDSNodes(g.N())
-	stats, err := Run(g, Programs(nodes), 4*g.N()+10)
+	stats, err := Run(g, Programs(nodes), Options{MaxRounds: 4*g.N() + 10})
 	if err != nil {
 		t.Fatal(err)
 	}

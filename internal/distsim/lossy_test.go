@@ -1,3 +1,4 @@
+//lint:file-ignore SA1019 this file pins the behavior of the deprecated RunLossy/RunRadio wrappers, so it calls them on purpose
 package distsim
 
 import (
@@ -24,7 +25,7 @@ func TestRunLossyValidation(t *testing.T) {
 func TestRunLossyZeroLossEqualsRun(t *testing.T) {
 	g := gen.GNP(60, 0.15, rng.New(1))
 	a := NewUniformNodes(g, 3, rng.New(7).SplitN(g.N()))
-	sa, err := Run(g, Programs(a), 10)
+	sa, err := Run(g, Programs(a), Options{MaxRounds: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +121,7 @@ func TestRunLossyDeterministic(t *testing.T) {
 func TestRunRadioNilRadioEqualsRun(t *testing.T) {
 	g := gen.GNP(50, 0.2, rng.New(4))
 	a := NewUniformNodes(g, 3, rng.New(9).SplitN(g.N()))
-	sa, err := Run(g, Programs(a), 10)
+	sa, err := Run(g, Programs(a), Options{MaxRounds: 10})
 	if err != nil {
 		t.Fatal(err)
 	}

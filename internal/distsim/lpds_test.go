@@ -20,7 +20,7 @@ func degreesOf(g *graph.Graph) []int {
 func runLPDS(t *testing.T, g *graph.Graph, seed uint64) ([]int, Stats) {
 	t.Helper()
 	nodes := NewLPDSNodes(degreesOf(g), rng.New(seed).SplitN(g.N()))
-	stats, err := Run(g, Programs(nodes), 10)
+	stats, err := Run(g, Programs(nodes), Options{MaxRounds: 10})
 	if err != nil {
 		t.Fatal(err)
 	}

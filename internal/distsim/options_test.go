@@ -1,0 +1,112 @@
+package distsim
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/obs"
+	"repro/internal/rng"
+)
+
+// TestUnifiedRunMatchesWrappers pins the API-collapse contract: the three
+// historical entry points are thin wrappers over Run(g, programs, Options)
+// and produce identical stats for identical inputs.
+func TestUnifiedRunMatchesWrappers(t *testing.T) {
+	g := gen.GNP(40, 0.2, rng.New(3))
+	newNodes := func() []Program {
+		return Programs(NewUniformNodes(g, 3, rng.New(5).SplitN(g.N())))
+	}
+
+	want, err := Run(g, newNodes(), Options{MaxRounds: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	//lint:ignore SA1019 the wrapper's delegation is exactly what this test pins
+	gotMax, err := RunMaxRounds(g, newNodes(), 10)
+	if err != nil || gotMax != want {
+		t.Fatalf("RunMaxRounds = %+v, %v; want %+v", gotMax, err, want)
+	}
+	//lint:ignore SA1019 the wrapper's delegation is exactly what this test pins
+	gotRadio, err := RunRadio(g, newNodes(), 10, nil)
+	if err != nil || gotRadio != want {
+		t.Fatalf("RunRadio = %+v, %v; want %+v", gotRadio, err, want)
+	}
+
+	lossyOpt, err := Run(g, newNodes(), Options{MaxRounds: 10, Radio: FlatRadio(0.3, rng.New(9))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	//lint:ignore SA1019 the wrapper's delegation is exactly what this test pins
+	gotLossy, err := RunLossy(g, newNodes(), 10, 0.3, rng.New(9))
+	if err != nil || gotLossy != lossyOpt {
+		t.Fatalf("RunLossy = %+v, %v; want %+v", gotLossy, err, lossyOpt)
+	}
+	if lossyOpt.Dropped == 0 {
+		t.Fatal("0.3-loss radio dropped nothing")
+	}
+}
+
+func TestRunDefaultMaxRounds(t *testing.T) {
+	g := gen.Path(5)
+	nodes := NewUniformNodes(g, 3, rng.New(1).SplitN(g.N()))
+	// MaxRounds 0 resolves to DefaultMaxRounds(g), plenty for Algorithm 1.
+	if _, err := Run(g, Programs(nodes), Options{}); err != nil {
+		t.Fatalf("zero Options failed: %v", err)
+	}
+}
+
+// TestRunRoundEvents checks the tracing invariant: per-round events
+// partition the execution's message totals exactly, with strictly
+// increasing round indices.
+func TestRunRoundEvents(t *testing.T) {
+	g := gen.GNP(30, 0.25, rng.New(11))
+	nodes := NewUniformNodes(g, 3, rng.New(4).SplitN(g.N()))
+	var mem obs.Memory
+	stats, err := Run(g, Programs(nodes), Options{
+		MaxRounds: 10,
+		Radio:     FlatRadio(0.2, rng.New(8)),
+		Hooks:     obs.Hooks{Trace: &mem},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sent, dropped, lastRound := 0, 0, -1
+	for _, ev := range mem.Events {
+		if ev.Type != obs.EvRound {
+			t.Fatalf("unexpected event type %v", ev.Type)
+		}
+		if ev.T <= lastRound {
+			t.Fatalf("round indices not increasing: %d after %d", ev.T, lastRound)
+		}
+		lastRound = ev.T
+		sent += ev.A
+		dropped += ev.B
+	}
+	if sent != stats.Messages || dropped != stats.Dropped {
+		t.Fatalf("events sum to %d sent / %d dropped, stats say %d / %d",
+			sent, dropped, stats.Messages, stats.Dropped)
+	}
+	if len(mem.Events) < stats.Rounds {
+		t.Fatalf("%d round events for %d rounds", len(mem.Events), stats.Rounds)
+	}
+}
+
+// TestRunTracingDeterministic pins that attaching a tracer does not perturb
+// the execution: stats with and without tracing are identical.
+func TestRunTracingDeterministic(t *testing.T) {
+	g := gen.GNP(40, 0.2, rng.New(21))
+	newOpt := func(tr obs.Tracer) Options {
+		return Options{MaxRounds: 10, Radio: FlatRadio(0.25, rng.New(13)), Hooks: obs.Hooks{Trace: tr}}
+	}
+	nodes := func() []Program {
+		return Programs(NewUniformNodes(g, 3, rng.New(6).SplitN(g.N())))
+	}
+	plain, err := Run(g, nodes(), newOpt(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	traced, err := Run(g, nodes(), newOpt(&obs.Memory{}))
+	if err != nil || traced != plain {
+		t.Fatalf("tracing perturbed the run: %+v vs %+v (err %v)", traced, plain, err)
+	}
+}

@@ -5,7 +5,6 @@ import (
 	"repro/internal/domatic"
 	"repro/internal/gen"
 	"repro/internal/graph"
-	"repro/internal/par"
 	"repro/internal/rng"
 	"repro/internal/stats"
 )
@@ -39,7 +38,7 @@ func runE12(cfg Config) *Table {
 	for _, k := range []float64{1, 2, 3} {
 		srcs := root.SplitN(cfg.trials())
 		type sample struct{ raw, trunc, drop float64 }
-		samples := par.Map(cfg.trials(), 0, func(i int) sample {
+		samples := mapTrials(cfg, "E12", cfg.trials(), func(i int) sample {
 			s := core.Uniform(g, b, core.Options{K: k, Src: srcs[i]})
 			return sample{
 				raw:   float64(s.Lifetime()),
@@ -95,7 +94,7 @@ func runE13(cfg Config) *Table {
 	for _, dep := range deployments {
 		srcs := root.SplitN(cfg.trials())
 		type sample struct{ local, global, lSize, gSize float64 }
-		samples := par.Map(cfg.trials(), 0, func(i int) sample {
+		samples := mapTrials(cfg, "E13", cfg.trials(), func(i int) sample {
 			src := srcs[i]
 			g := dep.udg(src)
 			local := domatic.RandomColoring(g, 3, src.Split())

@@ -7,7 +7,6 @@ import (
 	"repro/internal/core"
 	"repro/internal/domatic"
 	"repro/internal/gen"
-	"repro/internal/par"
 	"repro/internal/rng"
 	"repro/internal/sensim"
 	"repro/internal/stats"
@@ -56,7 +55,7 @@ func runE18(cfg Config) *Table {
 			nominal, achieved, deaths float64
 			ok                        bool
 		}
-		samples := par.Map(cfg.trials(), 0, func(i int) sample {
+		samples := mapTrials(cfg, "E18", cfg.trials(), func(i int) sample {
 			src := srcs[i]
 			side := math.Sqrt(float64(n))
 			radius := math.Sqrt(16 * math.Log(float64(n)) / math.Pi)

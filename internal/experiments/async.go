@@ -6,7 +6,6 @@ import (
 	"repro/internal/async"
 	"repro/internal/domset"
 	"repro/internal/gen"
-	"repro/internal/par"
 	"repro/internal/rng"
 	"repro/internal/stats"
 )
@@ -37,7 +36,7 @@ func runE19(cfg Config) *Table {
 			dom, greedy, stab, beacons float64
 			ok                         bool
 		}
-		samples := par.Map(cfg.trials(), 0, func(i int) sample {
+		samples := mapTrials(cfg, "E19", cfg.trials(), func(i int) sample {
 			src := srcs[i]
 			side := math.Sqrt(float64(n))
 			radius := math.Sqrt(12 * math.Log(float64(n)) / math.Pi)

@@ -9,7 +9,6 @@ import (
 	"repro/internal/exact"
 	"repro/internal/gen"
 	"repro/internal/graph"
-	"repro/internal/par"
 	"repro/internal/rng"
 	"repro/internal/stats"
 )
@@ -58,7 +57,7 @@ func runE6(cfg Config) *Table {
 			ok                   bool
 		}
 		srcs := root.SplitN(cfg.trials())
-		samples := par.Map(cfg.trials(), 0, func(i int) sample {
+		samples := mapTrials(cfg, "E6", cfg.trials(), func(i int) sample {
 			src := srcs[i]
 			g := gen.GNP(n, 0.4, src)
 			batteries := make([]int, n)
@@ -204,7 +203,7 @@ func runE11(cfg Config) *Table {
 			ok          bool
 		}
 		srcs := root.SplitN(cfg.trials())
-		samples := par.Map(cfg.trials(), 0, func(i int) sample {
+		samples := mapTrials(cfg, "E11", cfg.trials(), func(i int) sample {
 			side := math.Sqrt(float64(n))
 			radius := math.Sqrt(14 * math.Log(float64(n)) / math.Pi)
 			g, _ := gen.RandomUDG(n, side, radius, srcs[i])

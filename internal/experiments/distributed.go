@@ -40,7 +40,7 @@ func runE8(cfg Config) *Table {
 
 		sources := src.SplitN(n)
 		uniNodes := distsim.NewUniformNodes(g, 3, sources)
-		uniStats, err := distsim.Run(g, distsim.Programs(uniNodes), 10)
+		uniStats, err := distsim.Run(g, distsim.Programs(uniNodes), distsim.Options{MaxRounds: 10})
 		if err == nil {
 			t.AddRow("Alg1 uniform", itoa(n), itoa(g.M()), itoa(uniStats.Rounds),
 				itoa(uniStats.Messages), f2(float64(uniStats.Messages)/float64(g.M())))
@@ -51,7 +51,7 @@ func runE8(cfg Config) *Table {
 			b[i] = 1 + src.Intn(4)
 		}
 		genNodes := distsim.NewGeneralNodes(g, b, 3, src.SplitN(n))
-		genStats, err := distsim.Run(g, distsim.Programs(genNodes), 10)
+		genStats, err := distsim.Run(g, distsim.Programs(genNodes), distsim.Options{MaxRounds: 10})
 		if err == nil {
 			t.AddRow("Alg2 general", itoa(n), itoa(g.M()), itoa(genStats.Rounds),
 				itoa(genStats.Messages), f2(float64(genStats.Messages)/float64(g.M())))

@@ -6,11 +6,21 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"sort"
 	"strings"
+	"sync/atomic"
+
+	"repro/internal/obs"
+	"repro/internal/par"
 )
+
+// ErrCanceled is returned by Run when Config.Cancel reported cancellation
+// before the experiment finished. The accompanying table, if any, holds only
+// the rows completed up to that point.
+var ErrCanceled = errors.New("experiments: run canceled")
 
 // Config controls an experiment run.
 type Config struct {
@@ -21,6 +31,16 @@ type Config struct {
 	Trials int
 	// Quick shrinks the parameter sweeps to test/bench-friendly sizes.
 	Quick bool
+	// Trace, when non-nil, receives trial_start/trial_end events around
+	// every trial, labeled with the experiment ID. Emissions are serialized
+	// (trials run in parallel), so single-writer sinks like obs.JSONL are
+	// safe to pass directly.
+	Trace obs.Tracer
+	// Cancel, when non-nil, is polled between trials (and between
+	// experiments in RunAll). It must be sticky — once it returns true it
+	// keeps returning true, like a context's Done check. When it fires,
+	// remaining trials are skipped and Run returns ErrCanceled.
+	Cancel func() bool
 }
 
 func (c Config) trials() int {
@@ -31,6 +51,35 @@ func (c Config) trials() int {
 		return 3
 	}
 	return 10
+}
+
+func (c Config) canceled() bool { return c.Cancel != nil && c.Cancel() }
+
+// mapTrials runs fn for trials 0..n-1 in parallel (via par.Map) with the
+// config's escape hatches applied: Cancel is polled as each trial starts —
+// once it reports true the remaining trials return the zero T, which every
+// experiment already drops via its ok flag or zero guard — and Trace
+// receives trial_start/trial_end events labeled with the experiment ID.
+// With neither hatch set this is exactly par.Map.
+func mapTrials[T any](cfg Config, id string, n int, fn func(i int) T) []T {
+	if cfg.Cancel == nil && cfg.Trace == nil {
+		return par.Map(n, 0, fn)
+	}
+	// Trials run in parallel; serialize the trial events so single-writer
+	// sinks (JSONL, Memory) can be handed in directly.
+	h := obs.Hooks{Trace: obs.Synchronized(cfg.Trace)}
+	var stop atomic.Bool
+	return par.Map(n, 0, func(i int) T {
+		if stop.Load() || cfg.canceled() {
+			stop.Store(true)
+			var zero T
+			return zero
+		}
+		h.Emit(obs.TrialStart(id, i))
+		v := fn(i)
+		h.Emit(obs.TrialEnd(id, i))
+		return v
+	})
 }
 
 // Table is a rendered experiment result.
@@ -176,21 +225,36 @@ func Get(id string) (Experiment, bool) {
 	return e, ok
 }
 
-// Run executes the experiment with the given ID.
+// Run executes the experiment with the given ID. When cfg.Cancel fires
+// before or during the run, Run returns ErrCanceled (alongside whatever
+// partial table the experiment produced).
 func Run(id string, cfg Config) (*Table, error) {
 	e, ok := Get(id)
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
 	}
-	return e.Run(cfg), nil
+	if cfg.canceled() {
+		return nil, ErrCanceled
+	}
+	t := e.Run(cfg)
+	if cfg.canceled() {
+		return t, ErrCanceled
+	}
+	return t, nil
 }
 
-// RunAll executes every registered experiment in ID order.
+// RunAll executes every registered experiment in ID order, stopping early
+// when cfg.Cancel fires (the tables completed so far are returned).
 func RunAll(cfg Config) []*Table {
 	var out []*Table
 	for _, id := range IDs() {
-		t, _ := Run(id, cfg)
-		out = append(out, t)
+		t, err := Run(id, cfg)
+		if errors.Is(err, ErrCanceled) {
+			return out
+		}
+		if t != nil {
+			out = append(out, t)
+		}
 	}
 	return out
 }

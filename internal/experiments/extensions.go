@@ -7,7 +7,6 @@ import (
 	"repro/internal/domatic"
 	"repro/internal/gen"
 	"repro/internal/graph"
-	"repro/internal/par"
 	"repro/internal/rng"
 	"repro/internal/stats"
 )
@@ -47,7 +46,7 @@ func runE14(cfg Config) *Table {
 				ok              bool
 			}
 			srcs := root.SplitN(cfg.trials())
-			samples := par.Map(cfg.trials(), 0, func(i int) sample {
+			samples := mapTrials(cfg, "E14", cfg.trials(), func(i int) sample {
 				src := srcs[i]
 				g := gen.GNP(n, p, src)
 				if g.MinDegree()+1 < k {
@@ -121,7 +120,7 @@ func runE15(cfg Config) *Table {
 	for _, fam := range families {
 		srcs := root.SplitN(cfg.trials())
 		type sample struct{ plain, constrained, delta float64 }
-		samples := par.Map(cfg.trials(), 0, func(i int) sample {
+		samples := mapTrials(cfg, "E15", cfg.trials(), func(i int) sample {
 			g := fam.build(n, srcs[i])
 			return sample{
 				plain:       float64(len(domatic.GreedyPartition(g, domatic.GreedyExtractor))),

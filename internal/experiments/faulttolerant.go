@@ -8,7 +8,6 @@ import (
 	"repro/internal/energy"
 	"repro/internal/gen"
 	"repro/internal/graph"
-	"repro/internal/par"
 	"repro/internal/rng"
 	"repro/internal/sensim"
 	"repro/internal/stats"
@@ -56,7 +55,7 @@ func runE5(cfg Config) *Table {
 				continue // k-domination infeasible
 			}
 			srcs := root.SplitN(cfg.trials())
-			lifetimesAll := par.Map(cfg.trials(), 0, func(i int) int {
+			lifetimesAll := mapTrials(cfg, "E5", cfg.trials(), func(i int) int {
 				o := core.Options{K: 3, Src: srcs[i]}
 				return core.FaultTolerantWHP(g, b, k, o, 30).Lifetime()
 			})
@@ -140,7 +139,7 @@ func runE10(cfg Config) *Table {
 				survived bool
 				ok       bool
 			}
-			samples := par.Map(trials, 0, func(i int) sample {
+			samples := mapTrials(cfg, "E10", trials, func(i int) sample {
 				s := sched.build(srcs[i])
 				if s.Lifetime() == 0 {
 					return sample{}

@@ -5,7 +5,6 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/gen"
-	"repro/internal/par"
 	"repro/internal/rng"
 	"repro/internal/stats"
 )
@@ -43,7 +42,7 @@ func runE4(cfg Config) *Table {
 				ok                  bool
 			}
 			srcs := root.SplitN(cfg.trials())
-			samples := par.Map(cfg.trials(), 0, func(i int) sample {
+			samples := mapTrials(cfg, "E4", cfg.trials(), func(i int) sample {
 				src := srcs[i]
 				g := gen.GNP(n, p, src)
 				b := make([]int, n)

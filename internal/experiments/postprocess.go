@@ -6,7 +6,6 @@ import (
 	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/graph"
-	"repro/internal/par"
 	"repro/internal/rng"
 	"repro/internal/sched"
 	"repro/internal/stats"
@@ -54,7 +53,7 @@ func runE17(cfg Config) *Table {
 			raw, squeezed, ub float64
 			ok                bool
 		}
-		samples := par.Map(cfg.trials(), 0, func(i int) sample {
+		samples := mapTrials(cfg, "E17", cfg.trials(), func(i int) sample {
 			src := srcs[i]
 			g := gen.GNP(n, p, src)
 			batteries := make([]int, n)

@@ -7,7 +7,6 @@ import (
 	"repro/internal/domset"
 	"repro/internal/gen"
 	"repro/internal/graph"
-	"repro/internal/par"
 	"repro/internal/rng"
 	"repro/internal/stats"
 )
@@ -49,7 +48,7 @@ func runE16(cfg Config) *Table {
 				ok                              bool
 			}
 			srcs := root.SplitN(cfg.trials())
-			samples := par.Map(cfg.trials(), 0, func(i int) sample {
+			samples := mapTrials(cfg, "E16", cfg.trials(), func(i int) sample {
 				src := srcs[i]
 				g := fam.build(n, src)
 				ck := domset.NewChecker(g)
@@ -57,7 +56,7 @@ func runE16(cfg Config) *Table {
 				central := domset.Greedy(g)
 
 				greedyNodes := distsim.NewGreedyDSNodes(g.N())
-				gStats, err := distsim.Run(g, distsim.Programs(greedyNodes), 4*g.N()+10)
+				gStats, err := distsim.Run(g, distsim.Programs(greedyNodes), distsim.Options{MaxRounds: 4*g.N() + 10})
 				if err != nil {
 					return sample{}
 				}
@@ -67,7 +66,7 @@ func runE16(cfg Config) *Table {
 				}
 
 				misNodes := distsim.NewMISNodes(g.N(), src.SplitN(g.N()))
-				mStats, err := distsim.Run(g, distsim.Programs(misNodes), 3*g.N()+10)
+				mStats, err := distsim.Run(g, distsim.Programs(misNodes), distsim.Options{MaxRounds: 3*g.N() + 10})
 				if err != nil {
 					return sample{}
 				}
@@ -81,7 +80,7 @@ func runE16(cfg Config) *Table {
 					degrees[v] = g.Degree(v)
 				}
 				lpNodes := distsim.NewLPDSNodes(degrees, src.SplitN(g.N()))
-				lStats, err := distsim.Run(g, distsim.Programs(lpNodes), 10)
+				lStats, err := distsim.Run(g, distsim.Programs(lpNodes), distsim.Options{MaxRounds: 10})
 				if err != nil {
 					return sample{}
 				}

@@ -5,7 +5,6 @@ import (
 	"repro/internal/distsim"
 	"repro/internal/exact"
 	"repro/internal/gen"
-	"repro/internal/par"
 	"repro/internal/rng"
 	"repro/internal/stats"
 )
@@ -41,7 +40,7 @@ func runE20(cfg Config) *Table {
 			opt, alg, bound float64
 			ok              bool
 		}
-		samples := par.Map(cfg.trials(), 0, func(i int) sample {
+		samples := mapTrials(cfg, "E20", cfg.trials(), func(i int) sample {
 			src := srcs[i]
 			g := gen.GNP(n, 0.5, src)
 			if g.MinDegree()+1 < k {
@@ -101,9 +100,9 @@ func runE21(cfg Config) *Table {
 	g := gen.GNP(n, 0.2, root.Split())
 	baselinePrefix := func() float64 {
 		srcs := root.SplitN(cfg.trials())
-		vals := par.Map(cfg.trials(), 0, func(i int) float64 {
+		vals := mapTrials(cfg, "E21", cfg.trials(), func(i int) float64 {
 			nodes := distsim.NewUniformNodes(g, 3, srcs[i].SplitN(g.N()))
-			if _, err := distsim.Run(g, distsim.Programs(nodes), 10); err != nil {
+			if _, err := distsim.Run(g, distsim.Programs(nodes), distsim.Options{MaxRounds: 10}); err != nil {
 				return 0
 			}
 			s := distsim.UniformSchedule(nodes, b).TruncateInvalid(g, 1)
@@ -117,10 +116,10 @@ func runE21(cfg Config) *Table {
 			prefix, dropped float64
 			ok              bool
 		}
-		samples := par.Map(cfg.trials(), 0, func(i int) sample {
+		samples := mapTrials(cfg, "E21", cfg.trials(), func(i int) sample {
 			src := srcs[i]
 			nodes := distsim.NewUniformNodes(g, 3, src.SplitN(g.N()))
-			st, err := distsim.RunLossy(g, distsim.Programs(nodes), 10, loss, src.Split())
+			st, err := distsim.Run(g, distsim.Programs(nodes), distsim.Options{MaxRounds: 10, Radio: distsim.FlatRadio(loss, src.Split())})
 			if err != nil {
 				return sample{}
 			}

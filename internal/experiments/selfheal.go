@@ -9,7 +9,6 @@ import (
 	"repro/internal/energy"
 	"repro/internal/gen"
 	"repro/internal/heal"
-	"repro/internal/par"
 	"repro/internal/rng"
 	"repro/internal/sensim"
 	"repro/internal/stats"
@@ -108,7 +107,7 @@ func runE23(cfg Config) *Table {
 	}
 
 	for _, a := range arms {
-		samples := par.Map(cfg.trials(), 0, func(i int) sample {
+		samples := mapTrials(cfg, "E23", cfg.trials(), func(i int) sample {
 			// Derive the arm's randomness from the trial index alone, so
 			// every arm of trial i replays the same chaos sub-seeds.
 			return a.run(rng.New(cfg.Seed + 23 + uint64(i)*1009))

@@ -5,7 +5,6 @@ import (
 	"repro/internal/domatic"
 	"repro/internal/exact"
 	"repro/internal/gen"
-	"repro/internal/par"
 	"repro/internal/rng"
 	"repro/internal/stats"
 )
@@ -36,7 +35,7 @@ func runE22(cfg Config) *Table {
 			lpOpt, bound, alg, greedy, iters float64
 			ok                               bool
 		}
-		samples := par.Map(cfg.trials(), 0, func(i int) sample {
+		samples := mapTrials(cfg, "E22", cfg.trials(), func(i int) sample {
 			src := srcs[i]
 			g := gen.GNP(n, 0.3, src)
 			batteries := make([]int, n)

@@ -7,7 +7,6 @@ import (
 	"repro/internal/domatic"
 	"repro/internal/gen"
 	"repro/internal/graph"
-	"repro/internal/par"
 	"repro/internal/rng"
 	"repro/internal/stats"
 )
@@ -87,7 +86,7 @@ func runE2(cfg Config) *Table {
 				ok                     bool
 			}
 			srcs := root.SplitN(cfg.trials())
-			samples := par.Map(cfg.trials(), 0, func(i int) sample {
+			samples := mapTrials(cfg, "E2", cfg.trials(), func(i int) sample {
 				src := srcs[i]
 				g := fam.build(n, src)
 				o := core.Options{K: 3, Src: src.Split()}
@@ -151,7 +150,7 @@ func runE3(cfg Config) *Table {
 			guaranteed := domatic.GuaranteedClasses(g, k)
 			srcs := root.SplitN(trials)
 			type sample struct{ prefix, raw float64 }
-			samples := par.Map(trials, 0, func(i int) sample {
+			samples := mapTrials(cfg, "E3", trials, func(i int) sample {
 				part := domatic.RandomColoring(g, k, srcs[i])
 				return sample{
 					prefix: float64(domatic.ValidPrefix(g, part)),

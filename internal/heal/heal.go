@@ -32,19 +32,27 @@ import (
 	"repro/internal/distsim"
 	"repro/internal/domset"
 	"repro/internal/energy"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/sched"
 )
 
-// Options configures a self-healing execution.
+// Options configures a self-healing execution. It follows the canonical
+// shape documented in package obs: the knobs it shares with sensim.Options
+// and distsim.Options carry the same names (K, MaxSlots, Radio, Src), and
+// the embedded obs.Hooks carries the tracing sinks.
 type Options struct {
 	// K is the required domination tolerance per slot (>= 1; 0 means 1).
 	K int
 	// Chaos is the fault plan injected during execution (zero value = none).
 	// Its Radio, when set, also degrades the patch protocol's messages.
 	Chaos chaos.Plan
-	// Loss is a flat patch-radio loss probability used when Chaos carries no
-	// radio of its own.
+	// Radio, when non-nil, is the patch-protocol medium and takes
+	// precedence over Chaos.Radio and Loss; aligned with
+	// distsim.Options.Radio.
+	Radio distsim.Radio
+	// Loss is a flat patch-radio loss probability used when neither Radio
+	// nor Chaos.Radio is set.
 	Loss float64
 	// PatchAttempts bounds the recruitment retries per slot (0 means 3).
 	// Attempt a rebroadcasts every protocol message 2^a times.
@@ -53,10 +61,16 @@ type Options struct {
 	// triggers centralized re-planning (0 means 2).
 	ReplanAfter int
 	// MaxSlots caps the execution (0 means schedule lifetime plus total
-	// residual budget — enough for any replan to play out).
+	// residual budget — enough for any replan to play out); aligned with
+	// sensim.Options.MaxSlots.
 	MaxSlots int
 	// Src seeds the patch radio fallback (nil = fixed seed).
 	Src *rng.Source
+	// Hooks carries the observability sinks (obs.Hooks; the promoted Trace
+	// field receives slot, crash/leak, patch, recruit, replan, degraded,
+	// and protocol round events). The zero value is the no-op default: the
+	// slot loop stays allocation-free.
+	obs.Hooks
 }
 
 func (o Options) normalize(net *energy.Network, s *core.Schedule) Options {
@@ -124,7 +138,7 @@ func Run(net *energy.Network, s *core.Schedule, opt Options) Result {
 	g := net.G
 
 	radio := patchRadio(opt)
-	inject := opt.Chaos.Injector()
+	inject := opt.Chaos.Injector().WithHooks(opt.Hooks)
 	ck := domset.NewChecker(g)
 	uncovBuf := make([]int, 0, g.N())
 
@@ -134,7 +148,9 @@ func Run(net *energy.Network, s *core.Schedule, opt Options) Result {
 	recruits := map[int]bool{}
 	lastPhase := -1
 
+	opt.Emit(obs.RunStart("heal", g.N()))
 	for t := 0; t < opt.MaxSlots; t++ {
+		opt.Emit(obs.SlotStart(t))
 		res.Deaths += inject.Inject(net, t)
 
 		if net.AliveCount() == 0 && g.N() > 0 {
@@ -144,6 +160,7 @@ func Run(net *energy.Network, s *core.Schedule, opt Options) Result {
 			if res.FirstViolation == -1 {
 				res.FirstViolation = t
 			}
+			opt.Emit(obs.SlotEnd(t, 0, 0, 0))
 			break
 		}
 
@@ -158,6 +175,7 @@ func Run(net *energy.Network, s *core.Schedule, opt Options) Result {
 				break
 			}
 			res.Replans++
+			opt.Emit(obs.Replan(t, next.Lifetime()))
 			cur, pos = next, 0
 			recruits = map[int]bool{}
 			lastPhase = -1
@@ -181,8 +199,9 @@ func Run(net *energy.Network, s *core.Schedule, opt Options) Result {
 					res.Retries++
 				}
 				repeats := 1 << attempt
-				enlisted, stats, err := runPatch(g, net, serving, uncovered, opt.K, repeats, radio)
+				enlisted, stats, err := runPatch(g, net, serving, uncovered, opt.K, repeats, radio, opt.Hooks)
 				res.Protocol.Add(stats)
+				opt.Emit(obs.Patch(t, attempt, len(enlisted)))
 				if err != nil {
 					break
 				}
@@ -190,6 +209,7 @@ func Run(net *energy.Network, s *core.Schedule, opt Options) Result {
 					res.Recruited += len(enlisted)
 					for _, v := range enlisted {
 						recruits[v] = true
+						opt.Emit(obs.Recruit(t, v))
 					}
 					serving = serviceable(net, phaseSet, recruits)
 					uncovered = ck.AppendUndominated(uncovBuf[:0], serving, opt.K, net.Alive)
@@ -209,6 +229,7 @@ func Run(net *energy.Network, s *core.Schedule, opt Options) Result {
 				next := sched.Replan(g, net.Residual, opt.K, net.Alive)
 				if next.Lifetime() > 0 {
 					res.Replans++
+					opt.Emit(obs.Replan(t, next.Lifetime()))
 					cur, pos = next, 0
 					recruits = map[int]bool{}
 					phaseSet, lastPhase = activeAt(cur, pos)
@@ -221,6 +242,7 @@ func Run(net *energy.Network, s *core.Schedule, opt Options) Result {
 		// Rung 3: graceful degradation — the slot still runs.
 		if len(uncovered) > 0 {
 			res.DegradedSlots++
+			opt.Emit(obs.Degraded(t, len(uncovered)))
 		}
 
 		served := net.DrainServiceable(serving)
@@ -228,11 +250,12 @@ func Run(net *energy.Network, s *core.Schedule, opt Options) Result {
 
 		alive := net.AliveCount()
 		covered := ck.CoveredCount(served, opt.K, net.Alive)
+		cov := 1.0 // only the 0-node network
 		if alive > 0 {
-			res.Coverage = append(res.Coverage, float64(covered)/float64(alive))
-		} else {
-			res.Coverage = append(res.Coverage, 1) // only the 0-node network
+			cov = float64(covered) / float64(alive)
 		}
+		res.Coverage = append(res.Coverage, cov)
+		opt.Emit(obs.SlotEnd(t, len(served), alive, cov))
 		if covered == alive {
 			if res.FirstViolation == -1 {
 				res.AchievedLifetime = t + 1
@@ -242,6 +265,7 @@ func Run(net *energy.Network, s *core.Schedule, opt Options) Result {
 		}
 		pos++
 	}
+	opt.Emit(obs.RunEnd("heal", len(res.Coverage), res.AchievedLifetime, res.Deaths))
 	return res
 }
 
@@ -278,10 +302,13 @@ func serviceable(net *energy.Network, phaseSet []int, recruits map[int]bool) []i
 	return out
 }
 
-// patchRadio picks the radio degrading the recruitment protocol: the chaos
-// plan's radio when present, a flat-loss radio for Options.Loss > 0, or a
-// reliable medium.
+// patchRadio picks the radio degrading the recruitment protocol: the
+// explicit Options.Radio when set, else the chaos plan's radio, else a
+// flat-loss radio for Options.Loss > 0, else a reliable medium.
 func patchRadio(opt Options) distsim.Radio {
+	if opt.Radio != nil {
+		return opt.Radio
+	}
 	if opt.Chaos.Radio != nil {
 		return opt.Chaos.Radio
 	}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/energy"
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/sensim"
 )
@@ -30,7 +31,7 @@ func TestPatchRecruitsHighestResidualNeighbor(t *testing.T) {
 	g.AddEdge(a, u)
 	g.AddEdge(b, u)
 	net := energy.NewNetwork(g, []int{1, 5, 2, 0})
-	recruited, stats, err := runPatch(g, net, []int{s}, []int{u}, 1, 1, nil)
+	recruited, stats, err := runPatch(g, net, []int{s}, []int{u}, 1, 1, nil, obs.Hooks{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,6 +6,7 @@ import (
 	"repro/internal/distsim"
 	"repro/internal/energy"
 	"repro/internal/graph"
+	"repro/internal/obs"
 )
 
 // The patch protocol is a genuine distributed recruitment round in the
@@ -165,7 +166,7 @@ func (r *recruitNode) pickBidders() []int {
 // serving is the active set of the slot; uncovered the under-k-dominated
 // alive nodes. It returns the newly enlisted serviceable nodes and the
 // protocol cost.
-func runPatch(g *graph.Graph, net *energy.Network, serving []int, uncovered []int, k int, repeats int, radio distsim.Radio) ([]int, distsim.Stats, error) {
+func runPatch(g *graph.Graph, net *energy.Network, serving []int, uncovered []int, k int, repeats int, radio distsim.Radio, h obs.Hooks) ([]int, distsim.Stats, error) {
 	n := g.N()
 	inServing := make([]bool, n)
 	domCount := make([]int, n)
@@ -200,7 +201,7 @@ func runPatch(g *graph.Graph, net *energy.Network, serving []int, uncovered []in
 	}
 	// 3 stretched phases plus the closing decision round, with slack.
 	maxRounds := 3*repeats + 2
-	stats, err := distsim.RunRadio(g, programs, maxRounds, radio)
+	stats, err := distsim.Run(g, programs, distsim.Options{MaxRounds: maxRounds, Radio: radio, Hooks: h})
 	if err != nil {
 		return nil, stats, err
 	}

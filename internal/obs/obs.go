@@ -1,0 +1,277 @@
+// Package obs is the observability layer shared by every runtime in the
+// repository: a lightweight metrics surface (counters, gauges, fixed-bucket
+// histograms with an allocation-free hot path) plus a Tracer interface that
+// receives typed per-round events — slot start/end, coverage, deaths,
+// messages sent/dropped, heal patches, chaos injections — and fans them out
+// to pluggable sinks (a JSONL file sink for offline analysis, an in-memory
+// sink for tests, a metrics sink that aggregates events into a Registry).
+//
+// The paper's claims are all quantitative (lifetime slots, coverage
+// fractions, message rounds), and related reconfiguration work
+// (Censor-Hillel & Rabie, arXiv:1810.02106) reasons about per-round progress
+// measures; this package exposes exactly those quantities so experiments can
+// assert them instead of re-deriving them from Result structs.
+//
+// # Hooks: the canonical Options shape
+//
+// Every runtime Options struct (sensim.Options, heal.Options,
+// distsim.Options) embeds a Hooks value, so observability is wired the same
+// way everywhere:
+//
+//	sensim.Options{K: 1, Hooks: obs.Hooks{Trace: sink}}
+//	distsim.Options{MaxRounds: 10, Radio: r, Hooks: obs.Hooks{Trace: sink}}
+//
+// The zero Hooks is the no-op default: emitting through it costs a single
+// nil check and zero allocations, which is what keeps instrumented hot
+// paths allocation-free when tracing is off (pinned by AllocsPerRun tests).
+// Common runtime knobs use one canonical name across packages — K
+// (domination tolerance), MaxSlots/MaxRounds (execution cap), Radio
+// (unreliable-medium model), Src (seeded randomness) — documented here once
+// instead of three times; see docs/OBSERVABILITY.md for the full schema.
+package obs
+
+import "sync"
+
+// EventType identifies the kind of a trace event. The String form is the
+// "e" field of the JSONL encoding.
+type EventType uint8
+
+const (
+	// EvNone is the zero EventType; it is never emitted by the runtimes.
+	EvNone EventType = iota
+	// EvRunStart opens a runtime execution: Name = runtime label,
+	// A = node count.
+	EvRunStart
+	// EvRunEnd closes a runtime execution: Name = runtime label, T = slots
+	// (or rounds) executed, A = achieved lifetime, B = deaths.
+	EvRunEnd
+	// EvSlotStart opens energy-simulator slot T.
+	EvSlotStart
+	// EvSlotEnd closes slot T: A = serving nodes, B = alive nodes,
+	// F = coverage fraction.
+	EvSlotEnd
+	// EvDeath reports a battery/failure-plan death of Node at slot T.
+	EvDeath
+	// EvCrash reports a chaos-plan crash of Node applied at slot T.
+	EvCrash
+	// EvLeak reports a chaos battery leak at slot T: Node, A = amount.
+	EvLeak
+	// EvRound closes message-passing round T: A = messages sent,
+	// B = messages dropped by the radio.
+	EvRound
+	// EvPatch reports a heal recruitment attempt at slot T: A = attempt
+	// index within the slot (0-based), B = nodes enlisted by the attempt.
+	EvPatch
+	// EvRecruit reports Node joining the active set at slot T.
+	EvRecruit
+	// EvReplan reports a centralized re-plan at slot T: A = the new
+	// schedule's nominal lifetime.
+	EvReplan
+	// EvDegraded reports slot T running under-covered after the full
+	// escalation ladder: A = uncovered node count.
+	EvDegraded
+	// EvTrialStart opens experiment trial T of the experiment Name.
+	EvTrialStart
+	// EvTrialEnd closes experiment trial T of the experiment Name.
+	EvTrialEnd
+)
+
+var eventNames = [...]string{
+	EvNone:       "none",
+	EvRunStart:   "run_start",
+	EvRunEnd:     "run_end",
+	EvSlotStart:  "slot_start",
+	EvSlotEnd:    "slot_end",
+	EvDeath:      "death",
+	EvCrash:      "crash",
+	EvLeak:       "leak",
+	EvRound:      "round",
+	EvPatch:      "patch",
+	EvRecruit:    "recruit",
+	EvReplan:     "replan",
+	EvDegraded:   "degraded",
+	EvTrialStart: "trial_start",
+	EvTrialEnd:   "trial_end",
+}
+
+// String returns the JSONL name of the event type.
+func (t EventType) String() string {
+	if int(t) < len(eventNames) {
+		return eventNames[t]
+	}
+	return "unknown"
+}
+
+// Event is one typed trace record. It is a flat value type — no pointers,
+// no slices — so emitting one allocates nothing. The meaning of T, Node, A,
+// B, and F depends on Type (see the EventType constants); unused fields are
+// zero, with Node = -1 when no node is involved.
+type Event struct {
+	Type EventType
+	Name string  // runtime or experiment label (run/trial events only)
+	T    int     // slot or round index
+	Node int     // node ID, -1 when not applicable
+	A, B int     // type-specific integers
+	F    float64 // type-specific float (coverage)
+}
+
+// Constructors, one per event type, so call sites read like the schema.
+
+// RunStart opens a runtime execution trace.
+func RunStart(name string, nodes int) Event {
+	return Event{Type: EvRunStart, Name: name, Node: -1, A: nodes}
+}
+
+// RunEnd closes a runtime execution trace.
+func RunEnd(name string, slots, achieved, deaths int) Event {
+	return Event{Type: EvRunEnd, Name: name, T: slots, Node: -1, A: achieved, B: deaths}
+}
+
+// SlotStart opens slot t.
+func SlotStart(t int) Event { return Event{Type: EvSlotStart, T: t, Node: -1} }
+
+// SlotEnd closes slot t with its serving/alive counts and coverage.
+func SlotEnd(t, served, alive int, coverage float64) Event {
+	return Event{Type: EvSlotEnd, T: t, Node: -1, A: served, B: alive, F: coverage}
+}
+
+// Death records a failure-plan or battery death.
+func Death(t, node int) Event { return Event{Type: EvDeath, T: t, Node: node} }
+
+// Crash records a chaos-plan crash.
+func Crash(t, node int) Event { return Event{Type: EvCrash, T: t, Node: node} }
+
+// Leak records a chaos battery leak.
+func Leak(t, node, amount int) Event {
+	return Event{Type: EvLeak, T: t, Node: node, A: amount}
+}
+
+// Round closes a message-passing round.
+func Round(round, sent, dropped int) Event {
+	return Event{Type: EvRound, T: round, Node: -1, A: sent, B: dropped}
+}
+
+// Patch records a heal recruitment attempt.
+func Patch(t, attempt, enlisted int) Event {
+	return Event{Type: EvPatch, T: t, Node: -1, A: attempt, B: enlisted}
+}
+
+// Recruit records a node enlisted into the active set.
+func Recruit(t, node int) Event { return Event{Type: EvRecruit, T: t, Node: node} }
+
+// Replan records a centralized re-plan escalation.
+func Replan(t, lifetime int) Event {
+	return Event{Type: EvReplan, T: t, Node: -1, A: lifetime}
+}
+
+// Degraded records a slot that ran under-covered.
+func Degraded(t, uncovered int) Event {
+	return Event{Type: EvDegraded, T: t, Node: -1, A: uncovered}
+}
+
+// TrialStart opens experiment trial i.
+func TrialStart(name string, i int) Event {
+	return Event{Type: EvTrialStart, Name: name, T: i, Node: -1}
+}
+
+// TrialEnd closes experiment trial i.
+func TrialEnd(name string, i int) Event {
+	return Event{Type: EvTrialEnd, Name: name, T: i, Node: -1}
+}
+
+// Tracer receives the event stream of an instrumented execution. Emit is
+// called synchronously from the runtime hot path, so implementations should
+// be cheap; the provided sinks (JSONL, Memory, MetricsSink) all are.
+type Tracer interface {
+	Emit(Event)
+}
+
+// Hooks is the observability field every runtime Options embeds. The zero
+// value is the no-op default: tracing off, one branch per emission, zero
+// allocations.
+type Hooks struct {
+	// Trace receives every event the instrumented runtime emits; nil
+	// disables tracing.
+	Trace Tracer
+}
+
+// Emit forwards ev to the tracer, if any. With a nil tracer this is a
+// single branch and never allocates — the property the AllocsPerRun tests
+// pin.
+func (h Hooks) Emit(ev Event) {
+	if h.Trace != nil {
+		h.Trace.Emit(ev)
+	}
+}
+
+// Enabled reports whether a tracer is attached, for callers that want to
+// skip building expensive event payloads entirely.
+func (h Hooks) Enabled() bool { return h.Trace != nil }
+
+// Tee fans events out to every non-nil tracer. It returns nil when no
+// tracer remains (so the result can be stored directly in Hooks.Trace), and
+// the tracer itself when only one remains (no indirection on the hot path).
+func Tee(tracers ...Tracer) Tracer {
+	live := make(multiTracer, 0, len(tracers))
+	for _, t := range tracers {
+		if t != nil {
+			live = append(live, t)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return live
+}
+
+type multiTracer []Tracer
+
+func (m multiTracer) Emit(ev Event) {
+	for _, t := range m {
+		t.Emit(ev)
+	}
+}
+
+// Synchronized wraps t so concurrent Emit calls are serialized by a mutex —
+// for handing a single-writer sink (JSONL, Memory) to parallel producers
+// such as experiment trials. Nil in, nil out, so it composes with Tee and
+// the Hooks zero value.
+func Synchronized(t Tracer) Tracer {
+	if t == nil {
+		return nil
+	}
+	return &syncTracer{t: t}
+}
+
+type syncTracer struct {
+	mu sync.Mutex
+	t  Tracer
+}
+
+func (s *syncTracer) Emit(ev Event) {
+	s.mu.Lock()
+	s.t.Emit(ev)
+	s.mu.Unlock()
+}
+
+// Memory is the in-memory test sink: it records every event in order.
+type Memory struct {
+	Events []Event
+}
+
+// Emit appends ev to the record.
+func (m *Memory) Emit(ev Event) { m.Events = append(m.Events, ev) }
+
+// Count returns how many recorded events have the given type.
+func (m *Memory) Count(t EventType) int {
+	n := 0
+	for _, ev := range m.Events {
+		if ev.Type == t {
+			n++
+		}
+	}
+	return n
+}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/domset"
 	"repro/internal/energy"
 	"repro/internal/graph"
+	"repro/internal/obs"
 )
 
 // Result summarizes one schedule execution.
@@ -44,7 +45,9 @@ type Injector interface {
 	Inject(net *energy.Network, t int) int
 }
 
-// Options configures an execution.
+// Options configures an execution. It follows the canonical shape
+// documented in package obs: common knobs (K, MaxSlots) share their names
+// with heal.Options, and the embedded obs.Hooks carries the tracing sinks.
 type Options struct {
 	// K is the required domination tolerance per slot (>= 1).
 	K int
@@ -57,6 +60,13 @@ type Options struct {
 	// StopAtViolation stops execution at the first uncovered slot rather
 	// than running the schedule to completion.
 	StopAtViolation bool
+	// MaxSlots caps the slots executed (0 = run the whole schedule);
+	// aligned with heal.Options.MaxSlots.
+	MaxSlots int
+	// Hooks carries the observability sinks (obs.Hooks; the promoted Trace
+	// field receives slot, death, and run events). The zero value is the
+	// no-op default: the slot loop stays allocation-free.
+	obs.Hooks
 }
 
 // Run executes schedule s on the network until the schedule ends (or the
@@ -71,6 +81,11 @@ type Options struct {
 // never accrues past the death of the network. (Earlier versions scored the
 // empty network as "vacuously covered", which let a chaos plan that kills
 // everyone *improve* the reported lifetime.)
+//
+// When opt.Hooks carries a tracer, Run emits run_start/run_end, per-slot
+// slot_start/slot_end (serving count, alive count, coverage), and death
+// events; with the zero Hooks the instrumentation is a nil check per
+// emission and the slot loop allocates nothing extra.
 func Run(net *energy.Network, s *core.Schedule, opt Options) Result {
 	if opt.K < 1 {
 		opt.K = 1
@@ -81,14 +96,32 @@ func Run(net *energy.Network, s *core.Schedule, opt Options) Result {
 	ck := domset.NewChecker(net.G)
 	next := 0
 	t := 0
+	// Hoisted so the hot loop skips Event construction entirely when tracing
+	// is off — the nil check inside Emit alone still pays for building the
+	// event argument first.
+	traced := opt.Enabled()
+	opt.Emit(obs.RunStart("sensim", net.G.N()))
+	finish := func() Result {
+		opt.Emit(obs.RunEnd("sensim", len(res.Coverage), res.AchievedLifetime, res.Deaths))
+		return res
+	}
 
 	for _, phase := range s.Phases {
 		for dt := 0; dt < phase.Duration; dt++ {
+			if opt.MaxSlots > 0 && t >= opt.MaxSlots {
+				return finish()
+			}
+			if traced {
+				opt.Emit(obs.SlotStart(t))
+			}
 			// Apply crashes scheduled for this slot.
 			for next < len(plan) && plan[next].Time <= t {
 				if net.Alive[plan[next].Node] {
 					net.Kill(plan[next].Node)
 					res.Deaths++
+					if traced {
+						opt.Emit(obs.Death(t, plan[next].Node))
+					}
 				}
 				next++
 			}
@@ -108,15 +141,19 @@ func Run(net *energy.Network, s *core.Schedule, opt Options) Result {
 				if res.FirstViolation == -1 {
 					res.FirstViolation = t
 				}
-				return res
+				opt.Emit(obs.SlotEnd(t, 0, 0, 0))
+				return finish()
 			}
 			covered := ck.CoveredCount(serving, opt.K, net.Alive)
+			cov := 1.0 // only the 0-node network
 			if alive > 0 {
-				res.Coverage = append(res.Coverage, float64(covered)/float64(alive))
-			} else {
-				res.Coverage = append(res.Coverage, 1) // only the 0-node network
+				cov = float64(covered) / float64(alive)
 			}
+			res.Coverage = append(res.Coverage, cov)
 			res.ReportsDelivered += covered
+			if traced {
+				opt.Emit(obs.SlotEnd(t, len(serving), alive, cov))
+			}
 			if covered == alive {
 				if res.FirstViolation == -1 {
 					res.AchievedLifetime = t + 1
@@ -124,13 +161,13 @@ func Run(net *energy.Network, s *core.Schedule, opt Options) Result {
 			} else if res.FirstViolation == -1 {
 				res.FirstViolation = t
 				if opt.StopAtViolation {
-					return res
+					return finish()
 				}
 			}
 			t++
 		}
 	}
-	return res
+	return finish()
 }
 
 // NaiveAllOn returns the baseline schedule with every node active in every
