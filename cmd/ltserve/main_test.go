@@ -1,0 +1,67 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func defaults(t *testing.T) flags {
+	t.Helper()
+	var f flags
+	if err := newFlagSet(&f).Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestValidateFlags(t *testing.T) {
+	if err := defaults(t).validate(); err != nil {
+		t.Fatalf("default flags rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		mut  func(*flags)
+	}{
+		{"empty addr", func(f *flags) { f.addr = "" }},
+		{"negative workers", func(f *flags) { f.workers = -1 }},
+		{"negative queue", func(f *flags) { f.queue = -1 }},
+		{"negative inflight", func(f *flags) { f.inflight = -1 }},
+		{"negative cache", func(f *flags) { f.cacheSize = -1 }},
+		{"negative timeout", func(f *flags) { f.timeout = -time.Second }},
+		{"zero drain timeout", func(f *flags) { f.drainTimeout = 0 }},
+		{"negative max nodes", func(f *flags) { f.maxNodes = -1 }},
+		{"malformed fault", func(f *flags) { f.fault = "slow=2" }},
+	}
+	for _, c := range cases {
+		f := defaults(t)
+		c.mut(&f)
+		if err := f.validate(); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestConfigWiresFault(t *testing.T) {
+	f := defaults(t)
+	cfg, err := f.config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Fault != nil {
+		t.Fatal("no -fault flag but Config.Fault is set")
+	}
+
+	f.fault = "fail=0.5"
+	cfg, err = f.config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Fault == nil {
+		t.Fatal("-fault set but Config.Fault is nil")
+	}
+
+	f.fault = "fail=banana"
+	if _, err := f.config(); err == nil {
+		t.Fatal("malformed -fault accepted by config")
+	}
+}

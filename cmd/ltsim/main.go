@@ -19,12 +19,12 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
-	"net"
-	"net/http"
 	"os"
+	"time"
 
 	"repro/internal/chaos"
 	"repro/internal/core"
@@ -34,6 +34,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/sensim"
+	"repro/internal/serve"
 )
 
 func main() {
@@ -182,13 +183,19 @@ func run() error {
 	}
 	hooks := obs.Hooks{Trace: obs.Tee(tracers...)}
 	if f.obsAddr != "" {
-		ln, err := net.Listen("tcp", f.obsAddr)
+		// The serve package owns the HTTP lifecycle: same mux shape as
+		// ltserve (/healthz, /metrics, plus the legacy root snapshot) and a
+		// graceful stop instead of an abandoned listener.
+		hs, err := serve.StartHTTP(f.obsAddr, serve.ObsMux(reg))
 		if err != nil {
 			return fmt.Errorf("-obs-addr %s: %w", f.obsAddr, err)
 		}
-		defer ln.Close()
-		fmt.Printf("obs: serving metrics snapshot at http://%s/\n", ln.Addr())
-		go func() { _ = http.Serve(ln, reg) }()
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+			defer cancel()
+			hs.Stop(ctx) //nolint:errcheck // best-effort on exit
+		}()
+		fmt.Printf("obs: serving metrics snapshot at http://%s/\n", hs.Addr())
 	}
 
 	enet := energy.NewNetwork(g, batteries)

@@ -11,9 +11,15 @@
 package bench
 
 import (
+	"bytes"
+	"context"
+	"encoding/json"
 	"fmt"
 	"math"
+	"net/http"
+	"net/http/httptest"
 	"runtime"
+	"sync"
 	"testing"
 	"time"
 
@@ -26,6 +32,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/sensim"
+	"repro/internal/serve"
 )
 
 // Schema identifies the BENCH_*.json layout; bump on breaking changes.
@@ -184,7 +191,7 @@ func toCase(name string, r testing.BenchmarkResult, baseline float64) Case {
 func Run(quick bool) Report {
 	rep := Report{
 		Schema:      Schema,
-		PR:          "PR3",
+		PR:          "PR4",
 		GoVersion:   runtime.Version(),
 		GOOS:        runtime.GOOS,
 		GOARCH:      runtime.GOARCH,
@@ -232,8 +239,107 @@ func Run(quick bool) Report {
 	}
 
 	rep.Cases = append(rep.Cases, runSensimCases(quick)...)
+	rep.Cases = append(rep.Cases, runServeCases(quick)...)
 	rep.Cases = append(rep.Cases, runExperimentCase(quick))
 	return rep
+}
+
+// runServeCases benchmarks the serving request path end to end (HTTP decode,
+// admission, solve, encode) in its three regimes: a cache miss computes, a
+// cache hit skips the solve, and eight identical concurrent requests
+// coalesce onto one computation. The workload is chosen so the solve
+// actually dominates the path: a 2-tolerant general schedule on a sparse
+// graph, where the WHP target is rarely attainable and all 30 tries run
+// (the easy workloads early-exit after one try and the path degenerates to
+// JSON handling, which the cache cannot avoid — every request re-validates
+// and re-hashes its graph to derive the key). The hit and coalesce cases
+// Baselines: the hit case carries one miss (Speedup = miss cost avoided per
+// request), the coalesce case carries eight misses — the work its batch of
+// eight requests would have cost without single-flight — so Speedup above 1
+// is the coalescing win.
+func runServeCases(quick bool) []Case {
+	n := 128
+	if quick {
+		n = 96
+	}
+	src := rng.New(5)
+	g := gen.GNP(n, 2*math.Log(float64(n))/float64(n), src)
+	spec := serve.GraphSpec{N: n}
+	for v := 0; v < n; v++ {
+		for _, u := range g.Neighbors(v) {
+			if v < int(u) {
+				spec.Edges = append(spec.Edges, [2]int{v, int(u)})
+			}
+		}
+	}
+	body := func(seed uint64) []byte {
+		b, err := json.Marshal(serve.Request{
+			Graph: spec, Algorithm: serve.AlgGeneralFT, K: 2, Battery: 32, Seed: seed, Tries: 30,
+		})
+		if err != nil {
+			panic(err)
+		}
+		return b
+	}
+	post := func(h http.Handler, payload []byte) {
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, httptest.NewRequest(http.MethodPost, "/v1/schedule", bytes.NewReader(payload)))
+		if w.Code != http.StatusOK {
+			panic(fmt.Sprintf("bench: serve returned %d: %s", w.Code, w.Body.String()))
+		}
+	}
+
+	// Cache miss: a fresh seed every iteration defeats both cache and
+	// coalescing, so every request pays the full solve.
+	sMiss := serve.New(serve.Config{CacheSize: 4})
+	hMiss := sMiss.Handler()
+	miss := run(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			post(hMiss, body(uint64(i)+1))
+		}
+	})
+	sMiss.Shutdown(context.Background()) //nolint:errcheck // bench teardown
+	missNs := float64(miss.NsPerOp())
+
+	// Cache hit: the identical request repeated; after the first fill every
+	// iteration is an LRU lookup.
+	sHit := serve.New(serve.Config{})
+	hHit := sHit.Handler()
+	warm := body(1)
+	post(hHit, warm)
+	hit := run(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			post(hHit, warm)
+		}
+	})
+	sHit.Shutdown(context.Background()) //nolint:errcheck // bench teardown
+
+	// Coalesce: eight concurrent identical requests per iteration, with a
+	// per-iteration seed so the batch always misses the cache — the eight
+	// answers share one computation.
+	sCo := serve.New(serve.Config{CacheSize: 4})
+	hCo := sCo.Handler()
+	coalesce := run(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			payload := body(uint64(i) + 1)
+			var wg sync.WaitGroup
+			for c := 0; c < 8; c++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					post(hCo, payload)
+				}()
+			}
+			wg.Wait()
+		}
+	})
+	sCo.Shutdown(context.Background()) //nolint:errcheck // bench teardown
+
+	return []Case{
+		toCase(fmt.Sprintf("serve/schedule/cache=miss/n=%d", n), miss, 0),
+		toCase(fmt.Sprintf("serve/schedule/cache=hit/n=%d", n), hit, missNs),
+		toCase(fmt.Sprintf("serve/schedule/coalesce=8/n=%d", n), coalesce, 8*missNs),
+	}
 }
 
 // runSensimCases benchmarks a full sensim.Run execution: GeneralWHP schedule

@@ -1,0 +1,79 @@
+package chaos
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/rng"
+)
+
+func TestWorkerFaultZeroValueInjectsNothing(t *testing.T) {
+	var f WorkerFault
+	for i := 0; i < 100; i++ {
+		if err := f.Invoke("job"); err != nil {
+			t.Fatalf("zero-value fault injected: %v", err)
+		}
+	}
+	var nilFault *WorkerFault
+	if err := nilFault.Invoke("job"); err != nil {
+		t.Fatalf("nil fault injected: %v", err)
+	}
+}
+
+func TestWorkerFaultFailRate(t *testing.T) {
+	f := NewWorkerFault(0, 0.3, 0, rng.New(7))
+	failures := 0
+	for i := 0; i < 1000; i++ {
+		if err := f.Invoke("job"); err != nil {
+			if !errors.Is(err, ErrWorkerFault) {
+				t.Fatalf("failure is not ErrWorkerFault: %v", err)
+			}
+			failures++
+		}
+	}
+	if failures != f.Failed() {
+		t.Fatalf("Failed() = %d, observed %d", f.Failed(), failures)
+	}
+	if failures < 200 || failures > 400 {
+		t.Fatalf("failure rate %d/1000 far from configured 0.3", failures)
+	}
+}
+
+func TestWorkerFaultDeterministic(t *testing.T) {
+	run := func() []bool {
+		f := NewWorkerFault(0.5, 0.2, 0, rng.New(42))
+		out := make([]bool, 200)
+		for i := range out {
+			out[i] = f.Invoke("job") != nil
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("invocation %d diverged across identical seeds", i)
+		}
+	}
+}
+
+func TestParseWorkerFault(t *testing.T) {
+	f, err := ParseWorkerFault("slow=0.25:50ms,fail=0.1", rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.slowP != 0.25 || f.failP != 0.1 || f.delay != 50*time.Millisecond {
+		t.Fatalf("parsed %v/%v/%v", f.slowP, f.failP, f.delay)
+	}
+	if f, err := ParseWorkerFault("", rng.New(1)); err != nil || f != nil {
+		t.Fatalf("empty spec: %v, %v", f, err)
+	}
+	for _, bad := range []string{
+		"slow=0.5", "slow=2:1ms", "slow=0.5:-1ms", "slow=0.5:xyz",
+		"fail=1.5", "fail=x", "frob=1", "slow",
+	} {
+		if _, err := ParseWorkerFault(bad, rng.New(1)); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+}

@@ -1,4 +1,3 @@
-//lint:file-ignore SA1019 this file pins the behavior of the deprecated RunLossy/RunRadio wrappers, so it calls them on purpose
 package distsim
 
 import (
@@ -8,29 +7,17 @@ import (
 	"repro/internal/rng"
 )
 
-func TestRunLossyValidation(t *testing.T) {
-	g := gen.Path(3)
-	progs := make([]Program, 3)
-	for i := range progs {
-		progs[i] = &forever{}
-	}
-	if _, err := RunLossy(g, progs, 5, 1.5, rng.New(1)); err == nil {
-		t.Error("loss 1.5 accepted")
-	}
-	if _, err := RunLossy(g, progs, 5, 0.5, nil); err == nil {
-		t.Error("loss without source accepted")
-	}
-}
-
-func TestRunLossyZeroLossEqualsRun(t *testing.T) {
+func TestFlatRadioZeroLossEqualsReliableRun(t *testing.T) {
 	g := gen.GNP(60, 0.15, rng.New(1))
 	a := NewUniformNodes(g, 3, rng.New(7).SplitN(g.N()))
 	sa, err := Run(g, Programs(a), Options{MaxRounds: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
+	// A zero-loss radio never drops, so the execution must be identical to
+	// the reliable medium — the radio's coin draws are invisible to nodes.
 	b := NewUniformNodes(g, 3, rng.New(7).SplitN(g.N()))
-	sb, err := RunLossy(g, Programs(b), 10, 0, nil)
+	sb, err := Run(g, Programs(b), Options{MaxRounds: 10, Radio: FlatRadio(0, rng.New(99))})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,17 +26,17 @@ func TestRunLossyZeroLossEqualsRun(t *testing.T) {
 	}
 	for v := range a {
 		if a[v].Color != b[v].Color {
-			t.Fatal("zero-loss run diverged from Run")
+			t.Fatal("zero-loss run diverged from the reliable run")
 		}
 	}
 }
 
-func TestRunLossyDropsAndStillTerminates(t *testing.T) {
+func TestLossyRunDropsAndStillTerminates(t *testing.T) {
 	// Algorithm 1 under loss: the protocol still terminates (one round),
 	// messages are counted as sent, and some deliveries are dropped.
 	g := gen.GNP(200, 0.1, rng.New(2))
 	nodes := NewUniformNodes(g, 3, rng.New(8).SplitN(g.N()))
-	stats, err := RunLossy(g, Programs(nodes), 10, 0.3, rng.New(9))
+	stats, err := Run(g, Programs(nodes), Options{MaxRounds: 10, Radio: FlatRadio(0.3, rng.New(9))})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,10 +57,10 @@ func TestRunLossyDropsAndStillTerminates(t *testing.T) {
 	}
 }
 
-func TestRunLossyDropRateSane(t *testing.T) {
+func TestLossyRunDropRateSane(t *testing.T) {
 	g := gen.GNP(300, 0.08, rng.New(3))
 	nodes := NewGeneralNodes(g, uniformB(g.N(), 3), 3, rng.New(10).SplitN(g.N()))
-	stats, err := RunLossy(g, Programs(nodes), 10, 0.2, rng.New(11))
+	stats, err := Run(g, Programs(nodes), Options{MaxRounds: 10, Radio: FlatRadio(0.2, rng.New(11))})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +70,7 @@ func TestRunLossyDropRateSane(t *testing.T) {
 	}
 }
 
-func TestRunLossyDeterministic(t *testing.T) {
+func TestLossyRunDeterministic(t *testing.T) {
 	// Identical (graph, programs, loss, seed) inputs must yield identical
 	// Stats and identical protocol outcomes across runs: the loss coins are
 	// drawn in a fixed receiver-then-neighbor order, never from map
@@ -91,7 +78,7 @@ func TestRunLossyDeterministic(t *testing.T) {
 	g := gen.GNP(120, 0.12, rng.New(21))
 	run := func() (Stats, []int) {
 		nodes := NewUniformNodes(g, 3, rng.New(33).SplitN(g.N()))
-		st, err := RunLossy(g, Programs(nodes), 10, 0.35, rng.New(77))
+		st, err := Run(g, Programs(nodes), Options{MaxRounds: 10, Radio: FlatRadio(0.35, rng.New(77))})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -115,22 +102,5 @@ func TestRunLossyDeterministic(t *testing.T) {
 	}
 	if s1.Dropped == 0 {
 		t.Fatal("test exercised no losses")
-	}
-}
-
-func TestRunRadioNilRadioEqualsRun(t *testing.T) {
-	g := gen.GNP(50, 0.2, rng.New(4))
-	a := NewUniformNodes(g, 3, rng.New(9).SplitN(g.N()))
-	sa, err := Run(g, Programs(a), Options{MaxRounds: 10})
-	if err != nil {
-		t.Fatal(err)
-	}
-	b := NewUniformNodes(g, 3, rng.New(9).SplitN(g.N()))
-	sb, err := RunRadio(g, Programs(b), 10, nil)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if sa != sb {
-		t.Fatalf("nil-radio RunRadio diverged from Run: %+v vs %+v", sa, sb)
 	}
 }

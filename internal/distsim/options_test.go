@@ -46,6 +46,25 @@ func TestUnifiedRunMatchesWrappers(t *testing.T) {
 	}
 }
 
+// TestDeprecatedRunLossyValidation pins the argument checking the RunLossy
+// wrapper performs on top of Run — the unified API takes a prebuilt Radio
+// and has nothing to validate, so this contract lives only in the wrapper.
+func TestDeprecatedRunLossyValidation(t *testing.T) {
+	g := gen.Path(3)
+	progs := make([]Program, 3)
+	for i := range progs {
+		progs[i] = &forever{}
+	}
+	//lint:ignore SA1019 the wrapper's validation is exactly what this test pins
+	if _, err := RunLossy(g, progs, 5, 1.5, rng.New(1)); err == nil {
+		t.Error("loss 1.5 accepted")
+	}
+	//lint:ignore SA1019 the wrapper's validation is exactly what this test pins
+	if _, err := RunLossy(g, progs, 5, 0.5, nil); err == nil {
+		t.Error("loss without source accepted")
+	}
+}
+
 func TestRunDefaultMaxRounds(t *testing.T) {
 	g := gen.Path(5)
 	nodes := NewUniformNodes(g, 3, rng.New(1).SplitN(g.N()))

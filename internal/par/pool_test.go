@@ -1,0 +1,81 @@
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestPoolRunsEverything(t *testing.T) {
+	p := NewPool(4, 16)
+	var ran atomic.Int64
+	for i := 0; i < 100; i++ {
+		for !p.TrySubmit(func() { ran.Add(1) }) {
+			// Queue full: a real caller would 429; the test just retries.
+		}
+	}
+	p.Close()
+	if got := ran.Load(); got != 100 {
+		t.Fatalf("ran %d of 100 tasks", got)
+	}
+}
+
+func TestPoolBackpressure(t *testing.T) {
+	// One worker blocked + depth 1 queue: the third submission must fail.
+	block := make(chan struct{})
+	started := make(chan struct{})
+	p := NewPool(1, 1)
+	defer p.Close()
+	if !p.TrySubmit(func() { close(started); <-block }) {
+		t.Fatal("first submission rejected")
+	}
+	<-started // worker is busy now, not holding a queue slot
+	if !p.TrySubmit(func() {}) {
+		t.Fatal("queued submission rejected")
+	}
+	if p.TrySubmit(func() {}) {
+		t.Fatal("over-capacity submission accepted")
+	}
+	if got := p.QueueLen(); got != 1 {
+		t.Fatalf("QueueLen = %d, want 1", got)
+	}
+	close(block)
+}
+
+func TestPoolCloseDrainsAcceptedTasks(t *testing.T) {
+	// Tasks accepted before Close must all run even when Close races the
+	// workers — the no-dropped-jobs half of graceful drain.
+	block := make(chan struct{})
+	started := make(chan struct{})
+	p := NewPool(1, 8)
+	var ran atomic.Int64
+	p.TrySubmit(func() { close(started); <-block; ran.Add(1) })
+	<-started
+	accepted := 1
+	for p.TrySubmit(func() { ran.Add(1) }) {
+		accepted++
+	}
+	closed := make(chan struct{})
+	go func() { p.Close(); close(closed) }()
+	close(block)
+	<-closed
+	if got := ran.Load(); int(got) != accepted {
+		t.Fatalf("ran %d of %d accepted tasks after Close", got, accepted)
+	}
+	if p.TrySubmit(func() {}) {
+		t.Fatal("submission accepted after Close")
+	}
+}
+
+func TestPoolCloseIdempotentAndConcurrent(t *testing.T) {
+	p := NewPool(2, 4)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p.Close()
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,60 @@
+package serve
+
+import "container/list"
+
+// lruCache is the result cache: a plain LRU over canonical request keys.
+// Results are immutable once stored (handlers add per-response envelope
+// fields outside the Result), so entries are shared, never copied. The
+// cache has its own methods but no own lock — Server.admit and completion
+// consult it under Server.mu so cache and pending-job state stay coherent.
+type lruCache struct {
+	capacity int
+	ll       *list.List // front = most recently used
+	items    map[string]*list.Element
+}
+
+type lruEntry struct {
+	key string
+	res *Result
+}
+
+func newLRUCache(capacity int) *lruCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &lruCache{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element, capacity),
+	}
+}
+
+// get returns the cached result for key and marks it most recently used.
+func (c *lruCache) get(key string) (*Result, bool) {
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).res, true
+}
+
+// add stores res under key, evicting the least recently used entry when the
+// cache is at capacity. Re-adding an existing key refreshes its value and
+// recency.
+func (c *lruCache) add(key string, res *Result) {
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*lruEntry).res = res
+		return
+	}
+	for c.ll.Len() >= c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruEntry).key)
+	}
+	c.items[key] = c.ll.PushFront(&lruEntry{key: key, res: res})
+}
+
+// len returns the number of cached entries.
+func (c *lruCache) len() int { return c.ll.Len() }

@@ -1,0 +1,64 @@
+package serve
+
+import "repro/internal/obs"
+
+// LatencyBounds is the bucket layout (milliseconds) of the service latency
+// histograms: sub-millisecond cache hits through multi-second experiment
+// runs.
+var LatencyBounds = []float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000}
+
+// metrics is the service's obs surface, resolved once at construction so the
+// request path pays atomic adds, not registry lookups. Every admission
+// outcome is counted exactly once per request:
+//
+//	serve.requests = serve.cache_hits + serve.coalesced + serve.admitted
+//	               + serve.rejected_* ,
+//	serve.admitted = serve.completed + serve.canceled + serve.failed
+//	               (once the server is drained),
+//
+// which is what the end-to-end tests assert behavior against.
+type metrics struct {
+	requests          *obs.Counter
+	admitted          *obs.Counter
+	cacheHits         *obs.Counter
+	cacheMisses       *obs.Counter
+	coalesced         *obs.Counter
+	rejectedQueueFull *obs.Counter
+	rejectedInFlight  *obs.Counter
+	rejectedDraining  *obs.Counter
+	completed         *obs.Counter
+	canceled          *obs.Counter
+	failed            *obs.Counter
+	workerFaults      *obs.Counter
+
+	queueDepth *obs.Gauge
+	running    *obs.Gauge
+	pending    *obs.Gauge
+
+	latencyMS   *obs.Histogram
+	queueWaitMS *obs.Histogram
+	solveMS     *obs.Histogram
+}
+
+func newMetrics(reg *obs.Registry) *metrics {
+	return &metrics{
+		requests:          reg.Counter("serve.requests"),
+		admitted:          reg.Counter("serve.admitted"),
+		cacheHits:         reg.Counter("serve.cache_hits"),
+		cacheMisses:       reg.Counter("serve.cache_misses"),
+		coalesced:         reg.Counter("serve.coalesced"),
+		rejectedQueueFull: reg.Counter("serve.rejected_queue_full"),
+		rejectedInFlight:  reg.Counter("serve.rejected_inflight"),
+		rejectedDraining:  reg.Counter("serve.rejected_draining"),
+		completed:         reg.Counter("serve.completed"),
+		canceled:          reg.Counter("serve.canceled"),
+		failed:            reg.Counter("serve.failed"),
+		workerFaults:      reg.Counter("serve.worker_faults"),
+		queueDepth:        reg.Gauge("serve.queue_depth"),
+		running:           reg.Gauge("serve.running"),
+		pending:           reg.Gauge("serve.pending"),
+		latencyMS:         reg.Histogram("serve.latency_ms", LatencyBounds),
+		queueWaitMS:       reg.Histogram("serve.queue_wait_ms", LatencyBounds),
+		solveMS:           reg.Histogram("serve.solve_ms", LatencyBounds),
+	}
+}

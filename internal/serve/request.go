@@ -1,0 +1,257 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/graph"
+)
+
+// Algorithm names accepted by the schedule endpoint.
+const (
+	AlgUniform   = "uniform"   // Algorithm 1: uniform batteries
+	AlgGeneral   = "general"   // Algorithm 2: arbitrary batteries
+	AlgFT        = "ft"        // Algorithm 3: uniform batteries, k-tolerant
+	AlgGeneralFT = "generalft" // repo extension: arbitrary batteries, k-tolerant
+)
+
+// GraphSpec is the wire form of a network graph: a node count and an
+// undirected edge list. Unlike the internal constructors it validates
+// rather than panics — it is the trust boundary of the service.
+type GraphSpec struct {
+	N     int      `json:"n"`
+	Edges [][2]int `json:"edges"`
+}
+
+// build validates the spec (node range, self-loops, duplicate edges, the
+// maxNodes cap) and constructs the graph.
+func (gs GraphSpec) build(maxNodes int) (*graph.Graph, error) {
+	if gs.N < 0 {
+		return nil, fmt.Errorf("graph.n = %d must be >= 0", gs.N)
+	}
+	if gs.N > maxNodes {
+		return nil, errTooLarge{fmt.Sprintf("graph.n = %d exceeds the service cap of %d nodes", gs.N, maxNodes)}
+	}
+	// Duplicate detection keys on a packed uint64 rather than a [2]int:
+	// integer keys hash several times faster, and this map is the single
+	// hottest allocation on the request path (paid on cache hits too).
+	seen := make(map[uint64]bool, len(gs.Edges))
+	for i, e := range gs.Edges {
+		u, v := e[0], e[1]
+		if u < 0 || u >= gs.N || v < 0 || v >= gs.N {
+			return nil, fmt.Errorf("edge %d {%d,%d}: endpoint out of range [0, %d)", i, u, v, gs.N)
+		}
+		if u == v {
+			return nil, fmt.Errorf("edge %d: self-loop at node %d", i, u)
+		}
+		if u > v {
+			u, v = v, u
+		}
+		packed := uint64(u)<<32 | uint64(v)
+		if seen[packed] {
+			return nil, fmt.Errorf("edge %d: duplicate edge {%d,%d}", i, u, v)
+		}
+		seen[packed] = true
+	}
+	return graph.NewFromEdges(gs.N, gs.Edges), nil
+}
+
+// errTooLarge marks a request rejected for size (HTTP 413) rather than
+// shape (HTTP 400).
+type errTooLarge struct{ msg string }
+
+func (e errTooLarge) Error() string { return e.msg }
+
+// Request is a schedule request: a graph, per-node duty budgets, and
+// algorithm parameters. Delivery options (TimeoutMS, Async) are not part of
+// the canonical cache key — two clients asking for the same schedule with
+// different patience share one computation and one cache entry.
+type Request struct {
+	Graph     GraphSpec `json:"graph"`
+	Algorithm string    `json:"algorithm"`
+	// Battery is the uniform per-node budget; Batteries, when non-empty,
+	// gives per-node budgets instead (required length N). The uniform
+	// algorithms (uniform, ft) accept Batteries only if all entries agree.
+	Battery   int     `json:"battery,omitempty"`
+	Batteries []int   `json:"batteries,omitempty"`
+	K         int     `json:"k,omitempty"`          // domination tolerance; default 1
+	KConst    float64 `json:"kconst,omitempty"`     // color-range constant; default 3
+	Seed      uint64  `json:"seed,omitempty"`       // randomness seed; default 1
+	Tries     int     `json:"tries,omitempty"`      // WHP retry budget; default 30
+	TimeoutMS int     `json:"timeout_ms,omitempty"` // per-request deadline; default server-side
+	Async     bool    `json:"async,omitempty"`      // 202 + poll /v1/jobs/{key} instead of waiting
+}
+
+func (r *Request) k() int {
+	if r.K <= 0 {
+		return 1
+	}
+	return r.K
+}
+
+func (r *Request) kconst() float64 {
+	if r.KConst <= 0 {
+		return 3
+	}
+	return r.KConst
+}
+
+func (r *Request) seed() uint64 {
+	if r.Seed == 0 {
+		return 1
+	}
+	return r.Seed
+}
+
+func (r *Request) tries() int {
+	if r.Tries <= 0 {
+		return 30
+	}
+	return r.Tries
+}
+
+func timeoutFromMS(ms int, fallback time.Duration) time.Duration {
+	if ms <= 0 {
+		return fallback
+	}
+	return time.Duration(ms) * time.Millisecond
+}
+
+// resolve validates the request and returns the built graph plus the
+// normalized per-node budget vector (uniform scalars expanded), which is
+// what both the solver and the canonical key consume.
+func (r *Request) resolve(maxNodes int) (*graph.Graph, []int, error) {
+	switch r.Algorithm {
+	case AlgUniform, AlgGeneral, AlgFT, AlgGeneralFT:
+	default:
+		return nil, nil, fmt.Errorf("unknown algorithm %q (have %s, %s, %s, %s)",
+			r.Algorithm, AlgUniform, AlgGeneral, AlgFT, AlgGeneralFT)
+	}
+	if r.K < 0 {
+		return nil, nil, fmt.Errorf("k = %d must be >= 1", r.K)
+	}
+	if (r.Algorithm == AlgUniform || r.Algorithm == AlgGeneral) && r.K > 1 {
+		return nil, nil, fmt.Errorf("algorithm %q ignores k; use %s or %s for tolerance %d",
+			r.Algorithm, AlgFT, AlgGeneralFT, r.K)
+	}
+	if r.KConst < 0 {
+		return nil, nil, fmt.Errorf("kconst = %v must be > 0", r.KConst)
+	}
+	if r.Tries < 0 {
+		return nil, nil, fmt.Errorf("tries = %d must be >= 0", r.Tries)
+	}
+	if r.TimeoutMS < 0 {
+		return nil, nil, fmt.Errorf("timeout_ms = %d must be >= 0", r.TimeoutMS)
+	}
+	g, err := r.Graph.build(maxNodes)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	budgets := make([]int, g.N())
+	switch {
+	case len(r.Batteries) > 0:
+		if len(r.Batteries) != g.N() {
+			return nil, nil, fmt.Errorf("%d batteries for %d nodes", len(r.Batteries), g.N())
+		}
+		for v, b := range r.Batteries {
+			if b < 0 {
+				return nil, nil, fmt.Errorf("batteries[%d] = %d must be >= 0", v, b)
+			}
+			budgets[v] = b
+		}
+		if r.Algorithm == AlgUniform || r.Algorithm == AlgFT {
+			for v, b := range budgets {
+				if b != budgets[0] {
+					return nil, nil, fmt.Errorf("algorithm %q needs uniform batteries, but batteries[%d] = %d != batteries[0] = %d",
+						r.Algorithm, v, b, budgets[0])
+				}
+			}
+		}
+	default:
+		if r.Battery < 0 {
+			return nil, nil, fmt.Errorf("battery = %d must be >= 0", r.Battery)
+		}
+		for v := range budgets {
+			budgets[v] = r.Battery
+		}
+	}
+	return g, budgets, nil
+}
+
+// key returns the canonical cache/coalescing key of the request: the
+// graph.Hasher sum over graph structure, normalized budgets, algorithm, and
+// parameters. Delivery options are deliberately excluded.
+func (r *Request) key(g *graph.Graph, budgets []int) string {
+	return graph.NewHasher().
+		String("kind", "schedule").
+		Graph("graph", g).
+		Ints("budgets", budgets).
+		String("alg", r.Algorithm).
+		Int("k", r.k()).
+		Float("kconst", r.kconst()).
+		Uint64("seed", r.seed()).
+		Int("tries", r.tries()).
+		Sum()
+}
+
+// ExperimentRequest asks the service to run one registered experiment
+// (internal/experiments) with the given configuration. The per-request
+// deadline is wired into experiments.Config.Cancel, so a run past its
+// deadline stops between trials and surfaces experiments.ErrCanceled.
+type ExperimentRequest struct {
+	ID        string `json:"id"`
+	Seed      uint64 `json:"seed,omitempty"`
+	Trials    int    `json:"trials,omitempty"`
+	Quick     bool   `json:"quick,omitempty"`
+	TimeoutMS int    `json:"timeout_ms,omitempty"`
+	Async     bool   `json:"async,omitempty"`
+}
+
+func (r *ExperimentRequest) resolve() (string, error) {
+	id := strings.ToUpper(strings.TrimSpace(r.ID))
+	if _, ok := experiments.Get(id); !ok {
+		return "", fmt.Errorf("unknown experiment %q (have %v)", r.ID, experiments.IDs())
+	}
+	if r.Trials < 0 {
+		return "", fmt.Errorf("trials = %d must be >= 0", r.Trials)
+	}
+	if r.TimeoutMS < 0 {
+		return "", fmt.Errorf("timeout_ms = %d must be >= 0", r.TimeoutMS)
+	}
+	return id, nil
+}
+
+func (r *ExperimentRequest) key(id string) string {
+	quick := 0
+	if r.Quick {
+		quick = 1
+	}
+	return graph.NewHasher().
+		String("kind", "experiment").
+		String("id", id).
+		Uint64("seed", r.Seed).
+		Int("trials", r.Trials).
+		Int("quick", quick).
+		Sum()
+}
+
+// Result is the cached, immutable outcome of one computation. Schedule
+// results carry the schedule in the cmd/ltsched interchange format;
+// experiment results carry the rendered table. Per-response metadata
+// (cached, coalesced) lives in the HTTP envelope, not here, so one Result
+// can serve many responses.
+type Result struct {
+	Key        string          `json:"key"`
+	Kind       string          `json:"kind"` // "schedule" | "experiment"
+	Algorithm  string          `json:"algorithm,omitempty"`
+	Lifetime   int             `json:"lifetime,omitempty"`
+	Phases     int             `json:"phases,omitempty"`
+	Schedule   json.RawMessage `json:"schedule,omitempty"`
+	Experiment string          `json:"experiment,omitempty"`
+	Table      string          `json:"table,omitempty"`
+	SolveMS    float64         `json:"solve_ms"`
+}

@@ -1,0 +1,108 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/domset"
+	"repro/internal/experiments"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// Solve computes a feasible schedule for the request: the WHP retry loop of
+// the core algorithms (generate a raw schedule, truncate at the first
+// non-k-dominating phase, keep the best, stop early at the paper's
+// guarantee) with the service's cancellation contract threaded through —
+// cancel is the sticky deadline check of experiments.Config.Cancel, polled
+// before every retry, and a fired cancel surfaces experiments.ErrCanceled.
+// This mirrors core.UniformWHP et al., which cannot be interrupted
+// mid-budget.
+func Solve(g *graph.Graph, budgets []int, req *Request, cancel func() bool) (*core.Schedule, error) {
+	opt := core.Options{K: req.kconst(), Src: rng.New(req.seed())}
+	k := req.k()
+	uniform := 0
+	if g.N() > 0 {
+		uniform = budgets[0]
+	}
+
+	var generate func() *core.Schedule
+	var target, truncK int
+	switch req.Algorithm {
+	case AlgUniform:
+		target = core.GuaranteedPhases(g, opt) * uniform
+		truncK = 1
+		generate = func() *core.Schedule { return core.Uniform(g, uniform, opt) }
+	case AlgGeneral:
+		target = core.GeneralGuaranteedSlots(g, budgets, opt)
+		truncK = 1
+		generate = func() *core.Schedule { return core.General(g, budgets, opt) }
+	case AlgFT:
+		groups := core.GuaranteedPhases(g, opt) / k
+		target = uniform / 2
+		if groups > 0 {
+			target += groups * (uniform - uniform/2)
+		}
+		truncK = k
+		generate = func() *core.Schedule { return core.FaultTolerant(g, uniform, k, opt) }
+	case AlgGeneralFT:
+		target = core.GeneralGuaranteedSlots(g, budgets, opt) / k
+		truncK = k
+		generate = func() *core.Schedule { return core.GeneralFaultTolerant(g, budgets, k, opt) }
+	default:
+		return nil, fmt.Errorf("serve: unvalidated algorithm %q", req.Algorithm)
+	}
+
+	ck := domset.NewChecker(g)
+	best := &core.Schedule{}
+	for try := 0; try < req.tries(); try++ {
+		if cancel() {
+			return nil, experiments.ErrCanceled
+		}
+		s := generate().TruncateInvalidWith(ck, truncK)
+		if s.Lifetime() > best.Lifetime() {
+			best = s
+		}
+		if best.Lifetime() >= target {
+			break
+		}
+	}
+	// The service never hands out an infeasible schedule: a violation here
+	// is a bug, not a client error, and fails the job loudly.
+	if err := best.ValidateWith(ck, budgets, truncK); err != nil {
+		return nil, fmt.Errorf("serve: produced infeasible schedule: %w", err)
+	}
+	return best, nil
+}
+
+// scheduleResult renders a solved schedule into the immutable cached Result.
+func scheduleResult(key string, req *Request, s *core.Schedule) (*Result, error) {
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		return nil, fmt.Errorf("serve: encoding schedule: %w", err)
+	}
+	return &Result{
+		Key:       key,
+		Kind:      "schedule",
+		Algorithm: req.Algorithm,
+		Lifetime:  s.Lifetime(),
+		Phases:    len(s.Phases),
+		Schedule:  bytes.TrimSpace(buf.Bytes()),
+	}, nil
+}
+
+// experimentResult renders a finished experiment table into a Result.
+func experimentResult(key, id string, t *experiments.Table) (*Result, error) {
+	var buf strings.Builder
+	if err := t.Render(&buf); err != nil {
+		return nil, fmt.Errorf("serve: rendering table: %w", err)
+	}
+	return &Result{
+		Key:        key,
+		Kind:       "experiment",
+		Experiment: id,
+		Table:      buf.String(),
+	}, nil
+}
