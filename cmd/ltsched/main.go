@@ -1,12 +1,15 @@
 // Command ltsched computes a cluster-lifetime schedule for a graph and
 // prints it. Graphs come from a file (edge-list format, see cmd/graphgen) or
 // stdin; batteries are uniform (-b) or drawn uniformly from [1, -bmax].
+// Algorithms resolve by name in the internal/solver registry — the paper's
+// randomized algorithms plus the deterministic greedy/lp/exact baselines —
+// and -race-width races that many independently seeded attempts.
 //
 // Usage:
 //
 //	graphgen -family udg -n 60 | ltsched -alg uniform -b 3 -gantt
 //	ltsched -graph g.edges -alg general -bmax 5
-//	ltsched -graph g.edges -alg ft -b 4 -k 2
+//	ltsched -graph g.edges -alg ft -b 4 -k 2 -race-width 4
 //	ltsched -graph g.edges -alg exact -b 2      (small graphs only)
 package main
 
@@ -15,11 +18,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"repro/internal/core"
-	"repro/internal/exact"
+	"repro/internal/domset"
 	"repro/internal/graph"
 	"repro/internal/rng"
+	"repro/internal/solver"
 )
 
 func main() {
@@ -31,13 +36,14 @@ func main() {
 
 func run() error {
 	graphPath := flag.String("graph", "-", "edge-list file (\"-\" = stdin)")
-	alg := flag.String("alg", "uniform", "uniform|general|ft|exact")
+	alg := flag.String("alg", "uniform", "algorithm: "+strings.Join(solver.Names(), "|"))
 	b := flag.Int("b", 3, "uniform battery (uniform, ft, exact)")
 	bmax := flag.Int("bmax", 0, "random batteries in [1, bmax] (general; 0 = uniform b)")
-	k := flag.Int("k", 1, "domination tolerance (ft)")
+	k := flag.Int("k", 1, "domination tolerance (ft, generalft, baselines)")
 	kConst := flag.Float64("K", 3, "color-range constant")
 	seed := flag.Uint64("seed", 1, "random seed")
 	tries := flag.Int("tries", 30, "WHP retry budget")
+	raceWidth := flag.Int("race-width", 1, "independently seeded attempts raced concurrently")
 	gantt := flag.Bool("gantt", false, "print an ASCII Gantt chart")
 	csv := flag.Bool("csv", false, "print the schedule as CSV")
 	jsonOut := flag.Bool("json", false, "print the schedule as JSON")
@@ -66,34 +72,22 @@ func run() error {
 			batteries[i] = *b
 		}
 	}
-	opt := core.Options{K: *kConst, Src: src.Split()}
 
-	var s *core.Schedule
-	tolerance := 1
-	switch *alg {
-	case "uniform":
-		s = core.UniformWHP(g, *b, opt, *tries)
-	case "general":
-		s = core.GeneralWHP(g, batteries, opt, *tries)
-	case "ft":
-		tolerance = *k
-		s = core.FaultTolerantWHP(g, *b, *k, opt, *tries)
-	case "exact":
-		if g.N() > 24 {
-			return fmt.Errorf("exact solver limited to 24 nodes (got %d)", g.N())
-		}
-		val, sets, durs := exact.Integral(g, batteries, *k)
-		tolerance = *k
-		s = &core.Schedule{}
-		for i, set := range sets {
-			s.Phases = append(s.Phases, core.Phase{Set: set, Duration: durs[i]})
-		}
-		fmt.Printf("exact optimum: %d\n", val)
-	default:
-		return fmt.Errorf("unknown algorithm %q", *alg)
+	spec := solver.Spec{Name: *alg, K: *k, KConst: *kConst}
+	s, err := solver.Race(g, batteries, spec,
+		solver.Options{Tries: *tries, Src: src.Split()}, *raceWidth)
+	if err != nil {
+		return err
 	}
 
-	if err := s.Validate(g, batteries, tolerance); err != nil {
+	// The driver already ran the ValidateWith feasibility gate over every
+	// schedule — randomized and baseline alike — so a violation here means
+	// the batteries drifted between solve and print; keep the belt anyway.
+	tolerance := *k
+	if tolerance < 1 {
+		tolerance = 1
+	}
+	if err := s.ValidateWith(domset.NewChecker(g), batteries, tolerance); err != nil {
 		return fmt.Errorf("produced schedule failed validation: %v", err)
 	}
 
@@ -101,12 +95,19 @@ func run() error {
 	fmt.Printf("algorithm: %s (K=%.1f seed=%d)\n", *alg, *kConst, *seed)
 	fmt.Printf("lifetime: %d slots in %d phases\n", s.Lifetime(), len(s.Phases))
 	switch *alg {
-	case "uniform":
+	case solver.NameUniform:
 		fmt.Printf("upper bound (Lemma 4.1): %d\n", core.UniformUpperBound(g, *b))
-	case "general", "exact":
-		fmt.Printf("upper bound (Lemma 5.1): %d\n", core.GeneralUpperBound(g, batteries))
-	case "ft":
-		fmt.Printf("upper bound (Lemma 6.1): %d\n", core.KTolerantUpperBound(g, *b, *k))
+	case solver.NameFT:
+		fmt.Printf("upper bound (Lemma 6.1): %d\n", core.KTolerantUpperBound(g, *b, tolerance))
+	default:
+		if tolerance > 1 {
+			fmt.Printf("upper bound (Lemmas 5.1+6.1): %d\n", core.GeneralKTolerantUpperBound(g, batteries, tolerance))
+		} else {
+			fmt.Printf("upper bound (Lemma 5.1): %d\n", core.GeneralUpperBound(g, batteries))
+		}
+	}
+	if guaranteed, err := solver.Guaranteed(g, batteries, spec); err == nil && guaranteed > 0 {
+		fmt.Printf("guaranteed w.h.p.: %d\n", guaranteed)
 	}
 	if *gantt {
 		if err := s.Gantt(os.Stdout, g.N()); err != nil {

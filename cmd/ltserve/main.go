@@ -48,6 +48,7 @@ type flags struct {
 	timeout      time.Duration
 	drainTimeout time.Duration
 	maxNodes     int
+	raceWidth    int
 	fault        string
 	faultSeed    uint64
 	readyFile    string
@@ -79,6 +80,9 @@ func (f flags) validate() error {
 	if f.maxNodes < 0 {
 		return fmt.Errorf("-max-nodes %d: node cap must be >= 0 (0 = default)", f.maxNodes)
 	}
+	if f.raceWidth < 0 {
+		return fmt.Errorf("-race-width %d: race width must be >= 0 (0 or 1 = sequential)", f.raceWidth)
+	}
 	if _, err := chaos.ParseWorkerFault(f.fault, rng.New(1)); err != nil {
 		return fmt.Errorf("-fault: %w", err)
 	}
@@ -94,6 +98,7 @@ func (f flags) config() (serve.Config, error) {
 		CacheSize:      f.cacheSize,
 		DefaultTimeout: f.timeout,
 		MaxNodes:       f.maxNodes,
+		RaceWidth:      f.raceWidth,
 	}
 	wf, err := chaos.ParseWorkerFault(f.fault, rng.New(f.faultSeed))
 	if err != nil {
@@ -117,6 +122,7 @@ func newFlagSet(f *flags) *flag.FlagSet {
 	fs.DurationVar(&f.timeout, "timeout", 0, "default per-request deadline (0 = 30s)")
 	fs.DurationVar(&f.drainTimeout, "drain-timeout", 30*time.Second, "max wait for accepted jobs on shutdown")
 	fs.IntVar(&f.maxNodes, "max-nodes", 0, "largest accepted graph (0 = default 1<<20)")
+	fs.IntVar(&f.raceWidth, "race-width", 1, "seeded solver attempts raced per schedule job (<= 1 = sequential)")
 	fs.StringVar(&f.fault, "fault", "", `chaos worker fault, e.g. "slow=0.1:50ms,fail=0.01" ("" = off)`)
 	fs.Uint64Var(&f.faultSeed, "fault-seed", 1, "seed for the chaos worker fault")
 	fs.StringVar(&f.readyFile, "ready-file", "", "write the bound address to this file once listening")

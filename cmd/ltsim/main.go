@@ -27,7 +27,6 @@ import (
 	"time"
 
 	"repro/internal/chaos"
-	"repro/internal/core"
 	"repro/internal/energy"
 	"repro/internal/graph"
 	"repro/internal/heal"
@@ -35,6 +34,7 @@ import (
 	"repro/internal/rng"
 	"repro/internal/sensim"
 	"repro/internal/serve"
+	"repro/internal/solver"
 )
 
 func main() {
@@ -138,16 +138,21 @@ func run() error {
 			batteries[i] = f.b
 		}
 	}
-	opt := core.Options{K: *kConst, Src: src.Split()}
-
-	var s *core.Schedule
+	// The uniform algorithms schedule against the scalar -b even when -bmax
+	// randomized the simulated batteries (the historical ltsim behavior);
+	// only "general" consumes the per-node vector.
+	budgets := batteries
+	spec := solver.Spec{Name: f.alg, KConst: *kConst}
 	switch f.alg {
-	case "uniform":
-		s = core.UniformWHP(g, f.b, opt, *tries)
-	case "general":
-		s = core.GeneralWHP(g, batteries, opt, *tries)
-	case "ft":
-		s = core.FaultTolerantWHP(g, f.b, f.k, opt, *tries)
+	case solver.NameUniform:
+		budgets = uniformBudgets(g.N(), f.b)
+	case solver.NameFT:
+		budgets = uniformBudgets(g.N(), f.b)
+		spec.K = f.k
+	}
+	s, err := solver.Best(g, budgets, spec, solver.Options{Tries: *tries, Src: src.Split()})
+	if err != nil {
+		return err
 	}
 
 	horizon := maxInt(1, s.Lifetime())
@@ -266,4 +271,14 @@ func maxInt(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// uniformBudgets broadcasts the scalar battery b over n nodes for the
+// solver registry's budget-vector surface.
+func uniformBudgets(n, b int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = b
+	}
+	return out
 }

@@ -13,9 +13,9 @@ import (
 	"io"
 	"os"
 
-	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/rng"
+	"repro/internal/solver"
 	"repro/internal/viz"
 )
 
@@ -39,7 +39,15 @@ func run() error {
 
 	src := rng.New(*seed)
 	g, pts := gen.RandomUDG(*n, *side, *radius, src)
-	s := core.UniformWHP(g, *b, core.Options{K: 3, Src: src.Split()}, 30)
+	budgets := make([]int, g.N())
+	for i := range budgets {
+		budgets[i] = *b
+	}
+	s, err := solver.Best(g, budgets, solver.Spec{Name: solver.NameUniform},
+		solver.Options{Tries: 30, Src: src.Split()})
+	if err != nil {
+		return err
+	}
 	active := s.ActiveAt(*slot)
 
 	var w io.Writer = os.Stdout

@@ -21,6 +21,7 @@ import (
 	"repro/internal/heal"
 	"repro/internal/rng"
 	"repro/internal/sensim"
+	"repro/internal/solver"
 )
 
 func main() {
@@ -37,7 +38,12 @@ func main() {
 	// nodes exactly one clusterhead — zero redundancy.
 	partition := domatic.GreedyPartition(g, domatic.GreedyExtractor)
 	plain := core.FromPartition(partition, b)
-	tolerant := core.FaultTolerantWHP(g, b, k, core.Options{K: 3, Src: src.Split()}, 30)
+	tolerant, err := solver.Best(g, energy.Uniform(g, b),
+		solver.Spec{Name: solver.NameFT, K: k},
+		solver.Options{Tries: 30, Src: src.Split()})
+	if err != nil {
+		panic(err)
+	}
 
 	fmt.Printf("plain schedule (greedy partition): lifetime %d (1-dominating)\n", plain.Lifetime())
 	fmt.Printf("k-tolerant schedule (Algorithm 3): lifetime %d (%d-dominating)\n\n", tolerant.Lifetime(), k)

@@ -19,6 +19,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/rng"
 	"repro/internal/sensim"
+	"repro/internal/solver"
 )
 
 func main() {
@@ -80,14 +81,20 @@ func main() {
 
 	// 3. Algorithm 2 — distributed, constant rounds, O(log(b_max·n))
 	// approximation w.h.p. with the paper's analysis constant K = 3.
-	opt := core.Options{K: 3, Src: src.Split()}
-	execute("Algorithm 2 (K=3)", core.GeneralWHP(g, batteries, opt, 30))
+	solve := func(spec solver.Spec) *core.Schedule {
+		s, err := solver.Best(g, batteries, spec,
+			solver.Options{Tries: 30, Src: src.Split()})
+		if err != nil {
+			panic(err)
+		}
+		return s
+	}
+	execute("Algorithm 2 (K=3)", solve(solver.Spec{Name: solver.NameGeneral}))
 
 	// 4. The same algorithm with K = 1: the proof constant is conservative;
 	// in practice a 3× wider color range usually still validates (the WHP
-	// wrapper checks and retries), tripling the lifetime.
-	tuned := core.Options{K: 1, Src: src.Split()}
-	execute("Algorithm 2 (K=1)", core.GeneralWHP(g, batteries, tuned, 30))
+	// driver checks and retries), tripling the lifetime.
+	execute("Algorithm 2 (K=1)", solve(solver.Spec{Name: solver.NameGeneral, KConst: 1}))
 
 	fmt.Println("\nthe centralized greedy tracks the energy-coverage bound; the distributed")
 	fmt.Println("algorithm pays the Theorem 5.3 logarithmic factor for its 2 message rounds.")

@@ -23,7 +23,6 @@ import (
 	"testing"
 	"time"
 
-	"repro/internal/core"
 	"repro/internal/domset"
 	"repro/internal/energy"
 	"repro/internal/experiments"
@@ -33,6 +32,7 @@ import (
 	"repro/internal/rng"
 	"repro/internal/sensim"
 	"repro/internal/serve"
+	"repro/internal/solver"
 )
 
 // Schema identifies the BENCH_*.json layout; bump on breaking changes.
@@ -191,7 +191,7 @@ func toCase(name string, r testing.BenchmarkResult, baseline float64) Case {
 func Run(quick bool) Report {
 	rep := Report{
 		Schema:      Schema,
-		PR:          "PR4",
+		PR:          "PR5",
 		GoVersion:   runtime.Version(),
 		GOOS:        runtime.GOOS,
 		GOARCH:      runtime.GOARCH,
@@ -238,10 +238,57 @@ func Run(quick bool) Report {
 		}
 	}
 
+	rep.Cases = append(rep.Cases, runSolverCases(quick)...)
 	rep.Cases = append(rep.Cases, runSensimCases(quick)...)
 	rep.Cases = append(rep.Cases, runServeCases(quick)...)
 	rep.Cases = append(rep.Cases, runExperimentCase(quick))
 	return rep
+}
+
+// runSolverCases benchmarks the PR 5 solver driver in its two execution
+// modes on a workload where the retry loop genuinely retries: Algorithm 1
+// with the aggressive color-range constant K=0.5 on a dense graph targets
+// far more phases than a coloring usually validates, so the w.h.p. target is
+// unattainable and every try runs (with the paper's K=3 the first attempt
+// hits the guarantee and there is nothing to race). Sequential solver.Best
+// with 32 tries versus solver.Race with 4 attempt streams of 8 tries each:
+// total attempt work is equal by construction, so the raced case carries
+// the sequential time as its baseline and its Speedup field is the
+// wall-clock win from racing — bounded by min(4, cores), so on a
+// single-core runner it degenerates to ≈ 1.0 minus the transient-pool
+// overhead, which is itself worth tracking.
+func runSolverCases(quick bool) []Case {
+	n := 128
+	if quick {
+		n = 96
+	}
+	g := gen.GNP(n, 8*math.Log(float64(n))/float64(n), rng.New(5))
+	budgets := make([]int, n)
+	for i := range budgets {
+		budgets[i] = 8
+	}
+	spec := solver.Spec{Name: solver.NameUniform, KConst: 0.5}
+	seq := run(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := solver.Best(g, budgets, spec,
+				solver.Options{Tries: 32, Src: rng.New(uint64(i) + 1)}); err != nil {
+				b.Fatalf("solver.Best: %v", err)
+			}
+		}
+	})
+	raced := run(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := solver.Race(g, budgets, spec,
+				solver.Options{Tries: 8, Src: rng.New(uint64(i) + 1)}, 4); err != nil {
+				b.Fatalf("solver.Race: %v", err)
+			}
+		}
+	})
+	seqNs := float64(seq.NsPerOp())
+	return []Case{
+		toCase(fmt.Sprintf("solver/Best/tries=32/n=%d", n), seq, 0),
+		toCase(fmt.Sprintf("solver/Race/width=4/tries=8/n=%d", n), raced, seqNs),
+	}
 }
 
 // runServeCases benchmarks the serving request path end to end (HTTP decode,
@@ -342,8 +389,9 @@ func runServeCases(quick bool) []Case {
 	}
 }
 
-// runSensimCases benchmarks a full sensim.Run execution: GeneralWHP schedule
-// on a GNP network, rebuilt (cheaply) every iteration because Run drains it.
+// runSensimCases benchmarks a full sensim.Run execution: a general-algorithm
+// schedule on a GNP network, rebuilt (cheaply) every iteration because Run
+// drains it.
 // It reports three cases: the plain run (obs off, the instrumented-but-idle
 // hot path), the same run with a metrics sink attached, and the same run
 // with a trace sink consuming every event. The obs=on cases carry the obs=off
@@ -360,7 +408,11 @@ func runSensimCases(quick bool) []Case {
 	for i := range b {
 		b[i] = 4 + src.Intn(4)
 	}
-	s := core.GeneralWHP(g, b, core.Options{Src: rng.New(7)}, 5)
+	s, err := solver.Best(g, b, solver.Spec{Name: solver.NameGeneral},
+		solver.Options{Tries: 5, Src: rng.New(7)})
+	if err != nil {
+		panic(fmt.Sprintf("bench: general fixture: %v", err))
+	}
 	off := run(func(tb *testing.B) {
 		for i := 0; i < tb.N; i++ {
 			net := energy.NewNetwork(g, b)

@@ -50,7 +50,7 @@ func TestRunQuickProducesReport(t *testing.T) {
 		t.Skip("bench suite is slow")
 	}
 	rep := Run(true)
-	if rep.Schema != Schema || rep.PR != "PR4" || !rep.Quick {
+	if rep.Schema != Schema || rep.PR != "PR5" || !rep.Quick {
 		t.Fatalf("bad report header: %+v", rep)
 	}
 	if len(rep.Cases) == 0 {

@@ -1,6 +1,6 @@
 // Package chaos is the unified fault-injection framework: it generalizes the
 // ad-hoc failure knobs that grew around the simulators (energy.FailurePlan
-// crash lists, distsim.RunLossy's flat loss rate) into composable, seeded
+// crash lists, distsim's flat radio loss rate) into composable, seeded
 // fault plans that every layer consumes through one description.
 //
 // A Plan bundles three fault classes:
@@ -114,8 +114,8 @@ func LeakSpikes(g *graph.Graph, count, maxAmount, horizon int, src *rng.Source) 
 }
 
 // FlatLoss returns a plan whose radio drops every delivery independently
-// with probability p — the model distsim.RunLossy hard-coded before this
-// package existed.
+// with probability p — the same model as distsim.FlatRadio, packaged as a
+// Plan so it composes with crashes and leaks.
 func FlatLoss(p float64, src *rng.Source) Plan {
 	return Plan{Radio: &flatRadio{p: p, src: src}}
 }

@@ -61,20 +61,21 @@ func GuaranteedPhases(g *graph.Graph, opt Options) int {
 	return domatic.GuaranteedClasses(g, opt.K)
 }
 
-// UniformWHP runs Uniform up to maxTries times, truncating each raw schedule
-// at its first non-dominating phase, and returns the best truncated schedule
-// seen. It stops early once a schedule achieves the Lemma 4.2 guarantee of
-// GuaranteedPhases(g, opt) valid classes. maxTries <= 0 means 1.
-func UniformWHP(g *graph.Graph, b int, opt Options, maxTries int) *Schedule {
-	opt = opt.normalize()
+// whpBest is the retry/truncate/keep-best/early-stop loop shared by the
+// deprecated *WHP shims below: up to maxTries draws from generate, each
+// truncated at its first non-truncK-dominating phase, keeping the best
+// truncated schedule and stopping early once it reaches target. The
+// internal/solver driver (solver.Best) runs this exact loop for every
+// registered algorithm, with cancellation and observability hooks on top;
+// this helper only keeps the shims byte-compatible with their legacy
+// behavior. maxTries <= 0 means 1.
+func whpBest(target, truncK, maxTries int, ck *domset.Checker, generate func() *Schedule) *Schedule {
 	if maxTries <= 0 {
 		maxTries = 1
 	}
-	target := GuaranteedPhases(g, opt) * b
-	ck := domset.NewChecker(g)
 	var best *Schedule
 	for try := 0; try < maxTries; try++ {
-		s := Uniform(g, b, opt).TruncateInvalidWith(ck, 1)
+		s := generate().TruncateInvalidWith(ck, truncK)
 		if best == nil || s.Lifetime() > best.Lifetime() {
 			best = s
 		}
@@ -83,6 +84,20 @@ func UniformWHP(g *graph.Graph, b int, opt Options, maxTries int) *Schedule {
 		}
 	}
 	return best
+}
+
+// UniformWHP runs Uniform up to maxTries times, truncating each raw schedule
+// at its first non-dominating phase, and returns the best truncated schedule
+// seen. It stops early once a schedule achieves the Lemma 4.2 guarantee of
+// GuaranteedPhases(g, opt) valid classes. maxTries <= 0 means 1.
+//
+// Deprecated: resolve "uniform" in the internal/solver registry and run
+// solver.Best (or solver.Race), which executes the same loop with the
+// cancellation contract and obs hooks threaded through.
+func UniformWHP(g *graph.Graph, b int, opt Options, maxTries int) *Schedule {
+	opt = opt.normalize()
+	return whpBest(GuaranteedPhases(g, opt)*b, 1, maxTries, domset.NewChecker(g),
+		func() *Schedule { return Uniform(g, b, opt) })
 }
 
 // General runs Algorithm 2 of the paper on graph g with per-node batteries
@@ -219,24 +234,13 @@ func GeneralGuaranteedSlots(g *graph.Graph, b []int, opt Options) int {
 // GeneralWHP runs General up to maxTries times, truncating each raw schedule
 // at its first non-dominating slot, and returns the best truncated schedule,
 // stopping early at the Lemma 5.2 guarantee.
+//
+// Deprecated: resolve "general" in the internal/solver registry and run
+// solver.Best (or solver.Race).
 func GeneralWHP(g *graph.Graph, b []int, opt Options, maxTries int) *Schedule {
 	opt = opt.normalize()
-	if maxTries <= 0 {
-		maxTries = 1
-	}
-	target := GeneralGuaranteedSlots(g, b, opt)
-	ck := domset.NewChecker(g)
-	var best *Schedule
-	for try := 0; try < maxTries; try++ {
-		s := General(g, b, opt).TruncateInvalidWith(ck, 1)
-		if best == nil || s.Lifetime() > best.Lifetime() {
-			best = s
-		}
-		if best.Lifetime() >= target {
-			break
-		}
-	}
-	return best
+	return whpBest(GeneralGuaranteedSlots(g, b, opt), 1, maxTries, domset.NewChecker(g),
+		func() *Schedule { return General(g, b, opt) })
 }
 
 // FaultTolerant runs Algorithm 3 of the paper on graph g with uniform
@@ -335,24 +339,13 @@ func GeneralFaultTolerant(g *graph.Graph, b []int, k int, opt Options) *Schedule
 // GeneralFaultTolerantWHP retries GeneralFaultTolerant, truncating at the
 // first non-k-dominating phase, and returns the best schedule seen, stopping
 // early at the Lemma 5.2-derived guarantee of GeneralGuaranteedSlots/k.
+//
+// Deprecated: resolve "generalft" in the internal/solver registry and run
+// solver.Best (or solver.Race).
 func GeneralFaultTolerantWHP(g *graph.Graph, b []int, k int, opt Options, maxTries int) *Schedule {
 	opt = opt.normalize()
-	if maxTries <= 0 {
-		maxTries = 1
-	}
-	target := GeneralGuaranteedSlots(g, b, opt) / k
-	ck := domset.NewChecker(g)
-	var best *Schedule
-	for try := 0; try < maxTries; try++ {
-		s := GeneralFaultTolerant(g, b, k, opt).TruncateInvalidWith(ck, k)
-		if best == nil || s.Lifetime() > best.Lifetime() {
-			best = s
-		}
-		if best.Lifetime() >= target {
-			break
-		}
-	}
-	return best
+	return whpBest(GeneralGuaranteedSlots(g, b, opt)/k, k, maxTries, domset.NewChecker(g),
+		func() *Schedule { return GeneralFaultTolerant(g, b, k, opt) })
 }
 
 // GeneralKTolerantUpperBound combines Lemmas 5.1 and 6.1: a k-tolerant
@@ -365,29 +358,27 @@ func GeneralKTolerantUpperBound(g *graph.Graph, b []int, k int) int {
 	return GeneralUpperBound(g, b) / k
 }
 
-// FaultTolerantWHP retries FaultTolerant and returns the best schedule whose
-// phases are all k-dominating (truncating at the first failure), stopping
-// early once the Lemma 4.2 guarantee of ⌊δ/(K ln n)⌋/k merged groups is met.
-func FaultTolerantWHP(g *graph.Graph, b, k int, opt Options, maxTries int) *Schedule {
-	opt = opt.normalize()
-	if maxTries <= 0 {
-		maxTries = 1
-	}
+// FaultTolerantGuarantee returns the w.h.p. lifetime target of
+// FaultTolerant that its retry loop stops early at: the ⌊b/2⌋ all-nodes
+// prefix plus ⌈b/2⌉ slots for each of the ⌊δ/(K ln n)⌋/k merged groups
+// Lemma 4.2 covers.
+func FaultTolerantGuarantee(g *graph.Graph, b, k int, opt Options) int {
 	groups := GuaranteedPhases(g, opt) / k
 	target := b / 2
 	if groups > 0 {
 		target += groups * (b - b/2)
 	}
-	ck := domset.NewChecker(g)
-	var best *Schedule
-	for try := 0; try < maxTries; try++ {
-		s := FaultTolerant(g, b, k, opt).TruncateInvalidWith(ck, k)
-		if best == nil || s.Lifetime() > best.Lifetime() {
-			best = s
-		}
-		if best.Lifetime() >= target {
-			break
-		}
-	}
-	return best
+	return target
+}
+
+// FaultTolerantWHP retries FaultTolerant and returns the best schedule whose
+// phases are all k-dominating (truncating at the first failure), stopping
+// early once the Lemma 4.2 guarantee of ⌊δ/(K ln n)⌋/k merged groups is met.
+//
+// Deprecated: resolve "ft" in the internal/solver registry and run
+// solver.Best (or solver.Race).
+func FaultTolerantWHP(g *graph.Graph, b, k int, opt Options, maxTries int) *Schedule {
+	opt = opt.normalize()
+	return whpBest(FaultTolerantGuarantee(g, b, k, opt), k, maxTries, domset.NewChecker(g),
+		func() *Schedule { return FaultTolerant(g, b, k, opt) })
 }

@@ -11,9 +11,9 @@
 // per-round trace events through the obs layer so long protocol executions
 // can be watched live.
 //
-// The single entry point is Run(g, programs, Options); the historical
-// RunMaxRounds/RunLossy/RunRadio entry points survive as thin deprecated
-// wrappers (see DESIGN.md §"Deprecated entry points").
+// The single entry point is Run(g, programs, Options); Options.Validate
+// rejects malformed configurations (negative round caps, loss rates outside
+// [0, 1), lossy radios without a randomness source) before a round executes.
 package distsim
 
 import (
@@ -92,9 +92,30 @@ type Options struct {
 // need a constant number of rounds; the iterative baselines need O(n)).
 func DefaultMaxRounds(g *graph.Graph) int { return 4*g.N() + 16 }
 
+// Validate reports configuration errors. Run calls it before the first
+// round, so a malformed execution fails with a diagnosis instead of running
+// under a nonsensical model. Custom Radio implementations are assumed valid
+// by construction — only the locally built FlatRadio carries parameters the
+// package can check.
+func (o Options) Validate() error {
+	if o.MaxRounds < 0 {
+		return fmt.Errorf("distsim: MaxRounds %d must be >= 0 (0 = default)", o.MaxRounds)
+	}
+	if r, ok := o.Radio.(flatRadio); ok {
+		if r.loss < 0 || r.loss >= 1 {
+			return fmt.Errorf("distsim: loss probability %v out of [0, 1)", r.loss)
+		}
+		if r.loss > 0 && r.src == nil {
+			return fmt.Errorf("distsim: loss > 0 requires a randomness source")
+		}
+	}
+	return nil
+}
+
 // FlatRadio returns a Radio dropping every delivery independently with
-// probability loss, drawn from src. It is the model RunLossy hard-coded
-// before the unified Options API.
+// probability loss, drawn from src. It is the common independent-loss model;
+// Options.Validate checks loss and src so a misconfigured radio fails fast
+// instead of silently never (or always) dropping.
 func FlatRadio(loss float64, src *rng.Source) Radio {
 	return flatRadio{loss: loss, src: src}
 }
@@ -119,6 +140,9 @@ func Run(g *graph.Graph, programs []Program, opt Options) (Stats, error) {
 	n := g.N()
 	if len(programs) != n {
 		return Stats{}, fmt.Errorf("distsim: %d programs for %d nodes", len(programs), n)
+	}
+	if err := opt.Validate(); err != nil {
+		return Stats{}, err
 	}
 	maxRounds := opt.MaxRounds
 	if maxRounds <= 0 {
@@ -197,44 +221,4 @@ func Run(g *graph.Graph, programs []Program, opt Options) (Stats, error) {
 		}
 	}
 	return stats, nil
-}
-
-// RunMaxRounds is the pre-Options entry point: a reliable medium with an
-// explicit round cap.
-//
-// Deprecated: use Run(g, programs, Options{MaxRounds: maxRounds}).
-func RunMaxRounds(g *graph.Graph, programs []Program, maxRounds int) (Stats, error) {
-	return Run(g, programs, Options{MaxRounds: maxRounds})
-}
-
-// RunLossy is Run under an unreliable radio: each point-to-point delivery
-// is dropped independently with probability loss (the sender still pays the
-// transmission — Messages counts sends, Dropped counts losses). src supplies
-// the loss coin flips and must be non-nil when loss > 0.
-//
-// Deprecated: use Run(g, programs, Options{MaxRounds: maxRounds,
-// Radio: FlatRadio(loss, src)}).
-func RunLossy(g *graph.Graph, programs []Program, maxRounds int, loss float64, src *rng.Source) (Stats, error) {
-	if loss < 0 || loss >= 1 {
-		if loss != 0 {
-			return Stats{}, fmt.Errorf("distsim: loss probability %v out of [0, 1)", loss)
-		}
-	}
-	if loss > 0 && src == nil {
-		return Stats{}, fmt.Errorf("distsim: loss > 0 requires a randomness source")
-	}
-	var radio Radio
-	if loss > 0 {
-		radio = FlatRadio(loss, src)
-	}
-	return Run(g, programs, Options{MaxRounds: maxRounds, Radio: radio})
-}
-
-// RunRadio is Run under an arbitrary unreliable-radio model. A nil radio is
-// the reliable medium.
-//
-// Deprecated: use Run(g, programs, Options{MaxRounds: maxRounds,
-// Radio: radio}).
-func RunRadio(g *graph.Graph, programs []Program, maxRounds int, radio Radio) (Stats, error) {
-	return Run(g, programs, Options{MaxRounds: maxRounds, Radio: radio})
 }

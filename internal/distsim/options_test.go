@@ -1,6 +1,7 @@
 package distsim
 
 import (
+	"strings"
 	"testing"
 
 	"repro/internal/gen"
@@ -8,60 +9,52 @@ import (
 	"repro/internal/rng"
 )
 
-// TestUnifiedRunMatchesWrappers pins the API-collapse contract: the three
-// historical entry points are thin wrappers over Run(g, programs, Options)
-// and produce identical stats for identical inputs.
-func TestUnifiedRunMatchesWrappers(t *testing.T) {
+// TestRunLossyRadio pins the lossy-execution contract of the unified entry
+// point: a FlatRadio actually drops traffic, and the same Options reproduce
+// the same stats (the radio's draw order is deterministic).
+func TestRunLossyRadio(t *testing.T) {
 	g := gen.GNP(40, 0.2, rng.New(3))
 	newNodes := func() []Program {
 		return Programs(NewUniformNodes(g, 3, rng.New(5).SplitN(g.N())))
 	}
 
-	want, err := Run(g, newNodes(), Options{MaxRounds: 10})
+	lossy, err := Run(g, newNodes(), Options{MaxRounds: 10, Radio: FlatRadio(0.3, rng.New(9))})
 	if err != nil {
 		t.Fatal(err)
 	}
-	//lint:ignore SA1019 the wrapper's delegation is exactly what this test pins
-	gotMax, err := RunMaxRounds(g, newNodes(), 10)
-	if err != nil || gotMax != want {
-		t.Fatalf("RunMaxRounds = %+v, %v; want %+v", gotMax, err, want)
-	}
-	//lint:ignore SA1019 the wrapper's delegation is exactly what this test pins
-	gotRadio, err := RunRadio(g, newNodes(), 10, nil)
-	if err != nil || gotRadio != want {
-		t.Fatalf("RunRadio = %+v, %v; want %+v", gotRadio, err, want)
-	}
-
-	lossyOpt, err := Run(g, newNodes(), Options{MaxRounds: 10, Radio: FlatRadio(0.3, rng.New(9))})
-	if err != nil {
-		t.Fatal(err)
-	}
-	//lint:ignore SA1019 the wrapper's delegation is exactly what this test pins
-	gotLossy, err := RunLossy(g, newNodes(), 10, 0.3, rng.New(9))
-	if err != nil || gotLossy != lossyOpt {
-		t.Fatalf("RunLossy = %+v, %v; want %+v", gotLossy, err, lossyOpt)
-	}
-	if lossyOpt.Dropped == 0 {
+	if lossy.Dropped == 0 {
 		t.Fatal("0.3-loss radio dropped nothing")
+	}
+	again, err := Run(g, newNodes(), Options{MaxRounds: 10, Radio: FlatRadio(0.3, rng.New(9))})
+	if err != nil || again != lossy {
+		t.Fatalf("lossy run not reproducible: %+v vs %+v (err %v)", again, lossy, err)
 	}
 }
 
-// TestDeprecatedRunLossyValidation pins the argument checking the RunLossy
-// wrapper performs on top of Run — the unified API takes a prebuilt Radio
-// and has nothing to validate, so this contract lives only in the wrapper.
-func TestDeprecatedRunLossyValidation(t *testing.T) {
-	g := gen.Path(3)
-	progs := make([]Program, 3)
-	for i := range progs {
-		progs[i] = &forever{}
-	}
-	//lint:ignore SA1019 the wrapper's validation is exactly what this test pins
-	if _, err := RunLossy(g, progs, 5, 1.5, rng.New(1)); err == nil {
+// TestOptionsValidation pins the configuration checking that used to live in
+// the deleted RunLossy wrapper and now guards every execution: Run consults
+// Options.Validate before the first round.
+func TestOptionsValidation(t *testing.T) {
+	if err := (Options{Radio: FlatRadio(1.5, rng.New(1))}).Validate(); err == nil {
 		t.Error("loss 1.5 accepted")
 	}
-	//lint:ignore SA1019 the wrapper's validation is exactly what this test pins
-	if _, err := RunLossy(g, progs, 5, 0.5, nil); err == nil {
+	if err := (Options{Radio: FlatRadio(0.5, nil)}).Validate(); err == nil {
 		t.Error("loss without source accepted")
+	}
+	if err := (Options{MaxRounds: -1}).Validate(); err == nil {
+		t.Error("negative MaxRounds accepted")
+	}
+	if err := (Options{Radio: FlatRadio(0.5, rng.New(1))}).Validate(); err != nil {
+		t.Errorf("valid options rejected: %v", err)
+	}
+
+	// Run consults Validate before the first round: the error surfaces even
+	// though the programs themselves would execute fine.
+	g := gen.Path(3)
+	progs := Programs(NewUniformNodes(g, 3, rng.New(2).SplitN(g.N())))
+	_, err := Run(g, progs, Options{Radio: FlatRadio(1.5, rng.New(1))})
+	if err == nil || !strings.Contains(err.Error(), "loss probability") {
+		t.Fatalf("Run did not surface the validation error, got %v", err)
 	}
 }
 

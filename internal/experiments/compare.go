@@ -4,12 +4,12 @@ import (
 	"math"
 
 	"repro/internal/cds"
-	"repro/internal/core"
 	"repro/internal/domatic"
 	"repro/internal/exact"
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/rng"
+	"repro/internal/solver"
 	"repro/internal/stats"
 )
 
@@ -72,7 +72,7 @@ func runE6(cfg Config) *Table {
 			if err != nil {
 				return sample{}
 			}
-			s := core.UniformWHP(g, b, core.Options{K: 3, Src: src.Split()}, 30)
+			s := solve(solver.NameUniform, g, batteries, 1, 30, src.Split())
 			gp := domatic.GreedyPartition(g, domatic.GreedyExtractor)
 			return sample{
 				opt:    float64(opt),

@@ -13,14 +13,44 @@ import (
 	"strings"
 	"sync/atomic"
 
+	"repro/internal/core"
+	"repro/internal/graph"
 	"repro/internal/obs"
 	"repro/internal/par"
+	"repro/internal/rng"
+	"repro/internal/solver"
 )
 
 // ErrCanceled is returned by Run when Config.Cancel reported cancellation
 // before the experiment finished. The accompanying table, if any, holds only
-// the rows completed up to that point.
-var ErrCanceled = errors.New("experiments: run canceled")
+// the rows completed up to that point. It aliases solver.ErrCanceled so the
+// serve layer's errors.Is checks see one identity whether a deadline fired
+// inside the solver driver or between experiment trials.
+var ErrCanceled = solver.ErrCanceled
+
+// solve resolves an algorithm by its solver-registry name and runs the
+// shared WHP driver with the trial's randomness source — the one way every
+// experiment obtains a schedule. Experiments construct well-formed
+// instances, so a driver error is a bug and panics rather than threading
+// error plumbing through every trial closure.
+func solve(name string, g *graph.Graph, budgets []int, k, tries int, src *rng.Source) *core.Schedule {
+	s, err := solver.Best(g, budgets, solver.Spec{Name: name, K: k},
+		solver.Options{Tries: tries, Src: src})
+	if err != nil {
+		panic(fmt.Sprintf("experiments: solver %q: %v", name, err))
+	}
+	return s
+}
+
+// uniformBudgets broadcasts the uniform battery b over n nodes, bridging
+// the scalar-battery experiments onto the registry's budget-vector surface.
+func uniformBudgets(n, b int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = b
+	}
+	return out
+}
 
 // Config controls an experiment run.
 type Config struct {

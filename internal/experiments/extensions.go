@@ -8,6 +8,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/rng"
+	"repro/internal/solver"
 	"repro/internal/stats"
 )
 
@@ -56,8 +57,7 @@ func runE14(cfg Config) *Table {
 				for j := range b {
 					b[j] = 1 + src.Intn(bMax)
 				}
-				o := core.Options{K: 3, Src: src.Split()}
-				s := core.GeneralFaultTolerantWHP(g, b, k, o, 30)
+				s := solve(solver.NameGeneralFT, g, b, k, 30, src.Split())
 				if s.Lifetime() == 0 {
 					return sample{}
 				}

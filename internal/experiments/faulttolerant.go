@@ -10,6 +10,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/rng"
 	"repro/internal/sensim"
+	"repro/internal/solver"
 	"repro/internal/stats"
 )
 
@@ -56,8 +57,7 @@ func runE5(cfg Config) *Table {
 			}
 			srcs := root.SplitN(cfg.trials())
 			lifetimesAll := mapTrials(cfg, "E5", cfg.trials(), func(i int) int {
-				o := core.Options{K: 3, Src: srcs[i]}
-				return core.FaultTolerantWHP(g, b, k, o, 30).Lifetime()
+				return solve(solver.NameFT, g, uniformBudgets(g.N(), b), k, 30, srcs[i]).Lifetime()
 			})
 			var ratios, lifetimes []float64
 			ub := core.KTolerantUpperBound(g, b, k)
@@ -128,7 +128,7 @@ func runE10(cfg Config) *Table {
 			return core.FromPartition(p, b)
 		}},
 		{"Algorithm 3 (3-dom)", func(src *rng.Source) *core.Schedule {
-			return core.FaultTolerantWHP(g, b, k, core.Options{K: 3, Src: src}, 30)
+			return solve(solver.NameFT, g, uniformBudgets(g.N(), b), k, 30, src)
 		}},
 	}
 	for _, sched := range schedules {

@@ -5,6 +5,7 @@ import (
 	"repro/internal/exact"
 	"repro/internal/graph"
 	"repro/internal/rng"
+	"repro/internal/solver"
 )
 
 // Figure1Instance reconstructs the paper's Figure 1 (the scan's drawing is
@@ -46,8 +47,7 @@ func runE1(cfg Config) *Table {
 	}
 	bound := core.GeneralUpperBound(g, b)
 
-	o := core.Options{K: 3, Src: rng.New(cfg.Seed + 1)}
-	alg := core.GeneralWHP(g, b, o, 20*cfg.trials())
+	alg := solve(solver.NameGeneral, g, b, 1, 20*cfg.trials(), rng.New(cfg.Seed+1))
 
 	t.AddRow("nodes", itoa(g.N()))
 	t.AddRow("edges", itoa(g.M()))

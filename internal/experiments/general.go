@@ -6,6 +6,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/rng"
+	"repro/internal/solver"
 	"repro/internal/stats"
 )
 
@@ -49,8 +50,7 @@ func runE4(cfg Config) *Table {
 				for j := range b {
 					b[j] = 1 + src.Intn(bMax)
 				}
-				o := core.Options{K: 3, Src: src.Split()}
-				s := core.GeneralWHP(g, b, o, 30)
+				s := solve(solver.NameGeneral, g, b, 1, 30, src.Split())
 				if s.Lifetime() == 0 {
 					return sample{}
 				}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/rng"
 	"repro/internal/sched"
+	"repro/internal/solver"
 	"repro/internal/stats"
 )
 
@@ -41,10 +42,10 @@ func runE17(cfg Config) *Table {
 	}
 	variants := []variant{
 		{"Algorithm 1 (uniform)", func(src *rng.Source, g *graph.Graph, _ []int) *core.Schedule {
-			return core.UniformWHP(g, b, core.Options{K: 3, Src: src}, 30)
+			return solve(solver.NameUniform, g, uniformBudgets(g.N(), b), 1, 30, src)
 		}},
 		{"Algorithm 2 (general)", func(src *rng.Source, g *graph.Graph, batteries []int) *core.Schedule {
-			return core.GeneralWHP(g, batteries, core.Options{K: 3, Src: src}, 30)
+			return solve(solver.NameGeneral, g, batteries, 1, 30, src)
 		}},
 	}
 	for _, v := range variants {

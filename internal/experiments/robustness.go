@@ -6,6 +6,7 @@ import (
 	"repro/internal/exact"
 	"repro/internal/gen"
 	"repro/internal/rng"
+	"repro/internal/solver"
 	"repro/internal/stats"
 )
 
@@ -54,7 +55,7 @@ func runE20(cfg Config) *Table {
 			if opt == 0 {
 				return sample{}
 			}
-			s := core.FaultTolerantWHP(g, b, k, core.Options{K: 3, Src: src.Split()}, 30)
+			s := solve(solver.NameFT, g, batteries, k, 30, src.Split())
 			return sample{
 				opt:   float64(opt),
 				alg:   float64(s.Lifetime()),

@@ -11,6 +11,7 @@ import (
 	"repro/internal/heal"
 	"repro/internal/rng"
 	"repro/internal/sensim"
+	"repro/internal/solver"
 	"repro/internal/stats"
 )
 
@@ -87,7 +88,7 @@ func runE23(cfg Config) *Table {
 	arms := []arm{
 		{"static 1-dom (greedy partition)", static(plain)},
 		{"static 3-tolerant (Algorithm 3)", func(src *rng.Source) sample {
-			s := core.FaultTolerantWHP(g, b, k, core.Options{K: 3, Src: src.Split()}, 30)
+			s := solve(solver.NameFT, g, uniformBudgets(g.N(), b), k, 30, src.Split())
 			return static(s)(src)
 		}},
 		{"1-dom + self-healing", func(src *rng.Source) sample {

@@ -6,6 +6,7 @@ import (
 	"repro/internal/exact"
 	"repro/internal/gen"
 	"repro/internal/rng"
+	"repro/internal/solver"
 	"repro/internal/stats"
 )
 
@@ -46,7 +47,7 @@ func runE22(cfg Config) *Table {
 			if err != nil || lpOpt <= 0 {
 				return sample{}
 			}
-			s := core.UniformWHP(g, b, core.Options{K: 3, Src: src.Split()}, 30)
+			s := solve(solver.NameUniform, g, batteries, 1, 30, src.Split())
 			gp := domatic.GreedyPartition(g, domatic.GreedyExtractor)
 			return sample{
 				lpOpt:  lpOpt,

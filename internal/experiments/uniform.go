@@ -8,6 +8,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/rng"
+	"repro/internal/solver"
 	"repro/internal/stats"
 )
 
@@ -89,8 +90,7 @@ func runE2(cfg Config) *Table {
 			samples := mapTrials(cfg, "E2", cfg.trials(), func(i int) sample {
 				src := srcs[i]
 				g := fam.build(n, src)
-				o := core.Options{K: 3, Src: src.Split()}
-				s := core.UniformWHP(g, b, o, 30)
+				s := solve(solver.NameUniform, g, uniformBudgets(g.N(), b), 1, 30, src.Split())
 				if s.Lifetime() == 0 {
 					return sample{}
 				}

@@ -91,6 +91,10 @@ func AppendJSON(dst []byte, ev Event) []byte {
 		dst = appendInt(dst, "uncovered", ev.A)
 	case EvTrialStart, EvTrialEnd:
 		dst = appendInt(dst, "trial", ev.T)
+	case EvAttempt:
+		dst = appendInt(dst, "try", ev.T)
+		dst = appendInt(dst, "lifetime", ev.A)
+		dst = appendInt(dst, "best", ev.B)
 	}
 	return append(dst, '}')
 }

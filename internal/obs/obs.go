@@ -74,6 +74,10 @@ const (
 	EvTrialStart
 	// EvTrialEnd closes experiment trial T of the experiment Name.
 	EvTrialEnd
+	// EvAttempt reports one retry of the solver WHP driver: Name = solver
+	// name, T = attempt index (0-based), A = the attempt's truncated
+	// lifetime, B = the best lifetime so far.
+	EvAttempt
 )
 
 var eventNames = [...]string{
@@ -92,6 +96,7 @@ var eventNames = [...]string{
 	EvDegraded:   "degraded",
 	EvTrialStart: "trial_start",
 	EvTrialEnd:   "trial_end",
+	EvAttempt:    "attempt",
 }
 
 // String returns the JSONL name of the event type.
@@ -177,6 +182,11 @@ func TrialStart(name string, i int) Event {
 // TrialEnd closes experiment trial i.
 func TrialEnd(name string, i int) Event {
 	return Event{Type: EvTrialEnd, Name: name, T: i, Node: -1}
+}
+
+// Attempt reports one retry of the solver WHP driver.
+func Attempt(name string, try, lifetime, best int) Event {
+	return Event{Type: EvAttempt, Name: name, T: try, Node: -1, A: lifetime, B: best}
 }
 
 // Tracer receives the event stream of an instrumented execution. Emit is

@@ -16,6 +16,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/rng"
 	"repro/internal/sched"
+	"repro/internal/solver"
 )
 
 // Spec describes the deployment and the scheduling requirements.
@@ -86,25 +87,33 @@ func Build(spec Spec) (*Plan, error) {
 	}
 
 	src := rng.New(spec.Seed)
-	opt := core.Options{K: spec.K, Src: src}
 	p := &Plan{Graph: g, Batteries: batteries, Tolerance: spec.Tolerance}
 
+	// Pick the paper algorithm by registry name; the solver driver owns the
+	// retry/truncate/keep-best loop and the w.h.p. guarantee computation.
+	sspec := solver.Spec{Name: solver.NameGeneral, KConst: spec.K}
 	switch {
 	case spec.Tolerance > 1:
 		p.Algorithm = "Algorithm 3 (k-tolerant uniform)"
-		p.Schedule = core.FaultTolerantWHP(g, batteries[0], spec.Tolerance, opt, spec.Retries)
+		sspec.Name = solver.NameFT
+		sspec.K = spec.Tolerance
 		p.UpperBound = core.KTolerantUpperBound(g, batteries[0], spec.Tolerance)
-		p.Guaranteed = ftGuarantee(g, batteries[0], spec.Tolerance, opt)
 	case uniform:
 		p.Algorithm = "Algorithm 1 (uniform)"
-		p.Schedule = core.UniformWHP(g, batteries[0], opt, spec.Retries)
+		sspec.Name = solver.NameUniform
 		p.UpperBound = core.UniformUpperBound(g, batteries[0])
-		p.Guaranteed = core.GuaranteedPhases(g, opt) * batteries[0]
 	default:
 		p.Algorithm = "Algorithm 2 (general)"
-		p.Schedule = core.GeneralWHP(g, batteries, opt, spec.Retries)
 		p.UpperBound = core.GeneralUpperBound(g, batteries)
-		p.Guaranteed = core.GeneralGuaranteedSlots(g, batteries, opt)
+	}
+	s, err := solver.Best(g, batteries, sspec,
+		solver.Options{Tries: spec.Retries, Src: src})
+	if err != nil {
+		return nil, fmt.Errorf("plan: %w", err)
+	}
+	p.Schedule = s
+	if p.Guaranteed, err = solver.Guaranteed(g, batteries, sspec); err != nil {
+		return nil, fmt.Errorf("plan: %w", err)
 	}
 
 	if spec.Squeeze {
@@ -144,15 +153,6 @@ func normalizeBatteries(b []int, n int) ([]int, bool, error) {
 	default:
 		return nil, false, fmt.Errorf("plan: %d batteries for %d nodes", len(b), n)
 	}
-}
-
-func ftGuarantee(g *graph.Graph, b, k int, opt core.Options) int {
-	groups := core.GuaranteedPhases(g, opt) / k
-	guarantee := b / 2
-	if groups > 0 {
-		guarantee += groups * (b - b/2)
-	}
-	return guarantee
 }
 
 // WriteReport renders a human-readable plan summary.

@@ -107,7 +107,14 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	}
 	key := req.key(g, budgets)
 	run := func(cancel func() bool) (*Result, error) {
-		sched, err := Solve(g, budgets, &req, cancel)
+		width := s.cfg.RaceWidth
+		if width > 1 {
+			s.met.solverRaced.Inc()
+		} else {
+			s.met.solverSequential.Inc()
+		}
+		hooks := obs.Hooks{Trace: attemptTracer{s.met.solverAttempts}}
+		sched, err := Solve(g, budgets, &req, width, hooks, cancel)
 		if err != nil {
 			return nil, err
 		}

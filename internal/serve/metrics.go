@@ -17,6 +17,12 @@ var LatencyBounds = []float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 50
 //	               (once the server is drained),
 //
 // which is what the end-to-end tests assert behavior against.
+//
+// The serve.solver_* group observes the solver driver under each schedule
+// job: serve.solver_attempts counts WHP retries across all jobs and race
+// attempts (via the driver's obs.EvAttempt hook), while exactly one of
+// serve.solver_sequential / serve.solver_raced increments per executed
+// schedule job, keyed on whether the configured race width exceeds 1.
 type metrics struct {
 	requests          *obs.Counter
 	admitted          *obs.Counter
@@ -30,6 +36,9 @@ type metrics struct {
 	canceled          *obs.Counter
 	failed            *obs.Counter
 	workerFaults      *obs.Counter
+	solverAttempts    *obs.Counter
+	solverSequential  *obs.Counter
+	solverRaced       *obs.Counter
 
 	queueDepth *obs.Gauge
 	running    *obs.Gauge
@@ -54,11 +63,25 @@ func newMetrics(reg *obs.Registry) *metrics {
 		canceled:          reg.Counter("serve.canceled"),
 		failed:            reg.Counter("serve.failed"),
 		workerFaults:      reg.Counter("serve.worker_faults"),
+		solverAttempts:    reg.Counter("serve.solver_attempts"),
+		solverSequential:  reg.Counter("serve.solver_sequential"),
+		solverRaced:       reg.Counter("serve.solver_raced"),
 		queueDepth:        reg.Gauge("serve.queue_depth"),
 		running:           reg.Gauge("serve.running"),
 		pending:           reg.Gauge("serve.pending"),
 		latencyMS:         reg.Histogram("serve.latency_ms", LatencyBounds),
 		queueWaitMS:       reg.Histogram("serve.queue_wait_ms", LatencyBounds),
 		solveMS:           reg.Histogram("serve.solve_ms", LatencyBounds),
+	}
+}
+
+// attemptTracer is the obs hook handed to the solver driver: it counts
+// every WHP retry into serve.solver_attempts. solver.Race serializes
+// emissions, and obs.Counter is atomic anyway.
+type attemptTracer struct{ c *obs.Counter }
+
+func (a attemptTracer) Emit(ev obs.Event) {
+	if ev.Type == obs.EvAttempt {
+		a.c.Inc()
 	}
 }

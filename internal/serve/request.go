@@ -8,14 +8,17 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/graph"
+	"repro/internal/solver"
 )
 
-// Algorithm names accepted by the schedule endpoint.
+// Algorithm names accepted by the schedule endpoint. The service accepts
+// every name in the internal/solver registry; these aliases of the paper
+// algorithms' registry names are kept for callers of the Go API.
 const (
-	AlgUniform   = "uniform"   // Algorithm 1: uniform batteries
-	AlgGeneral   = "general"   // Algorithm 2: arbitrary batteries
-	AlgFT        = "ft"        // Algorithm 3: uniform batteries, k-tolerant
-	AlgGeneralFT = "generalft" // repo extension: arbitrary batteries, k-tolerant
+	AlgUniform   = solver.NameUniform   // Algorithm 1: uniform batteries
+	AlgGeneral   = solver.NameGeneral   // Algorithm 2: arbitrary batteries
+	AlgFT        = solver.NameFT        // Algorithm 3: uniform batteries, k-tolerant
+	AlgGeneralFT = solver.NameGeneralFT // repo extension: arbitrary batteries, k-tolerant
 )
 
 // GraphSpec is the wire form of a network graph: a node count and an
@@ -122,20 +125,19 @@ func timeoutFromMS(ms int, fallback time.Duration) time.Duration {
 
 // resolve validates the request and returns the built graph plus the
 // normalized per-node budget vector (uniform scalars expanded), which is
-// what both the solver and the canonical key consume.
+// what both the solver and the canonical key consume. The algorithm name
+// resolves through the internal/solver registry, and the solver's own
+// Validate supplies the shape checks (budget-vector length and signs,
+// uniformity for the uniform algorithms, tolerance restrictions, node caps
+// for the exponential baselines) — all surfaced as client errors.
 func (r *Request) resolve(maxNodes int) (*graph.Graph, []int, error) {
-	switch r.Algorithm {
-	case AlgUniform, AlgGeneral, AlgFT, AlgGeneralFT:
-	default:
-		return nil, nil, fmt.Errorf("unknown algorithm %q (have %s, %s, %s, %s)",
-			r.Algorithm, AlgUniform, AlgGeneral, AlgFT, AlgGeneralFT)
+	sv, ok := solver.Get(r.Algorithm)
+	if !ok {
+		return nil, nil, fmt.Errorf("unknown algorithm %q (have %s)",
+			r.Algorithm, strings.Join(solver.Names(), ", "))
 	}
 	if r.K < 0 {
 		return nil, nil, fmt.Errorf("k = %d must be >= 1", r.K)
-	}
-	if (r.Algorithm == AlgUniform || r.Algorithm == AlgGeneral) && r.K > 1 {
-		return nil, nil, fmt.Errorf("algorithm %q ignores k; use %s or %s for tolerance %d",
-			r.Algorithm, AlgFT, AlgGeneralFT, r.K)
 	}
 	if r.KConst < 0 {
 		return nil, nil, fmt.Errorf("kconst = %v must be > 0", r.KConst)
@@ -163,14 +165,6 @@ func (r *Request) resolve(maxNodes int) (*graph.Graph, []int, error) {
 			}
 			budgets[v] = b
 		}
-		if r.Algorithm == AlgUniform || r.Algorithm == AlgFT {
-			for v, b := range budgets {
-				if b != budgets[0] {
-					return nil, nil, fmt.Errorf("algorithm %q needs uniform batteries, but batteries[%d] = %d != batteries[0] = %d",
-						r.Algorithm, v, b, budgets[0])
-				}
-			}
-		}
 	default:
 		if r.Battery < 0 {
 			return nil, nil, fmt.Errorf("battery = %d must be >= 0", r.Battery)
@@ -178,6 +172,9 @@ func (r *Request) resolve(maxNodes int) (*graph.Graph, []int, error) {
 		for v := range budgets {
 			budgets[v] = r.Battery
 		}
+	}
+	if err := sv.Validate(g, budgets, solver.Spec{Name: r.Algorithm, K: r.k(), KConst: r.kconst()}); err != nil {
+		return nil, nil, err
 	}
 	return g, budgets, nil
 }

@@ -72,6 +72,11 @@ type Config struct {
 	MaxNodes int
 	// RetryAfter is the hint returned with 429 responses. <= 0 means 1s.
 	RetryAfter time.Duration
+	// RaceWidth is the number of independently seeded solver attempts each
+	// schedule job races concurrently (solver.Race); the winner is
+	// deterministic, so responses and cache keys are unaffected. <= 1 runs
+	// the sequential driver.
+	RaceWidth int
 	// Fault, when non-nil, degrades every worker invocation (see
 	// FaultInjector). Nil injects nothing.
 	Fault FaultInjector
@@ -101,6 +106,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = time.Second
+	}
+	if c.RaceWidth <= 0 {
+		c.RaceWidth = 1
 	}
 	if c.Registry == nil {
 		c.Registry = obs.NewRegistry()

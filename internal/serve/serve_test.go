@@ -560,3 +560,50 @@ func TestMetricsAccounting(t *testing.T) {
 		t.Fatalf("admitted %d != completed %d after drain", got, counter(s, "serve.completed"))
 	}
 }
+
+// TestRaceWidthSolverMetrics pins the racing execution path of the service:
+// with RaceWidth > 1 each executed schedule job increments serve.solver_raced
+// (never serve.solver_sequential), WHP attempts are counted through the
+// EvAttempt hook, and the racing knob stays invisible on the wire — the
+// request succeeds with a feasible schedule exactly like the sequential
+// server's, and cache hits skip the solver counters entirely.
+func TestRaceWidthSolverMetrics(t *testing.T) {
+	s := New(Config{Workers: 2, RaceWidth: 3})
+	h := s.Handler()
+	body := scheduleBody(t, Request{Graph: ring(9), Algorithm: AlgUniform, Battery: 2, Tries: 4})
+	if w := post(h, "/v1/schedule", body); w.Code != http.StatusOK {
+		t.Fatalf("raced schedule request: %d %s", w.Code, w.Body.String())
+	}
+	if w := post(h, "/v1/schedule", body); w.Code != http.StatusOK { // cache hit
+		t.Fatalf("cached schedule request: %d %s", w.Code, w.Body.String())
+	}
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := counter(s, "serve.solver_raced"); got != 1 {
+		t.Fatalf("serve.solver_raced = %d, want 1 (one executed job, one cache hit)", got)
+	}
+	if got := counter(s, "serve.solver_sequential"); got != 0 {
+		t.Fatalf("serve.solver_sequential = %d on a racing server", got)
+	}
+	// 3 raced attempt streams, up to 4 tries each; at least one attempt ran.
+	attempts := counter(s, "serve.solver_attempts")
+	if attempts < 1 || attempts > 12 {
+		t.Fatalf("serve.solver_attempts = %d, want in [1, 12]", attempts)
+	}
+
+	seq := New(Config{Workers: 1})
+	hs := seq.Handler()
+	if w := post(hs, "/v1/schedule", body); w.Code != http.StatusOK {
+		t.Fatalf("sequential schedule request: %d %s", w.Code, w.Body.String())
+	}
+	if err := seq.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := counter(seq, "serve.solver_sequential"); got != 1 {
+		t.Fatalf("serve.solver_sequential = %d, want 1", got)
+	}
+	if got := counter(seq, "serve.solver_raced"); got != 0 {
+		t.Fatalf("serve.solver_raced = %d on a sequential server", got)
+	}
+}

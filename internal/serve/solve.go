@@ -6,75 +6,38 @@ import (
 	"strings"
 
 	"repro/internal/core"
-	"repro/internal/domset"
 	"repro/internal/experiments"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/rng"
+	"repro/internal/solver"
 )
 
-// Solve computes a feasible schedule for the request: the WHP retry loop of
-// the core algorithms (generate a raw schedule, truncate at the first
-// non-k-dominating phase, keep the best, stop early at the paper's
-// guarantee) with the service's cancellation contract threaded through —
-// cancel is the sticky deadline check of experiments.Config.Cancel, polled
-// before every retry, and a fired cancel surfaces experiments.ErrCanceled.
-// This mirrors core.UniformWHP et al., which cannot be interrupted
-// mid-budget.
-func Solve(g *graph.Graph, budgets []int, req *Request, cancel func() bool) (*core.Schedule, error) {
-	opt := core.Options{K: req.kconst(), Src: rng.New(req.seed())}
-	k := req.k()
-	uniform := 0
-	if g.N() > 0 {
-		uniform = budgets[0]
+// Solve computes a feasible schedule for the request through the solver
+// registry: the algorithm name resolves to a registered solver, and the
+// generic WHP driver runs the retry/truncate/keep-best/early-stop loop with
+// the service's cancellation contract threaded through — cancel is the
+// sticky deadline check of experiments.Config.Cancel, polled before every
+// retry, and a fired cancel surfaces experiments.ErrCanceled. width > 1
+// races that many independently seeded attempts concurrently (solver.Race
+// picks the deterministic winner); width <= 1 is the sequential driver.
+// The driver validates the final schedule before returning, so the service
+// never hands out an infeasible one.
+//
+// Race attempts run on a transient per-call pool, never on the service's
+// worker pool: Solve itself executes on a pool worker, and re-submitting
+// the attempts to the same pool would deadlock once every worker blocks
+// waiting for attempts that sit queued behind the blocked workers.
+func Solve(g *graph.Graph, budgets []int, req *Request, width int,
+	hooks obs.Hooks, cancel func() bool) (*core.Schedule, error) {
+	spec := solver.Spec{Name: req.Algorithm, K: req.k(), KConst: req.kconst()}
+	opt := solver.Options{
+		Tries:  req.tries(),
+		Cancel: cancel,
+		Hooks:  hooks,
+		Src:    rng.New(req.seed()),
 	}
-
-	var generate func() *core.Schedule
-	var target, truncK int
-	switch req.Algorithm {
-	case AlgUniform:
-		target = core.GuaranteedPhases(g, opt) * uniform
-		truncK = 1
-		generate = func() *core.Schedule { return core.Uniform(g, uniform, opt) }
-	case AlgGeneral:
-		target = core.GeneralGuaranteedSlots(g, budgets, opt)
-		truncK = 1
-		generate = func() *core.Schedule { return core.General(g, budgets, opt) }
-	case AlgFT:
-		groups := core.GuaranteedPhases(g, opt) / k
-		target = uniform / 2
-		if groups > 0 {
-			target += groups * (uniform - uniform/2)
-		}
-		truncK = k
-		generate = func() *core.Schedule { return core.FaultTolerant(g, uniform, k, opt) }
-	case AlgGeneralFT:
-		target = core.GeneralGuaranteedSlots(g, budgets, opt) / k
-		truncK = k
-		generate = func() *core.Schedule { return core.GeneralFaultTolerant(g, budgets, k, opt) }
-	default:
-		return nil, fmt.Errorf("serve: unvalidated algorithm %q", req.Algorithm)
-	}
-
-	ck := domset.NewChecker(g)
-	best := &core.Schedule{}
-	for try := 0; try < req.tries(); try++ {
-		if cancel() {
-			return nil, experiments.ErrCanceled
-		}
-		s := generate().TruncateInvalidWith(ck, truncK)
-		if s.Lifetime() > best.Lifetime() {
-			best = s
-		}
-		if best.Lifetime() >= target {
-			break
-		}
-	}
-	// The service never hands out an infeasible schedule: a violation here
-	// is a bug, not a client error, and fails the job loudly.
-	if err := best.ValidateWith(ck, budgets, truncK); err != nil {
-		return nil, fmt.Errorf("serve: produced infeasible schedule: %w", err)
-	}
-	return best, nil
+	return solver.Race(g, budgets, spec, opt, width)
 }
 
 // scheduleResult renders a solved schedule into the immutable cached Result.

@@ -1,0 +1,119 @@
+package solver
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/sched"
+)
+
+// The deterministic baselines ltsched exposes — greedy, LP relaxation, and
+// the branch-and-bound optimum — ride the same driver as the randomized
+// algorithms. They ignore the randomness source, and their
+// GuaranteedLifetime of 0 makes the driver's early-stop fire after the
+// first attempt, so Best costs exactly one generation. Running them
+// through Best still buys the shared ValidateWith feasibility gate: an
+// infeasible baseline schedule fails loudly instead of being reported.
+
+// exactNodeCap bounds the solvers that enumerate minimal dominating sets
+// (exponential in n). The cap matches the gate cmd/ltsched has enforced
+// since the baseline was added.
+const exactNodeCap = 24
+
+func init() {
+	Register(greedySolver{})
+	Register(lpSolver{})
+	Register(exactSolver{})
+}
+
+// greedySolver peels greedy k-dominating phases off the budget vector until
+// none remains — the replanning heuristic of the self-healing runtime
+// (sched.Replan), exposed as a schedule baseline.
+type greedySolver struct{}
+
+func (greedySolver) Name() string { return NameGreedy }
+
+func (greedySolver) Validate(g *graph.Graph, budgets []int, spec Spec) error {
+	return validateBudgets(g, budgets, NameGreedy, false)
+}
+
+func (greedySolver) GuaranteedLifetime(*graph.Graph, []int, Spec) int { return 0 }
+
+func (greedySolver) TruncK(spec Spec) int { return spec.K }
+
+func (greedySolver) Generate(g *graph.Graph, budgets []int, spec Spec, _ *rng.Source) *core.Schedule {
+	return sched.Replan(g, budgets, spec.K, nil)
+}
+
+// validateExactSize gates the exponential baselines.
+func validateExactSize(g *graph.Graph, name string) error {
+	if g.N() > exactNodeCap {
+		return fmt.Errorf("solver: %s solver limited to %d nodes (got %d)", name, exactNodeCap, g.N())
+	}
+	return nil
+}
+
+// lpSolver solves the fractional LP relaxation over all minimal
+// k-dominating sets and floors the phase durations. Flooring only shrinks
+// per-node usage, so the integral schedule inherits feasibility from the
+// LP solution while losing at most one slot per set.
+type lpSolver struct{}
+
+func (lpSolver) Name() string { return NameLP }
+
+func (lpSolver) Validate(g *graph.Graph, budgets []int, spec Spec) error {
+	if err := validateExactSize(g, NameLP); err != nil {
+		return err
+	}
+	return validateBudgets(g, budgets, NameLP, false)
+}
+
+func (lpSolver) GuaranteedLifetime(*graph.Graph, []int, Spec) int { return 0 }
+
+func (lpSolver) TruncK(spec Spec) int { return spec.K }
+
+func (lpSolver) Generate(g *graph.Graph, budgets []int, spec Spec, _ *rng.Source) *core.Schedule {
+	_, sets, durs, err := exact.Fractional(g, budgets, spec.K)
+	if err != nil {
+		// The LP can only fail on malformed input, which Validate already
+		// rejected; an empty schedule keeps the driver's no-panic contract.
+		return &core.Schedule{}
+	}
+	s := &core.Schedule{}
+	for i, set := range sets {
+		if d := int(durs[i]); d > 0 {
+			s.Phases = append(s.Phases, core.Phase{Set: set, Duration: d})
+		}
+	}
+	return s
+}
+
+// exactSolver is the branch-and-bound optimum (exact.Integral).
+type exactSolver struct{}
+
+func (exactSolver) Name() string { return NameExact }
+
+func (exactSolver) Validate(g *graph.Graph, budgets []int, spec Spec) error {
+	if err := validateExactSize(g, NameExact); err != nil {
+		return err
+	}
+	return validateBudgets(g, budgets, NameExact, false)
+}
+
+func (exactSolver) GuaranteedLifetime(*graph.Graph, []int, Spec) int { return 0 }
+
+func (exactSolver) TruncK(spec Spec) int { return spec.K }
+
+func (exactSolver) Generate(g *graph.Graph, budgets []int, spec Spec, _ *rng.Source) *core.Schedule {
+	_, sets, durs := exact.Integral(g, budgets, spec.K)
+	s := &core.Schedule{}
+	for i, set := range sets {
+		if durs[i] > 0 {
+			s.Phases = append(s.Phases, core.Phase{Set: set, Duration: durs[i]})
+		}
+	}
+	return s
+}

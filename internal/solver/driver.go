@@ -1,0 +1,184 @@
+package solver
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/domset"
+	"repro/internal/graph"
+	"repro/internal/obs"
+	"repro/internal/par"
+	"repro/internal/rng"
+)
+
+// ErrCanceled reports that Options.Cancel fired before the driver produced
+// a schedule. experiments.ErrCanceled aliases this value, so the serve
+// layer's errors.Is checks (and its 504 mapping) see one identity across
+// the solver driver and the experiment runner.
+var ErrCanceled = errors.New("experiments: run canceled")
+
+// Options configures the Best/Race drivers.
+type Options struct {
+	// Tries bounds the retry loop of one attempt. <= 0 means 1.
+	Tries int
+	// Cancel, when non-nil, is polled before every retry; once it reports
+	// true the driver stops and returns ErrCanceled. This is the serve
+	// path's sticky deadline check.
+	Cancel func() bool
+	// Hooks receives one obs.Attempt event per retry. The zero value is
+	// the free no-op.
+	Hooks obs.Hooks
+	// Src seeds the randomized solvers. Nil means a fixed default seed
+	// (rng.New(1)), matching core.Options.
+	Src *rng.Source
+	// Pool, when non-nil, supplies the workers Race runs its attempts on
+	// (the serve worker pool, typically). Nil makes Race spin up a
+	// transient pool sized to the race width.
+	Pool *par.Pool
+}
+
+// Best resolves spec.Name in the registry and runs the WHP retry loop the
+// legacy core.*WHP functions hard-coded per algorithm: up to Tries draws,
+// each truncated at its first non-k-dominating phase, keeping the best
+// truncated schedule and stopping early once it reaches the solver's
+// guaranteed lifetime. The final schedule passes the ValidateWith
+// feasibility gate before being returned — a violation there is a solver
+// bug and surfaces as an error, never as a bad schedule.
+//
+// With the same source, tries, and spec, Best reproduces the legacy
+// per-algorithm loops draw for draw (the seed-pinned equivalence tests pin
+// this byte for byte).
+func Best(g *graph.Graph, budgets []int, spec Spec, opt Options) (*core.Schedule, error) {
+	sv, err := Resolve(spec.Name)
+	if err != nil {
+		return nil, err
+	}
+	spec = spec.normalize()
+	if err := sv.Validate(g, budgets, spec); err != nil {
+		return nil, err
+	}
+	tries := opt.Tries
+	if tries <= 0 {
+		tries = 1
+	}
+	src := opt.Src
+	if src == nil {
+		src = rng.New(1)
+	}
+	target := sv.GuaranteedLifetime(g, budgets, spec)
+	truncK := sv.TruncK(spec)
+	ck := domset.NewChecker(g)
+
+	var best *core.Schedule
+	for try := 0; try < tries; try++ {
+		if opt.Cancel != nil && opt.Cancel() {
+			return nil, ErrCanceled
+		}
+		s := sv.Generate(g, budgets, spec, src).TruncateInvalidWith(ck, truncK)
+		if best == nil || s.Lifetime() > best.Lifetime() {
+			best = s
+		}
+		opt.Hooks.Emit(obs.Attempt(spec.Name, try, s.Lifetime(), best.Lifetime()))
+		if best.Lifetime() >= target {
+			break
+		}
+	}
+	if err := best.ValidateWith(ck, budgets, truncK); err != nil {
+		return nil, fmt.Errorf("solver: %s produced infeasible schedule: %w", spec.Name, err)
+	}
+	return best, nil
+}
+
+// Race runs width independently seeded Best attempts concurrently and
+// returns a deterministic winner: the best lifetime, with the lowest
+// attempt index breaking ties. Attempt i draws from the i-th child of
+// opt.Src (rng.SplitN), so the outcome depends only on (seed, width, spec,
+// tries) — never on goroutine scheduling.
+//
+// width <= 1 delegates to Best with opt.Src untouched, so a width-1 race
+// is bit-identical to the sequential driver. Attempts run on opt.Pool when
+// given; a full pool is not an error — the attempt runs inline on the
+// calling goroutine instead, so Race never blocks behind foreign work and
+// never deadlocks on a busy shared pool.
+//
+// A fired cancel surfaces as ErrCanceled even when some attempts finished.
+func Race(g *graph.Graph, budgets []int, spec Spec, opt Options, width int) (*core.Schedule, error) {
+	if width <= 1 {
+		return Best(g, budgets, spec, opt)
+	}
+	// Fail fast (and only once) on unknown names and malformed input
+	// instead of spawning width attempts that all reject it.
+	sv, err := Resolve(spec.Name)
+	if err != nil {
+		return nil, err
+	}
+	nspec := spec.normalize()
+	if err := sv.Validate(g, budgets, nspec); err != nil {
+		return nil, err
+	}
+
+	src := opt.Src
+	if src == nil {
+		src = rng.New(1)
+	}
+	children := src.SplitN(width)
+	// One lock around the caller's tracer: attempts emit concurrently.
+	hooks := obs.Hooks{Trace: obs.Synchronized(opt.Hooks.Trace)}
+
+	results := make([]*core.Schedule, width)
+	errs := make([]error, width)
+	var wg sync.WaitGroup
+	attempt := func(i int) {
+		defer wg.Done()
+		o := opt
+		o.Src = children[i]
+		o.Hooks = hooks
+		o.Pool = nil
+		results[i], errs[i] = Best(g, budgets, spec, o)
+	}
+
+	pool := opt.Pool
+	transient := pool == nil
+	if transient {
+		workers := runtime.GOMAXPROCS(0)
+		if width < workers {
+			workers = width
+		}
+		pool = par.NewPool(workers, width)
+	}
+	for i := 0; i < width; i++ {
+		wg.Add(1)
+		i := i
+		if !pool.TrySubmit(func() { attempt(i) }) {
+			attempt(i)
+		}
+	}
+	wg.Wait()
+	if transient {
+		pool.Close()
+	}
+
+	var firstErr error
+	var best *core.Schedule
+	for i := 0; i < width; i++ {
+		if errs[i] != nil {
+			if errors.Is(errs[i], ErrCanceled) {
+				return nil, ErrCanceled
+			}
+			if firstErr == nil {
+				firstErr = errs[i]
+			}
+			continue
+		}
+		if best == nil || results[i].Lifetime() > best.Lifetime() {
+			best = results[i]
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return best, nil
+}

@@ -1,0 +1,116 @@
+package solver
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// The four randomized solvers of the paper (and the repo's general
+// k-tolerant extension) adapt the core constructors to the Solver
+// interface. Their GuaranteedLifetime/TruncK values are lifted verbatim
+// from the legacy core.*WHP loops, so the driver reproduces those loops
+// draw for draw — the property the seed-pinned equivalence tests lock in.
+
+func init() {
+	Register(uniformSolver{})
+	Register(generalSolver{})
+	Register(ftSolver{})
+	Register(generalFTSolver{})
+}
+
+// rejectTolerance is the shared guard for the tolerance-1 algorithms:
+// silently handing a 1-dominating schedule to a caller who asked for
+// k-tolerance would be a correctness trap, so they reject K > 1 instead.
+func rejectTolerance(name string, spec Spec) error {
+	if spec.K > 1 {
+		return fmt.Errorf("solver: algorithm %q ignores k; use %s or %s for tolerance %d",
+			name, NameFT, NameGeneralFT, spec.K)
+	}
+	return nil
+}
+
+// uniformSolver is Algorithm 1 (uniform batteries, tolerance 1).
+type uniformSolver struct{}
+
+func (uniformSolver) Name() string { return NameUniform }
+
+func (uniformSolver) Validate(g *graph.Graph, budgets []int, spec Spec) error {
+	if err := rejectTolerance(NameUniform, spec); err != nil {
+		return err
+	}
+	return validateBudgets(g, budgets, NameUniform, true)
+}
+
+func (uniformSolver) GuaranteedLifetime(g *graph.Graph, budgets []int, spec Spec) int {
+	return core.GuaranteedPhases(g, spec.coreOptions(nil)) * uniformBudget(budgets)
+}
+
+func (uniformSolver) TruncK(Spec) int { return 1 }
+
+func (uniformSolver) Generate(g *graph.Graph, budgets []int, spec Spec, src *rng.Source) *core.Schedule {
+	return core.Uniform(g, uniformBudget(budgets), spec.coreOptions(src))
+}
+
+// generalSolver is Algorithm 2 (arbitrary batteries, tolerance 1).
+type generalSolver struct{}
+
+func (generalSolver) Name() string { return NameGeneral }
+
+func (generalSolver) Validate(g *graph.Graph, budgets []int, spec Spec) error {
+	if err := rejectTolerance(NameGeneral, spec); err != nil {
+		return err
+	}
+	return validateBudgets(g, budgets, NameGeneral, false)
+}
+
+func (generalSolver) GuaranteedLifetime(g *graph.Graph, budgets []int, spec Spec) int {
+	return core.GeneralGuaranteedSlots(g, budgets, spec.coreOptions(nil))
+}
+
+func (generalSolver) TruncK(Spec) int { return 1 }
+
+func (generalSolver) Generate(g *graph.Graph, budgets []int, spec Spec, src *rng.Source) *core.Schedule {
+	return core.General(g, budgets, spec.coreOptions(src))
+}
+
+// ftSolver is Algorithm 3 (uniform batteries, k-tolerant).
+type ftSolver struct{}
+
+func (ftSolver) Name() string { return NameFT }
+
+func (ftSolver) Validate(g *graph.Graph, budgets []int, spec Spec) error {
+	return validateBudgets(g, budgets, NameFT, true)
+}
+
+func (ftSolver) GuaranteedLifetime(g *graph.Graph, budgets []int, spec Spec) int {
+	return core.FaultTolerantGuarantee(g, uniformBudget(budgets), spec.K, spec.coreOptions(nil))
+}
+
+func (ftSolver) TruncK(spec Spec) int { return spec.K }
+
+func (ftSolver) Generate(g *graph.Graph, budgets []int, spec Spec, src *rng.Source) *core.Schedule {
+	return core.FaultTolerant(g, uniformBudget(budgets), spec.K, spec.coreOptions(src))
+}
+
+// generalFTSolver is the repo's general k-tolerant extension (see
+// core.GeneralFaultTolerant; measured by experiment E14).
+type generalFTSolver struct{}
+
+func (generalFTSolver) Name() string { return NameGeneralFT }
+
+func (generalFTSolver) Validate(g *graph.Graph, budgets []int, spec Spec) error {
+	return validateBudgets(g, budgets, NameGeneralFT, false)
+}
+
+func (generalFTSolver) GuaranteedLifetime(g *graph.Graph, budgets []int, spec Spec) int {
+	return core.GeneralGuaranteedSlots(g, budgets, spec.coreOptions(nil)) / spec.K
+}
+
+func (generalFTSolver) TruncK(spec Spec) int { return spec.K }
+
+func (generalFTSolver) Generate(g *graph.Graph, budgets []int, spec Spec, src *rng.Source) *core.Schedule {
+	return core.GeneralFaultTolerant(g, budgets, spec.K, spec.coreOptions(src))
+}

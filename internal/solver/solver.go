@@ -1,0 +1,186 @@
+// Package solver is the single home of the paper's execution shape: every
+// scheduling algorithm in the repository — the three randomized algorithms
+// of the paper, the general k-tolerant extension, and the deterministic
+// greedy/LP/exact baselines — registers here behind one Solver interface,
+// and one generic driver (Best) runs the WHP retry loop that used to be
+// copied per algorithm: generate a raw schedule, truncate at the first
+// non-k-dominating phase, keep the best, stop early once the paper's
+// guaranteed lifetime is reached.
+//
+// On top of Best, Race runs R independently seeded attempts concurrently
+// (on a par.Pool) and picks a deterministic winner — the restart trick of
+// Feige et al. (SICOMP 2002) that the paper's with-high-probability bounds
+// are built on: each attempt succeeds with probability 1-O(1/n), so racing
+// R attempts trades cores for wall-clock without changing the distribution
+// of the best schedule.
+//
+// Callers resolve algorithms by registry name ("uniform", "general", "ft",
+// "generalft", "greedy", "lp", "exact"); the serve layer, cmd/ltsched, and
+// the experiments all go through this registry instead of switching on
+// algorithm names themselves.
+package solver
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// Canonical registry names. The paper's algorithms keep the wire names the
+// serve layer has used since PR 4; the deterministic baselines take the
+// names cmd/ltsched exposes.
+const (
+	NameUniform   = "uniform"   // Algorithm 1: uniform batteries
+	NameGeneral   = "general"   // Algorithm 2: arbitrary batteries
+	NameFT        = "ft"        // Algorithm 3: uniform batteries, k-tolerant
+	NameGeneralFT = "generalft" // repo extension: arbitrary batteries, k-tolerant
+	NameGreedy    = "greedy"    // deterministic greedy baseline (sched.Replan shape)
+	NameLP        = "lp"        // LP relaxation with floored phase durations
+	NameExact     = "exact"     // branch-and-bound optimum (small graphs only)
+)
+
+// Spec selects a registered algorithm and its parameters. The zero values
+// of K and KConst normalize to the defaults every layer has always used
+// (tolerance 1, color-range constant 3).
+type Spec struct {
+	// Name is the registry name of the algorithm.
+	Name string
+	// K is the domination tolerance (>= 1). Only the k-tolerant solvers
+	// and the baselines use values above 1. <= 0 means 1.
+	K int
+	// KConst is the color-range constant of the randomized algorithms.
+	// <= 0 means the paper's 3.
+	KConst float64
+}
+
+func (s Spec) normalize() Spec {
+	if s.K <= 0 {
+		s.K = 1
+	}
+	if s.KConst <= 0 {
+		s.KConst = 3
+	}
+	return s
+}
+
+// coreOptions is the core.Options form of the spec with an explicit source.
+func (s Spec) coreOptions(src *rng.Source) core.Options {
+	return core.Options{K: s.KConst, Src: src}
+}
+
+// Solver is one registered scheduling algorithm. Implementations are
+// stateless values: all per-call state (graph, budgets, randomness) arrives
+// through the method arguments, so one instance serves concurrent callers.
+type Solver interface {
+	// Name returns the registry name.
+	Name() string
+	// Validate rejects malformed (g, budgets, spec) combinations with an
+	// actionable error — it is the trust boundary that lets the driver
+	// guarantee the core constructors never panic. An infeasible-but-well-
+	// formed instance (e.g. tolerance above the minimum closed neighborhood)
+	// is NOT an error: it yields an empty schedule, matching core.
+	Validate(g *graph.Graph, budgets []int, spec Spec) error
+	// GuaranteedLifetime returns the w.h.p. lifetime target of the paper's
+	// analysis — the driver's early-stop threshold. Deterministic solvers
+	// return 0, which makes the driver accept their first (only meaningful)
+	// attempt.
+	GuaranteedLifetime(g *graph.Graph, budgets []int, spec Spec) int
+	// TruncK returns the domination tolerance the driver truncates and
+	// validates with.
+	TruncK(spec Spec) int
+	// Generate produces one raw schedule draw. The driver truncates it at
+	// the first non-TruncK-dominating phase.
+	Generate(g *graph.Graph, budgets []int, spec Spec, src *rng.Source) *core.Schedule
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Solver{}
+)
+
+// Register adds s to the registry. Duplicate names are a programming error
+// and panic, mirroring the experiments registry.
+func Register(s Solver) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[s.Name()]; dup {
+		panic(fmt.Sprintf("solver: duplicate registration of %q", s.Name()))
+	}
+	registry[s.Name()] = s
+}
+
+// Get returns the solver registered under name.
+func Get(name string) (Solver, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	s, ok := registry[name]
+	return s, ok
+}
+
+// Names returns the registered names, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Resolve is Get with an actionable error listing the registry contents.
+func Resolve(name string) (Solver, error) {
+	s, ok := Get(name)
+	if !ok {
+		return nil, fmt.Errorf("solver: unknown algorithm %q (have %v)", name, Names())
+	}
+	return s, nil
+}
+
+// Guaranteed returns the w.h.p. lifetime target of the named algorithm on
+// this instance — the value the driver stops early at. Exported for layers
+// (plan, ltsched) that report the guarantee next to the achieved lifetime.
+func Guaranteed(g *graph.Graph, budgets []int, spec Spec) (int, error) {
+	sv, err := Resolve(spec.Name)
+	if err != nil {
+		return 0, err
+	}
+	spec = spec.normalize()
+	if err := sv.Validate(g, budgets, spec); err != nil {
+		return 0, err
+	}
+	return sv.GuaranteedLifetime(g, budgets, spec), nil
+}
+
+// validateBudgets is the shape check shared by every solver: one
+// non-negative budget per node. needUniform additionally demands all
+// entries agree (Algorithms 1 and 3).
+func validateBudgets(g *graph.Graph, budgets []int, name string, needUniform bool) error {
+	if len(budgets) != g.N() {
+		return fmt.Errorf("solver: %s: %d budgets for %d nodes", name, len(budgets), g.N())
+	}
+	for v, b := range budgets {
+		if b < 0 {
+			return fmt.Errorf("solver: %s: budgets[%d] = %d must be >= 0", name, v, b)
+		}
+		if needUniform && b != budgets[0] {
+			return fmt.Errorf("solver: algorithm %q needs uniform batteries, but budgets[%d] = %d != budgets[0] = %d",
+				name, v, b, budgets[0])
+		}
+	}
+	return nil
+}
+
+// uniformBudget returns the common per-node budget of a validated uniform
+// budget vector (0 on an empty graph).
+func uniformBudget(budgets []int) int {
+	if len(budgets) == 0 {
+		return 0
+	}
+	return budgets[0]
+}

@@ -1,0 +1,290 @@
+package solver_test
+
+import (
+	"errors"
+	"reflect"
+	"sort"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/obs"
+	"repro/internal/rng"
+	"repro/internal/solver"
+)
+
+func testGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	return gen.GNP(120, 0.25, rng.New(3))
+}
+
+func uniformBudgets(n, b int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = b
+	}
+	return out
+}
+
+// TestBestReproducesLegacyWHP is the seed-pinned equivalence contract of the
+// refactor: for every paper algorithm, solver.Best with a fresh source must
+// reproduce the exact schedule the deprecated core retry loop computes with
+// an identically seeded source — byte for byte, not just same lifetime.
+func TestBestReproducesLegacyWHP(t *testing.T) {
+	g := testGraph(t)
+	const b, k, tries, seed = 4, 2, 12, 17
+
+	cases := []struct {
+		spec    solver.Spec
+		budgets []int
+		legacy  func() *core.Schedule
+	}{
+		{solver.Spec{Name: solver.NameUniform}, uniformBudgets(g.N(), b), func() *core.Schedule {
+			//lint:ignore SA1019 the shim's equivalence is exactly what this test pins
+			return core.UniformWHP(g, b, core.Options{Src: rng.New(seed)}, tries)
+		}},
+		{solver.Spec{Name: solver.NameGeneral}, rampBudgets(g.N()), func() *core.Schedule {
+			//lint:ignore SA1019 the shim's equivalence is exactly what this test pins
+			return core.GeneralWHP(g, rampBudgets(g.N()), core.Options{Src: rng.New(seed)}, tries)
+		}},
+		{solver.Spec{Name: solver.NameFT, K: k}, uniformBudgets(g.N(), b), func() *core.Schedule {
+			//lint:ignore SA1019 the shim's equivalence is exactly what this test pins
+			return core.FaultTolerantWHP(g, b, k, core.Options{Src: rng.New(seed)}, tries)
+		}},
+		{solver.Spec{Name: solver.NameGeneralFT, K: k}, rampBudgets(g.N()), func() *core.Schedule {
+			//lint:ignore SA1019 the shim's equivalence is exactly what this test pins
+			return core.GeneralFaultTolerantWHP(g, rampBudgets(g.N()), k, core.Options{Src: rng.New(seed)}, tries)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.spec.Name, func(t *testing.T) {
+			want := tc.legacy()
+			got, err := solver.Best(g, tc.budgets, tc.spec,
+				solver.Options{Tries: tries, Src: rng.New(seed)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("solver.Best diverged from legacy loop:\n got lifetime %d (%d phases)\nwant lifetime %d (%d phases)",
+					got.Lifetime(), len(got.Phases), want.Lifetime(), len(want.Phases))
+			}
+			if got.Lifetime() == 0 {
+				t.Fatal("fixture produced an empty schedule; equivalence is vacuous")
+			}
+		})
+	}
+}
+
+// rampBudgets gives node v battery 2 + v%4: heterogeneous but bounded, the
+// shape the general algorithms are for.
+func rampBudgets(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = 2 + i%4
+	}
+	return out
+}
+
+// TestRaceWidthOneEqualsBest pins the delegation contract: width <= 1 must
+// hand the parent source directly to Best, so racing is a pure superset of
+// the sequential driver.
+func TestRaceWidthOneEqualsBest(t *testing.T) {
+	g := testGraph(t)
+	budgets := uniformBudgets(g.N(), 3)
+	spec := solver.Spec{Name: solver.NameUniform}
+	for _, width := range []int{0, 1} {
+		want, err := solver.Best(g, budgets, spec, solver.Options{Tries: 8, Src: rng.New(5)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := solver.Race(g, budgets, spec, solver.Options{Tries: 8, Src: rng.New(5)}, width)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("Race(width=%d) != Best: lifetime %d vs %d", width, got.Lifetime(), want.Lifetime())
+		}
+	}
+}
+
+// TestRaceDeterministic pins the racing contract: the winner is a pure
+// function of the seed and width — concurrency must not leak into the
+// result. Each width is run repeatedly and compared byte for byte.
+func TestRaceDeterministic(t *testing.T) {
+	g := testGraph(t)
+	budgets := rampBudgets(g.N())
+	spec := solver.Spec{Name: solver.NameGeneral}
+	for _, width := range []int{2, 4, 7} {
+		var want *core.Schedule
+		for rep := 0; rep < 3; rep++ {
+			got, err := solver.Race(g, budgets, spec,
+				solver.Options{Tries: 4, Src: rng.New(29)}, width)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep == 0 {
+				want = got
+				continue
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("width %d rep %d diverged: lifetime %d vs %d",
+					width, rep, got.Lifetime(), want.Lifetime())
+			}
+		}
+		if want.Lifetime() == 0 {
+			t.Fatalf("width %d produced an empty schedule", width)
+		}
+	}
+}
+
+// TestRaceBeatsOrMatchesBest: the race winner can never be worse than any
+// single attempt with the same per-child try budget — in particular it is at
+// least as good as the first child alone.
+func TestRaceBeatsOrMatchesBest(t *testing.T) {
+	g := testGraph(t)
+	budgets := rampBudgets(g.N())
+	spec := solver.Spec{Name: solver.NameGeneral}
+	children := rng.New(29).SplitN(4)
+	first, err := solver.Best(g, budgets, spec, solver.Options{Tries: 4, Src: children[0]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raced, err := solver.Race(g, budgets, spec,
+		solver.Options{Tries: 4, Src: rng.New(29)}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raced.Lifetime() < first.Lifetime() {
+		t.Fatalf("race winner (lifetime %d) worse than its own first attempt (%d)",
+			raced.Lifetime(), first.Lifetime())
+	}
+}
+
+// TestBestCanceled pins the serve cancellation contract end to end: a fired
+// cancel func surfaces as ErrCanceled, which is the same sentinel the
+// experiments package re-exports (serve's writeJobError matches on it).
+func TestBestCanceled(t *testing.T) {
+	g := testGraph(t)
+	budgets := uniformBudgets(g.N(), 3)
+	_, err := solver.Best(g, budgets, solver.Spec{Name: solver.NameUniform},
+		solver.Options{Tries: 5, Cancel: func() bool { return true }, Src: rng.New(1)})
+	if !errors.Is(err, solver.ErrCanceled) {
+		t.Fatalf("want ErrCanceled, got %v", err)
+	}
+	if !errors.Is(err, experiments.ErrCanceled) {
+		t.Fatal("experiments.ErrCanceled no longer aliases solver.ErrCanceled")
+	}
+}
+
+// TestRaceCanceled fires cancel after the first few attempts are underway:
+// the race must report ErrCanceled rather than a partial winner.
+func TestRaceCanceled(t *testing.T) {
+	g := testGraph(t)
+	budgets := uniformBudgets(g.N(), 3)
+	var calls atomic.Int64
+	cancel := func() bool { return calls.Add(1) > 2 }
+	_, err := solver.Race(g, budgets, solver.Spec{Name: solver.NameUniform},
+		solver.Options{Tries: 50, Cancel: cancel, Src: rng.New(1)}, 4)
+	if !errors.Is(err, solver.ErrCanceled) {
+		t.Fatalf("want ErrCanceled, got %v", err)
+	}
+}
+
+// TestBestEmitsAttemptEvents checks the obs contract: one EvAttempt per try,
+// with the best-so-far monotone nondecreasing and the final best equal to
+// the returned schedule's lifetime.
+func TestBestEmitsAttemptEvents(t *testing.T) {
+	g := testGraph(t)
+	budgets := rampBudgets(g.N())
+	var mem obs.Memory
+	s, err := solver.Best(g, budgets, solver.Spec{Name: solver.NameGeneral},
+		solver.Options{Tries: 6, Src: rng.New(11), Hooks: obs.Hooks{Trace: &mem}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mem.Events) == 0 {
+		t.Fatal("no attempt events emitted")
+	}
+	best := -1
+	for i, ev := range mem.Events {
+		if ev.Type != obs.EvAttempt {
+			t.Fatalf("event %d: unexpected type %v", i, ev.Type)
+		}
+		if ev.T != i {
+			t.Fatalf("event %d: try index %d", i, ev.T)
+		}
+		if ev.B < best {
+			t.Fatalf("best-so-far decreased: %d after %d", ev.B, best)
+		}
+		best = ev.B
+	}
+	if best != s.Lifetime() {
+		t.Fatalf("final best event says %d, schedule lifetime is %d", best, s.Lifetime())
+	}
+}
+
+// TestRegistryNames pins the registry contents and Resolve's error shape.
+func TestRegistryNames(t *testing.T) {
+	want := []string{"exact", "ft", "general", "generalft", "greedy", "lp", "uniform"}
+	got := solver.Names()
+	if !sort.StringsAreSorted(got) {
+		t.Fatalf("Names() not sorted: %v", got)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("registry = %v, want %v", got, want)
+	}
+	if _, err := solver.Resolve("frob"); err == nil {
+		t.Fatal("unknown name resolved")
+	}
+	for _, name := range got {
+		if sv, ok := solver.Get(name); !ok || sv.Name() != name {
+			t.Fatalf("Get(%q) = %v, %v", name, sv, ok)
+		}
+	}
+}
+
+// TestValidateRejections spot-checks the shape errors Validate centralizes
+// (they were scattered across serve/request.go and the cmds before).
+func TestValidateRejections(t *testing.T) {
+	g := testGraph(t)
+	cases := []struct {
+		name    string
+		spec    solver.Spec
+		budgets []int
+	}{
+		{"uniform needs uniform batteries", solver.Spec{Name: solver.NameUniform}, rampBudgets(g.N())},
+		{"uniform rejects tolerance", solver.Spec{Name: solver.NameUniform, K: 2}, uniformBudgets(g.N(), 3)},
+		{"budget length mismatch", solver.Spec{Name: solver.NameGeneral}, uniformBudgets(g.N()-1, 3)},
+		{"negative budget", solver.Spec{Name: solver.NameGeneral}, append(uniformBudgets(g.N()-1, 3), -1)},
+		{"exact node cap", solver.Spec{Name: solver.NameExact}, uniformBudgets(g.N(), 3)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := solver.Best(g, tc.budgets, tc.spec, solver.Options{Tries: 1, Src: rng.New(1)}); err == nil {
+				t.Fatal("accepted")
+			}
+		})
+	}
+}
+
+// TestBaselinesFeasible runs each deterministic baseline on a small graph
+// and checks the driver's post-validation accepts the result.
+func TestBaselinesFeasible(t *testing.T) {
+	g := gen.GNP(18, 0.4, rng.New(9))
+	budgets := uniformBudgets(g.N(), 2)
+	for _, name := range []string{solver.NameGreedy, solver.NameLP, solver.NameExact} {
+		t.Run(name, func(t *testing.T) {
+			s, err := solver.Best(g, budgets, solver.Spec{Name: name},
+				solver.Options{Tries: 1, Src: rng.New(1)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Validate(g, budgets, 1); err != nil {
+				t.Fatalf("%s schedule infeasible: %v", name, err)
+			}
+		})
+	}
+}
