@@ -6,12 +6,13 @@
 //
 // Usage:
 //
-//	ltbench [-run E1,E7] [-seed 42] [-trials 10] [-quick]
-//	ltbench -bench [-quick] [-benchout BENCH_PR3.json]
+//	ltbench [-run E1,E7] [-seed 42] [-trials 10] [-quick] [-trace e.jsonl]
+//	ltbench -bench [-quick] [-benchout BENCH_PR6.json]
 //	        [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -22,6 +23,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -37,7 +39,8 @@ func run() int {
 	list := flag.Bool("list", false, "list available experiments and exit")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	doBench := flag.Bool("bench", false, "run the fixed benchmark suite instead of experiments")
-	benchOut := flag.String("benchout", "BENCH_PR3.json", "benchmark report path (with -bench)")
+	benchOut := flag.String("benchout", "BENCH_PR6.json", "benchmark report path (with -bench)")
+	traceOut := flag.String("trace", "", "write experiment trial/reconfig events as JSONL to this file")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -83,6 +86,26 @@ func run() int {
 	}
 
 	cfg := experiments.Config{Seed: *seed, Trials: *trials, Quick: *quick}
+	var traceClose func() error
+	if *traceOut != "" {
+		tf, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ltbench:", err)
+			return 1
+		}
+		buf := bufio.NewWriter(tf)
+		jsonl := obs.NewJSONL(buf)
+		cfg.Trace = jsonl
+		traceClose = func() error {
+			if err := jsonl.Err(); err != nil {
+				return err
+			}
+			if err := buf.Flush(); err != nil {
+				return err
+			}
+			return tf.Close()
+		}
+	}
 	var ids []string
 	if strings.EqualFold(*runExps, "all") {
 		ids = experiments.IDs()
@@ -111,6 +134,13 @@ func run() int {
 			fmt.Fprintln(os.Stderr, "ltbench:", rerr)
 			return 1
 		}
+	}
+	if traceClose != nil {
+		if err := traceClose(); err != nil {
+			fmt.Fprintf(os.Stderr, "ltbench: -trace %s: %v\n", *traceOut, err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "trace written to %s\n", *traceOut)
 	}
 	return 0
 }

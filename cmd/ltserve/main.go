@@ -49,6 +49,7 @@ type flags struct {
 	drainTimeout time.Duration
 	maxNodes     int
 	raceWidth    int
+	overlap      int
 	fault        string
 	faultSeed    uint64
 	readyFile    string
@@ -83,6 +84,9 @@ func (f flags) validate() error {
 	if f.raceWidth < 0 {
 		return fmt.Errorf("-race-width %d: race width must be >= 0 (0 or 1 = sequential)", f.raceWidth)
 	}
+	if f.overlap < 0 {
+		return fmt.Errorf("-overlap %d: reconfiguration overlap must be >= 0 (0 = default)", f.overlap)
+	}
 	if _, err := chaos.ParseWorkerFault(f.fault, rng.New(1)); err != nil {
 		return fmt.Errorf("-fault: %w", err)
 	}
@@ -99,6 +103,7 @@ func (f flags) config() (serve.Config, error) {
 		DefaultTimeout: f.timeout,
 		MaxNodes:       f.maxNodes,
 		RaceWidth:      f.raceWidth,
+		DefaultOverlap: f.overlap,
 	}
 	wf, err := chaos.ParseWorkerFault(f.fault, rng.New(f.faultSeed))
 	if err != nil {
@@ -123,6 +128,7 @@ func newFlagSet(f *flags) *flag.FlagSet {
 	fs.DurationVar(&f.drainTimeout, "drain-timeout", 30*time.Second, "max wait for accepted jobs on shutdown")
 	fs.IntVar(&f.maxNodes, "max-nodes", 0, "largest accepted graph (0 = default 1<<20)")
 	fs.IntVar(&f.raceWidth, "race-width", 1, "seeded solver attempts raced per schedule job (<= 1 = sequential)")
+	fs.IntVar(&f.overlap, "overlap", 0, "default overlap slots for PATCH reconfigurations (0 = built-in default)")
 	fs.StringVar(&f.fault, "fault", "", `chaos worker fault, e.g. "slow=0.1:50ms,fail=0.01" ("" = off)`)
 	fs.Uint64Var(&f.faultSeed, "fault-seed", 1, "seed for the chaos worker fault")
 	fs.StringVar(&f.readyFile, "ready-file", "", "write the bound address to this file once listening")
@@ -148,7 +154,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("ltserve: listening on http://%s (healthz, metrics, v1/schedule, v1/experiment)\n", hs.Addr())
+	fmt.Printf("ltserve: listening on http://%s (healthz, metrics, v1/schedule, v1/schedule/{fp}, v1/experiment)\n", hs.Addr())
 	if f.readyFile != "" {
 		// Written after the listener is bound, so a watcher that sees the
 		// file can immediately connect — the CI smoke test relies on this.

@@ -30,6 +30,7 @@ func TestValidateFlags(t *testing.T) {
 		{"negative timeout", func(f *flags) { f.timeout = -time.Second }},
 		{"zero drain timeout", func(f *flags) { f.drainTimeout = 0 }},
 		{"negative max nodes", func(f *flags) { f.maxNodes = -1 }},
+		{"negative overlap", func(f *flags) { f.overlap = -1 }},
 		{"malformed fault", func(f *flags) { f.fault = "slow=2" }},
 	}
 	for _, c := range cases {
@@ -63,5 +64,17 @@ func TestConfigWiresFault(t *testing.T) {
 	f.fault = "fail=banana"
 	if _, err := f.config(); err == nil {
 		t.Fatal("malformed -fault accepted by config")
+	}
+}
+
+func TestConfigWiresOverlap(t *testing.T) {
+	f := defaults(t)
+	f.overlap = 3
+	cfg, err := f.config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.DefaultOverlap != 3 {
+		t.Fatalf("DefaultOverlap = %d, want 3", cfg.DefaultOverlap)
 	}
 }

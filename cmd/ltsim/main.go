@@ -10,16 +10,24 @@
 //	ltsim -graph g.edges -alg general -bmax 6 -covtrace
 //	ltsim -graph g.edges -alg uniform -b 4 -chaos "crash=10,leak=5x2" -heal -loss 0.15
 //	ltsim -graph g.edges -alg uniform -b 4 -trace run.jsonl -metrics -obs-addr 127.0.0.1:8135
+//	ltsim -graph g.edges -alg uniform -b 4 -delta d.json -delta-at 3 -overlap 2 -wakeloss 0.5
 //
 // Observability: -trace FILE streams the typed per-slot event trace as JSONL
 // (byte-identical across runs with the same seed), -metrics prints the
 // aggregated counters after the run, and -obs-addr serves the live metrics
 // snapshot as JSON over HTTP while the simulation runs.
+//
+// Reconfiguration: -delta FILE applies a JSON graph.Delta (the PATCH
+// /v1/schedule payload format) at slot -delta-at through the live
+// reconfiguration simulator — the planner computes an overlap transition
+// (-overlap slots; 0 = naive re-solve-and-swap) and sleeping survivors miss
+// the install with probability -wakeloss.
 package main
 
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -31,6 +39,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/heal"
 	"repro/internal/obs"
+	"repro/internal/reconfig"
 	"repro/internal/rng"
 	"repro/internal/sensim"
 	"repro/internal/serve"
@@ -57,6 +66,10 @@ type flags struct {
 	trace    string // JSONL event-trace output path ("" = off)
 	metrics  bool   // print the aggregated metrics after the run
 	obsAddr  string // serve the live metrics snapshot over HTTP ("" = off)
+	delta    string // JSON graph.Delta to apply mid-run ("" = off)
+	deltaAt  int    // slot at which the delta lands
+	overlap  int    // overlap window for the planned transition
+	wakeloss float64
 }
 
 // validate rejects nonsensical flag combinations with actionable errors —
@@ -88,6 +101,21 @@ func (f flags) validate() error {
 	if f.loss > 0 && !f.healing {
 		return fmt.Errorf("-loss degrades the patch-protocol radio and needs -heal")
 	}
+	if f.delta != "" && f.healing {
+		return fmt.Errorf("-delta runs the reconfiguration simulator, -heal the self-healing runtime; pick one")
+	}
+	if f.deltaAt < 0 {
+		return fmt.Errorf("-delta-at %d: the change slot must be >= 0", f.deltaAt)
+	}
+	if f.overlap < 0 {
+		return fmt.Errorf("-overlap %d: the overlap window must be >= 0", f.overlap)
+	}
+	if f.wakeloss < 0 || f.wakeloss >= 1 {
+		return fmt.Errorf("-wakeloss %v: wake-loss probability must be in [0, 1)", f.wakeloss)
+	}
+	if f.wakeloss > 0 && f.delta == "" {
+		return fmt.Errorf("-wakeloss models missed schedule installs and needs -delta")
+	}
 	return nil
 }
 
@@ -109,6 +137,10 @@ func run() error {
 	flag.StringVar(&f.trace, "trace", "", "write the typed event trace as JSONL to this file")
 	flag.BoolVar(&f.metrics, "metrics", false, "print the aggregated metrics after the run")
 	flag.StringVar(&f.obsAddr, "obs-addr", "", "serve the live metrics snapshot as JSON on this address (e.g. 127.0.0.1:8135)")
+	flag.StringVar(&f.delta, "delta", "", "apply this JSON graph delta mid-run (reconfiguration simulator)")
+	flag.IntVar(&f.deltaAt, "delta-at", 0, "slot at which the -delta lands")
+	flag.IntVar(&f.overlap, "overlap", reconfig.DefaultOverlap, "overlap slots for the planned transition (0 = naive swap)")
+	flag.Float64Var(&f.wakeloss, "wakeloss", 0, "probability a sleeping survivor misses the new schedule's install (with -delta)")
 	flag.Parse()
 
 	if err := f.validate(); err != nil {
@@ -208,7 +240,28 @@ func run() error {
 	fmt.Printf("schedule: %s, nominal lifetime %d\n", f.alg, s.Lifetime())
 
 	var coverage []float64
-	if f.healing {
+	if f.delta != "" {
+		d, err := readDelta(f.delta)
+		if err != nil {
+			return err
+		}
+		res, err := reconfig.Simulate(g, s, batteries, []reconfig.Change{{At: f.deltaAt, Delta: d}},
+			reconfig.SimOptions{
+				K: f.k, Overlap: f.overlap, Solver: f.alg,
+				Tries: *tries, Seed: *seed, WakeLoss: f.wakeloss,
+				Chaos: plan, Hooks: hooks,
+			})
+		if err != nil {
+			return err
+		}
+		report(res.Deaths, res.AchievedLifetime, res.FirstViolation)
+		fmt.Printf("reconfig: nominal lifetime %d across %d transitions (%d degraded, %d violated)\n",
+			res.ScheduleLifetime, res.Reconfigs, res.DegradedTransitions, res.ViolatedTransitions)
+		fmt.Printf("reconfig: %d wake misses; covered %d of %d simulated slots\n",
+			res.WakeMisses, res.CoveredSlots, res.Slots)
+		fmt.Printf("energy spent: %d units (%d on overlap windows)\n",
+			res.EnergySpent, res.OverlapEnergy)
+	} else if f.healing {
 		res := heal.Run(enet, s, heal.Options{
 			K: f.k, Chaos: plan, Loss: f.loss, Src: src.Split(), Hooks: hooks,
 		})
@@ -253,6 +306,24 @@ func run() error {
 		}
 	}
 	return nil
+}
+
+// readDelta parses a JSON graph.Delta file (the PATCH payload's delta
+// object), rejecting unknown fields so a typoed key fails loudly instead of
+// silently simulating the wrong change.
+func readDelta(path string) (graph.Delta, error) {
+	var d graph.Delta
+	file, err := os.Open(path)
+	if err != nil {
+		return d, err
+	}
+	defer file.Close()
+	dec := json.NewDecoder(file)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&d); err != nil {
+		return d, fmt.Errorf("-delta %s: %w", path, err)
+	}
+	return d, nil
 }
 
 // report prints the fault and lifetime summary shared by both runtimes.

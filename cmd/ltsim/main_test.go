@@ -20,6 +20,11 @@ func TestValidateFlags(t *testing.T) {
 		{"failures with b 0", flags{alg: "uniform", b: 0, k: 1, failures: 5}},
 		{"loss out of range", flags{alg: "uniform", b: 3, k: 1, healing: true, loss: 1.0}},
 		{"loss without heal", flags{alg: "uniform", b: 3, k: 1, loss: 0.2}},
+		{"delta with heal", flags{alg: "uniform", b: 3, k: 1, healing: true, delta: "d.json"}},
+		{"negative delta-at", flags{alg: "uniform", b: 3, k: 1, delta: "d.json", deltaAt: -1}},
+		{"negative overlap", flags{alg: "uniform", b: 3, k: 1, delta: "d.json", overlap: -1}},
+		{"wakeloss out of range", flags{alg: "uniform", b: 3, k: 1, delta: "d.json", wakeloss: 1.0}},
+		{"wakeloss without delta", flags{alg: "uniform", b: 3, k: 1, wakeloss: 0.5}},
 	}
 	for _, c := range cases {
 		if err := c.f.validate(); err == nil {
@@ -45,5 +50,10 @@ func TestValidateFlags(t *testing.T) {
 	obsHeal := flags{alg: "ft", b: 3, k: 2, healing: true, trace: "run.jsonl"}
 	if err := obsHeal.validate(); err != nil {
 		t.Errorf("obs flags with heal rejected: %v", err)
+	}
+	deltaOK := flags{alg: "uniform", b: 3, k: 1,
+		delta: "d.json", deltaAt: 2, overlap: 2, wakeloss: 0.5, chaos: "", trace: "run.jsonl"}
+	if err := deltaOK.validate(); err != nil {
+		t.Errorf("delta flags rejected: %v", err)
 	}
 }

@@ -29,7 +29,9 @@ import (
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/obs"
+	"repro/internal/reconfig"
 	"repro/internal/rng"
+	"repro/internal/sched"
 	"repro/internal/sensim"
 	"repro/internal/serve"
 	"repro/internal/solver"
@@ -191,7 +193,7 @@ func toCase(name string, r testing.BenchmarkResult, baseline float64) Case {
 func Run(quick bool) Report {
 	rep := Report{
 		Schema:      Schema,
-		PR:          "PR5",
+		PR:          "PR6",
 		GoVersion:   runtime.Version(),
 		GOOS:        runtime.GOOS,
 		GOARCH:      runtime.GOARCH,
@@ -241,6 +243,7 @@ func Run(quick bool) Report {
 	rep.Cases = append(rep.Cases, runSolverCases(quick)...)
 	rep.Cases = append(rep.Cases, runSensimCases(quick)...)
 	rep.Cases = append(rep.Cases, runServeCases(quick)...)
+	rep.Cases = append(rep.Cases, runReconfigCases(quick)...)
 	rep.Cases = append(rep.Cases, runExperimentCase(quick))
 	return rep
 }
@@ -386,6 +389,145 @@ func runServeCases(quick bool) []Case {
 		toCase(fmt.Sprintf("serve/schedule/cache=miss/n=%d", n), miss, 0),
 		toCase(fmt.Sprintf("serve/schedule/cache=hit/n=%d", n), hit, missNs),
 		toCase(fmt.Sprintf("serve/schedule/coalesce=8/n=%d", n), coalesce, 8*missNs),
+	}
+}
+
+// runReconfigCases benchmarks the PR 6 reconfiguration path at three depths.
+// The kernel pair: graph.Delta.Apply (a node swap — remove, re-add, rewire —
+// the per-change rebuild cost every reconfiguration pays) and
+// reconfig.Compute (the full transition planner: apply the delta, solve the
+// incoming schedule, verify every slot, charge the overlap). The service
+// pair: PATCH /v1/schedule/{fp} end to end, miss versus hit. The patch delta
+// removes and re-adds the same edge, so the post-delta fingerprint equals
+// the prior one and the chain of patch results stays addressable across
+// iterations; the miss server runs with a single-entry cache so each
+// completed patch replaces the last and the fingerprint always resolves to
+// exactly one base. The hit case carries the miss cost as its baseline —
+// Speedup is the planner work a retried PATCH avoids.
+func runReconfigCases(quick bool) []Case {
+	n := 128
+	if quick {
+		n = 96
+	}
+	src := rng.New(6)
+	g := gen.GNP(n, 8*math.Log(float64(n))/float64(n), src)
+	budgets := make([]int, n)
+	for i := range budgets {
+		budgets[i] = 8
+	}
+	swap := graph.Delta{
+		RemoveNodes: []int{n - 1},
+		AddNodes:    1,
+		NewBudgets:  []int{8},
+		AddEdges:    [][2]int{{0, n - 1}, {1, n - 1}, {2, n - 1}},
+	}
+	apply := run(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, _, err := swap.Apply(g, budgets); err != nil {
+				b.Fatalf("Delta.Apply: %v", err)
+			}
+		}
+	})
+
+	old := sched.Replan(g, budgets, 1, nil)
+	at := 2
+	if old.Lifetime() <= at {
+		panic(fmt.Sprintf("bench: reconfig fixture lifetime %d too short", old.Lifetime()))
+	}
+	residual := make([]int, n)
+	for v, used := range old.UsagePrefix(n, at) {
+		residual[v] = budgets[v] - used
+	}
+	compute := run(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := reconfig.Compute(g, reconfig.Request{
+				Old: old, At: at, Residual: residual, Delta: swap,
+				K: 1, Overlap: 2, Seed: uint64(i) + 1, Tries: 8,
+			}); err != nil {
+				b.Fatalf("reconfig.Compute: %v", err)
+			}
+		}
+	})
+
+	spec := serve.GraphSpec{N: n}
+	for v := 0; v < n; v++ {
+		for _, u := range g.Neighbors(v) {
+			if v < int(u) {
+				spec.Edges = append(spec.Edges, [2]int{v, int(u)})
+			}
+		}
+	}
+	solveBody, err := json.Marshal(serve.Request{
+		Graph: spec, Algorithm: serve.AlgUniform, Battery: 8, Seed: 1, Tries: 8,
+	})
+	if err != nil {
+		panic(err)
+	}
+	if len(g.Neighbors(0)) == 0 {
+		panic("bench: reconfig fixture has an isolated node 0")
+	}
+	e := [2]int{0, int(g.Neighbors(0)[0])}
+	patchBody := func(seed uint64) []byte {
+		b, err := json.Marshal(serve.PatchRequest{
+			Delta: graph.Delta{RemoveEdges: [][2]int{e}, AddEdges: [][2]int{e}},
+			Seed:  seed, Tries: 8,
+		})
+		if err != nil {
+			panic(err)
+		}
+		return b
+	}
+	do := func(h http.Handler, method, path string, payload []byte) []byte {
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, httptest.NewRequest(method, path, bytes.NewReader(payload)))
+		if w.Code != http.StatusOK {
+			panic(fmt.Sprintf("bench: %s %s returned %d: %s", method, path, w.Code, w.Body.String()))
+		}
+		return w.Body.Bytes()
+	}
+	fingerprint := func(raw []byte) string {
+		var res struct {
+			Fingerprint string `json:"fingerprint"`
+		}
+		if err := json.Unmarshal(raw, &res); err != nil || res.Fingerprint == "" {
+			panic(fmt.Sprintf("bench: schedule response carries no fingerprint: %v", err))
+		}
+		return res.Fingerprint
+	}
+
+	// Miss: a fresh seed per iteration forces a new plan; the edge-swap delta
+	// keeps the fingerprint fixed and the single-entry cache keeps the base
+	// unique, so every iteration pays Compute plus the invalidation sweep.
+	sMiss := serve.New(serve.Config{CacheSize: 1})
+	hMiss := sMiss.Handler()
+	fp := fingerprint(do(hMiss, http.MethodPost, "/v1/schedule", solveBody))
+	miss := run(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			do(hMiss, http.MethodPatch, "/v1/schedule/"+fp, patchBody(uint64(i)+1))
+		}
+	})
+	sMiss.Shutdown(context.Background()) //nolint:errcheck // bench teardown
+	missNs := float64(miss.NsPerOp())
+
+	// Hit: the identical PATCH retried; after the warm-up every iteration is
+	// answered by the early cache check under the patch key.
+	sHit := serve.New(serve.Config{})
+	hHit := sHit.Handler()
+	fpHit := fingerprint(do(hHit, http.MethodPost, "/v1/schedule", solveBody))
+	warm := patchBody(1)
+	do(hHit, http.MethodPatch, "/v1/schedule/"+fpHit, warm)
+	hit := run(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			do(hHit, http.MethodPatch, "/v1/schedule/"+fpHit, warm)
+		}
+	})
+	sHit.Shutdown(context.Background()) //nolint:errcheck // bench teardown
+
+	return []Case{
+		toCase(fmt.Sprintf("reconfig/DeltaApply/n=%d", n), apply, 0),
+		toCase(fmt.Sprintf("reconfig/Compute/overlap=2/n=%d", n), compute, 0),
+		toCase(fmt.Sprintf("serve/patch/cache=miss/n=%d", n), miss, 0),
+		toCase(fmt.Sprintf("serve/patch/cache=hit/n=%d", n), hit, missNs),
 	}
 }
 

@@ -50,13 +50,14 @@ func TestRunQuickProducesReport(t *testing.T) {
 		t.Skip("bench suite is slow")
 	}
 	rep := Run(true)
-	if rep.Schema != Schema || rep.PR != "PR5" || !rep.Quick {
+	if rep.Schema != Schema || rep.PR != "PR6" || !rep.Quick {
 		t.Fatalf("bad report header: %+v", rep)
 	}
 	if len(rep.Cases) == 0 {
 		t.Fatal("no cases")
 	}
 	var obsOff, obsMetrics *Case
+	var patchMiss, patchHit *Case
 	for i, c := range rep.Cases {
 		if c.Iterations <= 0 || c.NsPerOp <= 0 {
 			t.Fatalf("case %s did not run: %+v", c.Name, c)
@@ -75,9 +76,28 @@ func TestRunQuickProducesReport(t *testing.T) {
 		if strings.Contains(c.Name, "obs=metrics") {
 			obsMetrics = &rep.Cases[i]
 		}
+		if strings.Contains(c.Name, "patch/cache=miss") {
+			patchMiss = &rep.Cases[i]
+		}
+		if strings.Contains(c.Name, "patch/cache=hit") {
+			patchHit = &rep.Cases[i]
+		}
 	}
 	if obsOff == nil || obsMetrics == nil {
 		t.Fatal("obs overhead cases missing from the suite")
+	}
+	if patchMiss == nil || patchHit == nil {
+		t.Fatal("reconfig PATCH cases missing from the suite")
+	}
+	// The hit case carries the miss cost as baseline: a retried PATCH must
+	// skip the planner entirely, so the cached path has to be faster.
+	if patchHit.BaselineNsPerOp != patchMiss.NsPerOp {
+		t.Fatalf("patch hit baseline %v, want miss time %v",
+			patchHit.BaselineNsPerOp, patchMiss.NsPerOp)
+	}
+	if patchHit.NsPerOp >= patchMiss.NsPerOp {
+		t.Fatalf("cached PATCH (%v ns/op) not faster than a miss (%v ns/op)",
+			patchHit.NsPerOp, patchMiss.NsPerOp)
 	}
 	// The obs=on cases carry the obs=off time as baseline, so Speedup is the
 	// overhead ratio. Attaching a metrics sink must not change the run's

@@ -2,6 +2,7 @@ package chaos
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 
@@ -23,10 +24,24 @@ import (
 // repeated crash/leak directives accumulate, a later radio replaces an
 // earlier one. All randomness is drawn from src, so a spec plus a seed is a
 // complete, reproducible chaos scenario.
+//
+// ParseSpec is a trust boundary (its input arrives from command lines and
+// service requests), so every malformed directive — including NaN/Inf rates,
+// which ParseFloat happily accepts — is rejected with an error naming the
+// offending directive and the expected form.
 func ParseSpec(spec string, g *graph.Graph, horizon int, src *rng.Source) (Plan, error) {
 	var out Plan
 	if strings.TrimSpace(spec) == "" {
 		return out, nil
+	}
+	if g == nil {
+		return Plan{}, fmt.Errorf("chaos: nil graph")
+	}
+	if src == nil {
+		return Plan{}, fmt.Errorf("chaos: nil random source")
+	}
+	if horizon < 0 {
+		return Plan{}, fmt.Errorf("chaos: horizon %d must be >= 0", horizon)
 	}
 	for _, field := range strings.Split(spec, ",") {
 		field = strings.TrimSpace(field)
@@ -41,36 +56,39 @@ func ParseSpec(spec string, g *graph.Graph, horizon int, src *rng.Source) (Plan,
 		case "crash":
 			n, err := parseCount(val)
 			if err != nil {
-				return Plan{}, fmt.Errorf("chaos: crash=%s: %v", val, err)
+				return Plan{}, fmt.Errorf("chaos: crash=%s: %v (want crash=N, a non-negative crash count)", val, err)
 			}
 			out = Merge(out, Crashes(g, n, horizon, src.Split()))
 		case "blackout":
 			r, m, err := parsePair(val)
 			if err != nil {
-				return Plan{}, fmt.Errorf("chaos: blackout=%s: %v", val, err)
+				return Plan{}, fmt.Errorf("chaos: blackout=%s: %v (want blackout=RxM: R regions, up to M crashes each)", val, err)
 			}
 			out = Merge(out, Blackouts(g, r, m, horizon, src.Split()))
 		case "leak":
 			n, a, err := parsePair(val)
 			if err != nil {
-				return Plan{}, fmt.Errorf("chaos: leak=%s: %v", val, err)
+				return Plan{}, fmt.Errorf("chaos: leak=%s: %v (want leak=NxA: N spikes of up to A units)", val, err)
 			}
 			out = Merge(out, LeakSpikes(g, n, a, horizon, src.Split()))
 		case "loss":
-			p, err := strconv.ParseFloat(val, 64)
-			if err != nil || p < 0 || p >= 1 {
-				return Plan{}, fmt.Errorf("chaos: loss=%s: want probability in [0, 1)", val)
+			p, err := parseProb(val)
+			if err != nil || p >= 1 {
+				return Plan{}, fmt.Errorf("chaos: loss=%s: want a probability in [0, 1)", val)
 			}
 			out = Merge(out, FlatLoss(p, src.Split()))
 		case "burst":
 			badStr, bgStr, ok := strings.Cut(val, ":")
 			if !ok {
-				return Plan{}, fmt.Errorf("chaos: burst=%s: want PBAD:PBG", val)
+				return Plan{}, fmt.Errorf("chaos: burst=%s: want PBAD:PBG (bad-state loss and bad→good probability)", val)
 			}
-			pBad, err1 := strconv.ParseFloat(badStr, 64)
-			pBG, err2 := strconv.ParseFloat(bgStr, 64)
-			if err1 != nil || err2 != nil || pBad < 0 || pBad >= 1 || pBG <= 0 || pBG > 1 {
-				return Plan{}, fmt.Errorf("chaos: burst=%s: want PBAD in [0,1) and PBG in (0,1]", val)
+			pBad, err := parseProb(badStr)
+			if err != nil || pBad >= 1 {
+				return Plan{}, fmt.Errorf("chaos: burst=%s: bad-state loss %q: want a probability in [0, 1)", val, badStr)
+			}
+			pBG, err := parseProb(bgStr)
+			if err != nil || pBG <= 0 || pBG > 1 {
+				return Plan{}, fmt.Errorf("chaos: burst=%s: bad→good probability %q: want a probability in (0, 1]", val, bgStr)
 			}
 			out = Merge(out, BurstyLoss(0, pBad, 0.05, pBG, src.Split()))
 		default:
@@ -81,20 +99,41 @@ func ParseSpec(spec string, g *graph.Graph, horizon int, src *rng.Source) (Plan,
 }
 
 func parseCount(s string) (int, error) {
+	if s == "" {
+		return 0, fmt.Errorf("empty count")
+	}
 	n, err := strconv.Atoi(s)
 	if err != nil {
-		return 0, fmt.Errorf("not an integer")
+		return 0, fmt.Errorf("%q is not an integer", s)
 	}
 	if n < 0 {
-		return 0, fmt.Errorf("negative count")
+		return 0, fmt.Errorf("count %d is negative", n)
 	}
 	return n, nil
+}
+
+// parseProb parses a finite probability in [0, 1]. ParseFloat accepts "NaN",
+// "Inf", and friends, and NaN in particular slips through naive p < 0 range
+// checks (every comparison with NaN is false) — so finiteness is checked
+// explicitly here, once, for every rate in the spec language.
+func parseProb(s string) (float64, error) {
+	p, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("%q is not a number", s)
+	}
+	if math.IsNaN(p) || math.IsInf(p, 0) {
+		return 0, fmt.Errorf("%q is not finite", s)
+	}
+	if p < 0 || p > 1 {
+		return 0, fmt.Errorf("%v outside [0, 1]", p)
+	}
+	return p, nil
 }
 
 func parsePair(s string) (int, int, error) {
 	a, b, ok := strings.Cut(s, "x")
 	if !ok {
-		return 0, 0, fmt.Errorf("want NxM")
+		return 0, 0, fmt.Errorf("missing 'x' separator")
 	}
 	n, err := parseCount(a)
 	if err != nil {

@@ -1,0 +1,117 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/rng"
+)
+
+// TestParseSpecRejectsMalformed walks every error branch of the spec
+// language and asserts both that the directive is rejected and that the
+// message names what was wrong — the actionable-error contract of the trust
+// boundary.
+func TestParseSpecRejectsMalformed(t *testing.T) {
+	g := gen.Path(6)
+	cases := []struct {
+		name string
+		spec string
+		want string
+	}{
+		{"missing equals", "crash", "is not key=value"},
+		{"unknown directive", "frob=1", `unknown directive "frob"`},
+
+		{"crash empty", "crash=", "empty count"},
+		{"crash non-integer", "crash=x", "is not an integer"},
+		{"crash float", "crash=1.5", "is not an integer"},
+		{"crash negative", "crash=-1", "is negative"},
+
+		{"blackout no separator", "blackout=3", "missing 'x' separator"},
+		{"blackout empty left", "blackout=x3", "empty count"},
+		{"blackout empty right", "blackout=3x", "empty count"},
+		{"blackout negative left", "blackout=-1x3", "is negative"},
+		{"blackout negative right", "blackout=3x-1", "is negative"},
+		{"blackout garbage", "blackout=axb", "is not an integer"},
+
+		{"leak no separator", "leak=2", "missing 'x' separator"},
+		{"leak negative amount", "leak=2x-3", "is negative"},
+
+		{"loss empty", "loss=", "probability in [0, 1)"},
+		{"loss garbage", "loss=abc", "probability in [0, 1)"},
+		{"loss negative", "loss=-0.1", "probability in [0, 1)"},
+		{"loss one", "loss=1", "probability in [0, 1)"},
+		{"loss above one", "loss=1.5", "probability in [0, 1)"},
+		{"loss NaN", "loss=NaN", "probability in [0, 1)"},
+		{"loss Inf", "loss=Inf", "probability in [0, 1)"},
+		{"loss negative Inf", "loss=-Inf", "probability in [0, 1)"},
+
+		{"burst no colon", "burst=0.9", "want PBAD:PBG"},
+		{"burst bad garbage", "burst=a:0.5", "bad-state loss"},
+		{"burst bad one", "burst=1:0.5", "bad-state loss"},
+		{"burst bad NaN", "burst=NaN:0.5", "bad-state loss"},
+		{"burst bg garbage", "burst=0.9:b", "bad→good probability"},
+		{"burst bg zero", "burst=0.9:0", "bad→good probability"},
+		{"burst bg above one", "burst=0.9:1.5", "bad→good probability"},
+		{"burst bg NaN", "burst=0.9:NaN", "bad→good probability"},
+
+		{"later directive bad", "crash=2,loss=NaN", "probability in [0, 1)"},
+	}
+	for _, tc := range cases {
+		_, err := ParseSpec(tc.spec, g, 10, rng.New(1))
+		if err == nil {
+			t.Errorf("%s: spec %q accepted", tc.name, tc.spec)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestParseSpecRejectsBadArguments(t *testing.T) {
+	g := gen.Path(4)
+	if _, err := ParseSpec("crash=1", nil, 10, rng.New(1)); err == nil || !strings.Contains(err.Error(), "nil graph") {
+		t.Errorf("nil graph: err = %v", err)
+	}
+	if _, err := ParseSpec("crash=1", g, 10, nil); err == nil || !strings.Contains(err.Error(), "nil random source") {
+		t.Errorf("nil source: err = %v", err)
+	}
+	if _, err := ParseSpec("crash=1", g, -1, rng.New(1)); err == nil || !strings.Contains(err.Error(), "horizon -1") {
+		t.Errorf("negative horizon: err = %v", err)
+	}
+	// The empty spec never touches graph or source — a no-chaos default must
+	// not demand arguments it will not use.
+	if _, err := ParseSpec("  ", nil, -1, nil); err != nil {
+		t.Errorf("blank spec: err = %v", err)
+	}
+}
+
+func TestParseSpecAcceptsBoundaryValues(t *testing.T) {
+	g := gen.Path(6)
+	for _, spec := range []string{
+		"crash=0", "blackout=0x0", "leak=0x0", "loss=0", "burst=0:1",
+		"loss=0.999", "burst=0.999:0.001",
+	} {
+		if _, err := ParseSpec(spec, g, 10, rng.New(1)); err != nil {
+			t.Errorf("boundary spec %q rejected: %v", spec, err)
+		}
+	}
+}
+
+func TestParseSpecAccumulatesAndReplaces(t *testing.T) {
+	g := gen.GNP(30, 0.2, rng.New(3))
+	plan, err := ParseSpec("crash=2,crash=3,leak=1x2,leak=2x2,loss=0.1,burst=0.5:0.5", g, 20, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Crashes) != 5 {
+		t.Errorf("repeated crash directives must accumulate: got %d crashes, want 5", len(plan.Crashes))
+	}
+	if len(plan.Leaks) != 3 {
+		t.Errorf("repeated leak directives must accumulate: got %d leaks, want 3", len(plan.Leaks))
+	}
+	if _, ok := plan.Radio.(*GilbertElliott); !ok {
+		t.Errorf("later radio directive must replace the earlier one, got %T", plan.Radio)
+	}
+}

@@ -59,6 +59,28 @@ func (s *Schedule) Usage(n int) []int {
 	return usage
 }
 
+// UsagePrefix returns, for each node, the number of slots it spends in
+// active sets during the first t slots — the energy a partially executed
+// schedule has already drained when a reconfiguration cuts over at time t.
+// t at or past Lifetime() is equivalent to Usage.
+func (s *Schedule) UsagePrefix(n, t int) []int {
+	usage := make([]int, n)
+	for _, p := range s.Phases {
+		if t <= 0 {
+			break
+		}
+		d := p.Duration
+		if d > t {
+			d = t
+		}
+		for _, v := range p.Set {
+			usage[v] += d
+		}
+		t -= p.Duration
+	}
+	return usage
+}
+
 // ActiveAt returns the active set of the slot at the given time in
 // [0, Lifetime()), or nil if t is out of range.
 func (s *Schedule) ActiveAt(t int) []int {

@@ -33,6 +33,33 @@ func TestLifetimeAndUsage(t *testing.T) {
 	}
 }
 
+func TestUsagePrefix(t *testing.T) {
+	s := &Schedule{Phases: []Phase{
+		{Set: []int{0, 1}, Duration: 2},
+		{Set: []int{2}, Duration: 3},
+	}}
+	cases := []struct {
+		t    int
+		want []int
+	}{
+		{-1, []int{0, 0, 0, 0}},
+		{0, []int{0, 0, 0, 0}},
+		{1, []int{1, 1, 0, 0}},
+		{2, []int{2, 2, 0, 0}},
+		{3, []int{2, 2, 1, 0}},
+		{5, []int{2, 2, 3, 0}},
+		{9, []int{2, 2, 3, 0}}, // past the end == Usage
+	}
+	for _, c := range cases {
+		got := s.UsagePrefix(4, c.t)
+		for i := range c.want {
+			if got[i] != c.want[i] {
+				t.Fatalf("UsagePrefix(4, %d) = %v, want %v", c.t, got, c.want)
+			}
+		}
+	}
+}
+
 func TestActiveAt(t *testing.T) {
 	s := &Schedule{Phases: []Phase{
 		{Set: []int{0}, Duration: 2},

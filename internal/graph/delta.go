@@ -1,0 +1,229 @@
+package graph
+
+import "fmt"
+
+// BudgetUpdate revises the duty budget of one surviving node, addressed in
+// the pre-delta ID space.
+type BudgetUpdate struct {
+	Node   int `json:"node"`
+	Budget int `json:"budget"`
+}
+
+// Delta is a typed, serializable change to a deployed network: edges and
+// nodes disappear, fresh nodes join, and duty budgets are revised. It is the
+// wire format of the live-reconfiguration API (PATCH /v1/schedule in
+// internal/serve) and the input of the transition planner (internal/reconfig),
+// so unlike the graph constructors it validates rather than panics — a Delta
+// crosses the trust boundary.
+//
+// Apply performs the steps in a fixed order, and the ID spaces of the fields
+// follow from it:
+//
+//  1. RemoveEdges (pre-delta IDs) are deleted;
+//  2. RemoveNodes (pre-delta IDs) are deleted with their incident edges, and
+//     the survivors are renumbered compactly in their original order;
+//  3. AddNodes fresh isolated nodes are appended, taking the next IDs after
+//     the survivors (a survivor's post-delta ID is its rank among survivors;
+//     added node i gets ID survivors+i);
+//  4. AddEdges (post-delta IDs) are inserted;
+//  5. budgets carry over to survivors, added nodes get NewBudgets (zero when
+//     omitted), then SetBudgets (pre-delta IDs) revises surviving nodes.
+//
+// The zero Delta is the identity: Apply returns a structural copy.
+type Delta struct {
+	// RemoveEdges lists undirected edges to delete, in pre-delta IDs. Every
+	// listed edge must exist; listing one twice is an error.
+	RemoveEdges [][2]int `json:"remove_edges,omitempty"`
+	// RemoveNodes lists nodes to delete (with their incident edges), in
+	// pre-delta IDs. Duplicates are an error.
+	RemoveNodes []int `json:"remove_nodes,omitempty"`
+	// AddNodes is the number of fresh nodes appended after the survivors.
+	AddNodes int `json:"add_nodes,omitempty"`
+	// NewBudgets, when non-empty, gives the initial budgets of the added
+	// nodes (length must equal AddNodes). Empty means zero budgets.
+	NewBudgets []int `json:"new_budgets,omitempty"`
+	// AddEdges lists undirected edges to insert, in post-delta IDs (so added
+	// nodes can be wired in). Self-loops, duplicates, and edges that already
+	// exist are errors.
+	AddEdges [][2]int `json:"add_edges,omitempty"`
+	// SetBudgets revises the budgets of surviving nodes, addressed in
+	// pre-delta IDs. Updating a removed node or the same node twice is an
+	// error.
+	SetBudgets []BudgetUpdate `json:"set_budgets,omitempty"`
+}
+
+// Empty reports whether d is the identity delta.
+func (d Delta) Empty() bool {
+	return len(d.RemoveEdges) == 0 && len(d.RemoveNodes) == 0 &&
+		d.AddNodes == 0 && len(d.AddEdges) == 0 && len(d.SetBudgets) == 0
+}
+
+// packEdge keys an undirected edge for duplicate detection (u < v after
+// normalization; node IDs fit in 32 bits by construction of the graph layer).
+func packEdge(u, v int) uint64 {
+	if u > v {
+		u, v = v, u
+	}
+	return uint64(u)<<32 | uint64(v)
+}
+
+// Apply validates d against g and the pre-delta budget vector and returns the
+// post-delta graph, the post-delta budget vector, and the old→new ID mapping
+// (mapping[v] is v's post-delta ID, or -1 when v was removed). g and budgets
+// are never mutated; on error all three results are nil.
+//
+// The fingerprint contract: Apply builds the result through the same
+// canonical constructor a from-scratch build uses, so the post-delta graph's
+// Fingerprint equals that of a graph freshly constructed with the same node
+// count and edge set — the property the serving layer's cache invalidation
+// keys on, pinned by the randomized-sequence property test.
+func (d Delta) Apply(g *Graph, budgets []int) (*Graph, []int, []int, error) {
+	if g == nil {
+		return nil, nil, nil, fmt.Errorf("graph: delta: nil graph")
+	}
+	n := g.N()
+	if len(budgets) != n {
+		return nil, nil, nil, fmt.Errorf("graph: delta: %d budgets for %d nodes", len(budgets), n)
+	}
+	if d.AddNodes < 0 {
+		return nil, nil, nil, fmt.Errorf("graph: delta: add_nodes = %d must be >= 0", d.AddNodes)
+	}
+	if len(d.NewBudgets) != 0 && len(d.NewBudgets) != d.AddNodes {
+		return nil, nil, nil, fmt.Errorf("graph: delta: %d new_budgets for %d added nodes",
+			len(d.NewBudgets), d.AddNodes)
+	}
+	for i, b := range d.NewBudgets {
+		if b < 0 {
+			return nil, nil, nil, fmt.Errorf("graph: delta: new_budgets[%d] = %d must be >= 0", i, b)
+		}
+	}
+
+	removed := make([]bool, n)
+	for _, v := range d.RemoveNodes {
+		if v < 0 || v >= n {
+			return nil, nil, nil, fmt.Errorf("graph: delta: remove_nodes: node %d out of range [0, %d)", v, n)
+		}
+		if removed[v] {
+			return nil, nil, nil, fmt.Errorf("graph: delta: remove_nodes: node %d listed twice", v)
+		}
+		removed[v] = true
+	}
+
+	dropEdge := make(map[uint64]bool, len(d.RemoveEdges))
+	for i, e := range d.RemoveEdges {
+		u, v := e[0], e[1]
+		if u < 0 || u >= n || v < 0 || v >= n {
+			return nil, nil, nil, fmt.Errorf("graph: delta: remove_edges[%d] {%d,%d}: endpoint out of range [0, %d)", i, u, v, n)
+		}
+		if u == v {
+			return nil, nil, nil, fmt.Errorf("graph: delta: remove_edges[%d]: self-loop at node %d", i, u)
+		}
+		if !g.HasEdge(u, v) {
+			return nil, nil, nil, fmt.Errorf("graph: delta: remove_edges[%d]: edge {%d,%d} does not exist", i, u, v)
+		}
+		key := packEdge(u, v)
+		if dropEdge[key] {
+			return nil, nil, nil, fmt.Errorf("graph: delta: remove_edges[%d]: edge {%d,%d} listed twice", i, u, v)
+		}
+		dropEdge[key] = true
+	}
+
+	// Survivors keep their relative order; added nodes take the next IDs.
+	mapping := make([]int, n)
+	survivors := 0
+	for v := 0; v < n; v++ {
+		if removed[v] {
+			mapping[v] = -1
+			continue
+		}
+		mapping[v] = survivors
+		survivors++
+	}
+	n2 := survivors + d.AddNodes
+
+	// Carry the surviving edges over, minus the explicit removals.
+	edges := make([][2]int, 0, g.M()+len(d.AddEdges))
+	present := make(map[uint64]bool, g.M()+len(d.AddEdges))
+	g.Edges(func(u, v int) {
+		if removed[u] || removed[v] || dropEdge[packEdge(u, v)] {
+			return
+		}
+		nu, nv := mapping[u], mapping[v]
+		edges = append(edges, [2]int{nu, nv})
+		present[packEdge(nu, nv)] = true
+	})
+	for i, e := range d.AddEdges {
+		u, v := e[0], e[1]
+		if u < 0 || u >= n2 || v < 0 || v >= n2 {
+			return nil, nil, nil, fmt.Errorf("graph: delta: add_edges[%d] {%d,%d}: endpoint out of post-delta range [0, %d)", i, u, v, n2)
+		}
+		if u == v {
+			return nil, nil, nil, fmt.Errorf("graph: delta: add_edges[%d]: self-loop at node %d", i, u)
+		}
+		key := packEdge(u, v)
+		if present[key] {
+			return nil, nil, nil, fmt.Errorf("graph: delta: add_edges[%d]: edge {%d,%d} already present", i, u, v)
+		}
+		present[key] = true
+		edges = append(edges, [2]int{u, v})
+	}
+
+	budgets2 := make([]int, n2)
+	for v := 0; v < n; v++ {
+		if mapping[v] >= 0 {
+			budgets2[mapping[v]] = budgets[v]
+		}
+	}
+	for i := 0; i < d.AddNodes; i++ {
+		if len(d.NewBudgets) > 0 {
+			budgets2[survivors+i] = d.NewBudgets[i]
+		}
+	}
+	seenUpdate := make(map[int]bool, len(d.SetBudgets))
+	for i, up := range d.SetBudgets {
+		if up.Node < 0 || up.Node >= n {
+			return nil, nil, nil, fmt.Errorf("graph: delta: set_budgets[%d]: node %d out of range [0, %d)", i, up.Node, n)
+		}
+		if removed[up.Node] {
+			return nil, nil, nil, fmt.Errorf("graph: delta: set_budgets[%d]: node %d is removed by this delta", i, up.Node)
+		}
+		if seenUpdate[up.Node] {
+			return nil, nil, nil, fmt.Errorf("graph: delta: set_budgets[%d]: node %d updated twice", i, up.Node)
+		}
+		if up.Budget < 0 {
+			return nil, nil, nil, fmt.Errorf("graph: delta: set_budgets[%d]: budget %d must be >= 0", i, up.Budget)
+		}
+		seenUpdate[up.Node] = true
+		budgets2[mapping[up.Node]] = up.Budget
+	}
+
+	// Everything is validated: the canonical constructor cannot panic, and
+	// building through it is what keeps Fingerprint consistent with a
+	// from-scratch construction.
+	return NewFromEdges(n2, edges), budgets2, mapping, nil
+}
+
+// HashInto mixes the delta into h as a canonical key component: every field
+// is labeled and length-framed (via the Hasher contract), so two distinct
+// deltas produce distinct key material and the serving layer can cache
+// reconfiguration results under Hasher sums like every other request.
+func (d Delta) HashInto(h *Hasher) *Hasher {
+	pairs := func(label string, ps [][2]int) {
+		flat := make([]int, 0, 2*len(ps))
+		for _, p := range ps {
+			flat = append(flat, p[0], p[1])
+		}
+		h.Ints(label, flat)
+	}
+	pairs("delta.remove_edges", d.RemoveEdges)
+	h.Ints("delta.remove_nodes", d.RemoveNodes)
+	h.Int("delta.add_nodes", d.AddNodes)
+	h.Ints("delta.new_budgets", d.NewBudgets)
+	pairs("delta.add_edges", d.AddEdges)
+	updates := make([]int, 0, 2*len(d.SetBudgets))
+	for _, up := range d.SetBudgets {
+		updates = append(updates, up.Node, up.Budget)
+	}
+	h.Ints("delta.set_budgets", updates)
+	return h
+}

@@ -3,6 +3,7 @@ package heal
 import (
 	"math"
 	"testing"
+	"time"
 
 	"repro/internal/chaos"
 	"repro/internal/core"
@@ -225,5 +226,36 @@ func TestHealDeterministic(t *testing.T) {
 	if a.AchievedLifetime != b2.AchievedLifetime || a.Protocol != b2.Protocol ||
 		a.Recruited != b2.Recruited || a.Replans != b2.Replans {
 		t.Fatalf("identical seeded runs diverged:\n%+v\n%+v", a, b2)
+	}
+}
+
+func TestHealTerminatesUnderTotalLoss(t *testing.T) {
+	// Degradation edge: the sole server crashes immediately, the patch radio
+	// loses every message (Loss = 1), and no survivor has budget to serve —
+	// every rung of the ladder fails. Run must terminate with a reported
+	// violation instead of panicking or spinning on retries.
+	g := gen.Path(2)
+	s := &core.Schedule{Phases: []core.Phase{{Set: []int{0}, Duration: 4}}}
+	net := energy.NewNetwork(g, []int{4, 0})
+	plan := chaos.Plan{Crashes: energy.FailurePlan{{Time: 0, Node: 0}}}
+	done := make(chan Result, 1)
+	go func() { done <- Run(net, s, Options{K: 1, Chaos: plan, Loss: 1.0, Src: rng.New(3)}) }()
+	var res Result
+	select {
+	case res = <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("heal.Run did not terminate under total loss")
+	}
+	if res.FirstViolation != 0 {
+		t.Fatalf("FirstViolation = %d, want 0 (nothing can cover the survivor)", res.FirstViolation)
+	}
+	if res.AchievedLifetime != 0 {
+		t.Fatalf("AchievedLifetime = %d, want 0", res.AchievedLifetime)
+	}
+	if res.Recruited != 0 {
+		t.Fatalf("recruited %d nodes through a radio that drops everything", res.Recruited)
+	}
+	if res.Deaths != 1 {
+		t.Fatalf("deaths = %d, want 1", res.Deaths)
 	}
 }

@@ -95,6 +95,13 @@ func AppendJSON(dst []byte, ev Event) []byte {
 		dst = appendInt(dst, "try", ev.T)
 		dst = appendInt(dst, "lifetime", ev.A)
 		dst = appendInt(dst, "best", ev.B)
+	case EvReconfig:
+		dst = appendInt(dst, "t", ev.T)
+		dst = appendInt(dst, "overlap", ev.A)
+		dst = appendInt(dst, "energy", ev.B)
+	case EvWakeMiss:
+		dst = appendInt(dst, "t", ev.T)
+		dst = appendInt(dst, "node", ev.Node)
 	}
 	return append(dst, '}')
 }

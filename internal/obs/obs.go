@@ -78,6 +78,13 @@ const (
 	// name, T = attempt index (0-based), A = the attempt's truncated
 	// lifetime, B = the best lifetime so far.
 	EvAttempt
+	// EvReconfig reports a reconfiguration transition planned at slot T:
+	// Name = outcome mode ("clean", "degraded", or "violation"),
+	// A = achieved overlap slots, B = overlap energy charged.
+	EvReconfig
+	// EvWakeMiss reports Node sleeping through its first scheduled wake-up
+	// after a live schedule install at slot T (dissemination loss).
+	EvWakeMiss
 )
 
 var eventNames = [...]string{
@@ -97,6 +104,8 @@ var eventNames = [...]string{
 	EvTrialStart: "trial_start",
 	EvTrialEnd:   "trial_end",
 	EvAttempt:    "attempt",
+	EvReconfig:   "reconfig",
+	EvWakeMiss:   "wake_miss",
 }
 
 // String returns the JSONL name of the event type.
@@ -188,6 +197,16 @@ func TrialEnd(name string, i int) Event {
 func Attempt(name string, try, lifetime, best int) Event {
 	return Event{Type: EvAttempt, Name: name, T: try, Node: -1, A: lifetime, B: best}
 }
+
+// Reconfig reports a planned reconfiguration transition. mode is "clean"
+// (requested overlap achieved, primary solver), "degraded" (reduced overlap
+// or Replan fallback), or "violation" (domination provably lost).
+func Reconfig(t, overlap, energy int, mode string) Event {
+	return Event{Type: EvReconfig, Name: mode, T: t, Node: -1, A: overlap, B: energy}
+}
+
+// WakeMiss reports a node missing its first wake-up after a live install.
+func WakeMiss(t, node int) Event { return Event{Type: EvWakeMiss, T: t, Node: node} }
 
 // Tracer receives the event stream of an instrumented execution. Emit is
 // called synchronously from the runtime hot path, so implementations should

@@ -166,6 +166,9 @@ func TestJSONLEncoding(t *testing.T) {
 		{Degraded(6, 3), `{"e":"degraded","t":6,"uncovered":3}`},
 		{TrialStart("E23", 2), `{"e":"trial_start","name":"E23","trial":2}`},
 		{TrialEnd("E23", 2), `{"e":"trial_end","name":"E23","trial":2}`},
+		{Reconfig(9, 2, 6, "clean"), `{"e":"reconfig","name":"clean","t":9,"overlap":2,"energy":6}`},
+		{Reconfig(9, 0, 0, "degraded"), `{"e":"reconfig","name":"degraded","t":9,"overlap":0,"energy":0}`},
+		{WakeMiss(10, 4), `{"e":"wake_miss","t":10,"node":4}`},
 	}
 	for _, c := range cases {
 		if got := string(AppendJSON(nil, c.ev)); got != c.want {

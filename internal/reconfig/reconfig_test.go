@@ -1,0 +1,342 @@
+package reconfig
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/domset"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/obs"
+	"repro/internal/rng"
+	"repro/internal/sched"
+	"repro/internal/solver"
+)
+
+// assertInvariant is the slot-by-slot acceptance check of the issue: every
+// positive-duration phase the planner emitted must k-dominate the alive
+// nodes, and cumulative usage must stay within the plan's budgets. It runs
+// on every plan, degraded or not — a truncated violation plan's surviving
+// prefix must still hold the invariant.
+func assertInvariant(t *testing.T, p *Plan, k int) {
+	t.Helper()
+	ck := domset.NewChecker(p.Graph)
+	usage := make([]int, p.Graph.N())
+	for i, ph := range p.Phases {
+		if ph.Duration <= 0 {
+			t.Fatalf("phase %d has duration %d", i, ph.Duration)
+		}
+		if !ck.IsKDominating(ph.Set, k, p.Alive) {
+			t.Fatalf("phase %d set %v is not %d-dominating (alive %v)", i, ph.Set, k, p.Alive)
+		}
+		for _, v := range ph.Set {
+			usage[v] += ph.Duration
+			if usage[v] > p.Budgets[v] {
+				t.Fatalf("phase %d overdraws node %d: usage %d > budget %d",
+					i, v, usage[v], p.Budgets[v])
+			}
+		}
+	}
+}
+
+func TestComputeCleanOverlap(t *testing.T) {
+	// Path 0-1-2; node 1 dominates alone. The delta adds a pendant node 3 on
+	// node 0, so the incoming schedule must re-cover while the outgoing
+	// dominator {1} stays awake through the overlap window.
+	g := graph.NewFromEdges(3, [][2]int{{0, 1}, {1, 2}})
+	budgets := []int{5, 5, 5}
+	s := sched.Replan(g, budgets, 1, nil)
+	if s.Lifetime() == 0 {
+		t.Fatal("no initial schedule")
+	}
+	at := 1
+	residual := make([]int, 3)
+	used := s.UsagePrefix(3, at)
+	for v := range residual {
+		residual[v] = budgets[v] - used[v]
+	}
+	outgoing := s.ActiveAt(at)
+
+	mem := &obs.Memory{}
+	p, err := Compute(g, Request{
+		Old: s, At: at, Residual: residual,
+		Delta: graph.Delta{
+			AddNodes:   1,
+			NewBudgets: []int{5},
+			AddEdges:   [][2]int{{0, 3}},
+		},
+		Overlap: 2,
+		Hooks:   obs.Hooks{Trace: mem},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Violation || p.Degraded {
+		t.Fatalf("want clean plan, got degraded=%v violation=%v", p.Degraded, p.Violation)
+	}
+	if p.Overlap != 2 {
+		t.Fatalf("overlap = %d, want 2", p.Overlap)
+	}
+	if p.Graph.N() != 4 || len(p.Budgets) != 4 {
+		t.Fatalf("post-delta world n=%d budgets=%v", p.Graph.N(), p.Budgets)
+	}
+	assertInvariant(t, p, 1)
+
+	// The outgoing dominators must be awake throughout the overlap window.
+	slot := 0
+	for _, ph := range p.Phases {
+		for d := 0; d < ph.Duration && slot < p.Overlap; d++ {
+			for _, o := range outgoing {
+				found := false
+				for _, v := range ph.Set {
+					if v == p.Mapping[o] {
+						found = true
+					}
+				}
+				if !found {
+					t.Fatalf("overlap slot %d set %v misses outgoing node %d", slot, ph.Set, o)
+				}
+			}
+			slot++
+		}
+	}
+	if mem.Count(obs.EvReconfig) != 1 {
+		t.Fatalf("want 1 reconfig event, got %d", mem.Count(obs.EvReconfig))
+	}
+	if ev := mem.Events[len(mem.Events)-1]; ev.Name != "clean" || ev.A != p.Overlap || ev.B != p.OverlapEnergy {
+		t.Fatalf("reconfig event %+v does not match plan", ev)
+	}
+}
+
+func TestComputeDegradedLadder(t *testing.T) {
+	// Star: center 0 serves first; the delta zeroes the center's remaining
+	// budget, so no outgoing node can pay for any overlap and the ladder
+	// bottoms out at a pure swap, flagged degraded.
+	g := graph.NewFromEdges(5, [][2]int{{0, 1}, {0, 2}, {0, 3}, {0, 4}})
+	budgets := []int{10, 3, 3, 3, 3}
+	s := sched.Replan(g, budgets, 1, nil)
+	at := 2
+	residual := budgets // center still has 8 left, but the delta zeroes it
+	mem := &obs.Memory{}
+	p, err := Compute(g, Request{
+		Old: s, At: at, Residual: residual,
+		Delta:   graph.Delta{SetBudgets: []graph.BudgetUpdate{{Node: 0, Budget: 0}}},
+		Overlap: 2,
+		Hooks:   obs.Hooks{Trace: mem},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Violation {
+		t.Fatal("unexpected violation")
+	}
+	if !p.Degraded || p.Overlap != 0 {
+		t.Fatalf("want degraded pure swap, got degraded=%v overlap=%d", p.Degraded, p.Overlap)
+	}
+	if p.Lifetime() == 0 {
+		t.Fatal("leaves can still serve; want a non-empty swap schedule")
+	}
+	assertInvariant(t, p, 1)
+	if ev := mem.Events[len(mem.Events)-1]; ev.Name != "degraded" {
+		t.Fatalf("want degraded event, got %+v", ev)
+	}
+}
+
+func TestComputeSolverFallback(t *testing.T) {
+	// A non-greedy solver with an alive mask cannot run through the WHP
+	// driver; the planner falls back to Replan and flags the plan degraded.
+	g := graph.NewFromEdges(3, [][2]int{{0, 1}, {1, 2}, {0, 2}})
+	s := sched.Replan(g, []int{4, 4, 4}, 1, nil)
+	p, err := Compute(g, Request{
+		Old: s, At: 0, Residual: []int{4, 4, 4},
+		Alive:  []bool{true, true, true},
+		Solver: solver.NameUniform,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Violation || !p.Degraded {
+		t.Fatalf("want degraded fallback, got degraded=%v violation=%v", p.Degraded, p.Violation)
+	}
+	if p.Lifetime() == 0 {
+		t.Fatal("fallback produced no schedule")
+	}
+	assertInvariant(t, p, 1)
+}
+
+func TestComputeSolverPrimary(t *testing.T) {
+	// Uniform budgets, no alive mask, pure swap: the requested randomized
+	// solver runs as the primary and the plan is clean.
+	g := gen.GNP(24, 0.3, rng.New(5))
+	budgets := make([]int, 24)
+	for v := range budgets {
+		budgets[v] = 6
+	}
+	s := sched.Replan(g, budgets, 1, nil)
+	p, err := Compute(g, Request{
+		Old: s, At: 0, Residual: budgets,
+		Solver: solver.NameUniform, Seed: 11, Tries: 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Violation || p.Degraded {
+		t.Fatalf("want clean primary-solver plan, got degraded=%v violation=%v", p.Degraded, p.Violation)
+	}
+	assertInvariant(t, p, 1)
+}
+
+func TestComputeViolationWhenInfeasible(t *testing.T) {
+	g := graph.NewFromEdges(2, [][2]int{{0, 1}})
+	s := &core.Schedule{Phases: []core.Phase{{Set: []int{0}, Duration: 1}}}
+	mem := &obs.Memory{}
+	p, err := Compute(g, Request{
+		Old: s, At: 1, Residual: []int{0, 0},
+		Overlap: 2,
+		Hooks:   obs.Hooks{Trace: mem},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Violation || len(p.Phases) != 0 {
+		t.Fatalf("exhausted network must flag a violation: %+v", p)
+	}
+	if ev := mem.Events[len(mem.Events)-1]; ev.Name != "violation" {
+		t.Fatalf("want violation event, got %+v", ev)
+	}
+}
+
+func TestComputeVacuousWhenAllDead(t *testing.T) {
+	g := graph.NewFromEdges(2, [][2]int{{0, 1}})
+	s := &core.Schedule{Phases: []core.Phase{{Set: []int{0}, Duration: 1}}}
+	p, err := Compute(g, Request{
+		Old: s, At: 0, Residual: []int{3, 3},
+		Alive:   []bool{false, false},
+		Overlap: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Violation {
+		t.Fatal("no alive node needs coverage; empty plan is not a violation")
+	}
+	if len(p.Phases) != 0 {
+		t.Fatalf("want empty plan, got %v", p.Phases)
+	}
+}
+
+func TestComputeRequestErrors(t *testing.T) {
+	g := graph.NewFromEdges(2, [][2]int{{0, 1}})
+	s := &core.Schedule{Phases: []core.Phase{{Set: []int{0}, Duration: 2}}}
+	ok := Request{Old: s, At: 0, Residual: []int{1, 1}}
+	cases := []struct {
+		name string
+		mut  func(*Request)
+		want string
+	}{
+		{"nil old", func(r *Request) { r.Old = nil }, "nil old schedule"},
+		{"negative at", func(r *Request) { r.At = -1 }, "must be >= 0"},
+		{"negative overlap", func(r *Request) { r.Overlap = -1 }, "overlap"},
+		{"alive length", func(r *Request) { r.Alive = []bool{true} }, "alive flags"},
+		{"unknown solver", func(r *Request) { r.Solver = "nope" }, "unknown algorithm"},
+		{"bad delta", func(r *Request) { r.Delta = graph.Delta{RemoveNodes: []int{9}} }, "out of range"},
+		{"bad residual", func(r *Request) { r.Residual = []int{1} }, "budgets for"},
+	}
+	for _, tc := range cases {
+		req := ok
+		tc.mut(&req)
+		_, err := Compute(g, req)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestComputeCancel(t *testing.T) {
+	g := graph.NewFromEdges(2, [][2]int{{0, 1}})
+	s := &core.Schedule{Phases: []core.Phase{{Set: []int{0}, Duration: 2}}}
+	_, err := Compute(g, Request{
+		Old: s, At: 0, Residual: []int{1, 1},
+		Cancel: func() bool { return true },
+	})
+	if err != solver.ErrCanceled {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+}
+
+// randomValidDelta builds a delta that is valid against g by construction:
+// drop the highest-ID node, add a replacement wired to random survivors, and
+// revise one surviving budget.
+func randomValidDelta(g *graph.Graph, src *rng.Source) graph.Delta {
+	n := g.N()
+	if n < 4 {
+		return graph.Delta{}
+	}
+	d := graph.Delta{
+		RemoveNodes: []int{n - 1},
+		AddNodes:    1,
+		NewBudgets:  []int{1 + src.Intn(5)},
+	}
+	// Post-delta: survivors keep IDs 0..n-2, the added node is n-1 again and
+	// starts isolated, so edges to it cannot collide.
+	for _, v := range src.Perm(n - 1)[:3] {
+		d.AddEdges = append(d.AddEdges, [2]int{v, n - 1})
+	}
+	d.SetBudgets = []graph.BudgetUpdate{{Node: src.Intn(n - 1), Budget: src.Intn(6)}}
+	return d
+}
+
+// TestInvariantAcrossRandomTransitions is the acceptance-criteria test:
+// across randomized graphs, deltas, cutover points, alive masks, overlap
+// requests, and solver choices — including every degraded path — domination
+// is never lost in any phase the planner emits.
+func TestInvariantAcrossRandomTransitions(t *testing.T) {
+	src := rng.New(42)
+	solvers := []string{"", solver.NameGreedy, solver.NameUniform, solver.NameGeneral}
+	for trial := 0; trial < 40; trial++ {
+		n := 8 + src.Intn(24)
+		g := gen.GNP(n, 0.25, src.Split())
+		budgets := make([]int, n)
+		for v := range budgets {
+			budgets[v] = 1 + src.Intn(6)
+		}
+		k := 1
+		if trial%5 == 4 {
+			k = 2
+		}
+		s := sched.Replan(g, budgets, k, nil)
+		at := src.Intn(s.Lifetime() + 2)
+		used := s.UsagePrefix(n, at)
+		residual := make([]int, n)
+		for v := range residual {
+			residual[v] = budgets[v] - used[v]
+		}
+		var alive []bool
+		if trial%3 == 1 {
+			alive = make([]bool, n)
+			for v := range alive {
+				alive[v] = src.Float64() > 0.15
+			}
+		}
+		req := Request{
+			Old: s, At: at, Residual: residual, Alive: alive,
+			Delta:   randomValidDelta(g, src),
+			K:       k,
+			Overlap: src.Intn(4),
+			Solver:  solvers[trial%len(solvers)],
+			Seed:    uint64(trial), Tries: 5,
+		}
+		p, err := Compute(g, req)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		assertInvariant(t, p, k)
+		if p.Overlap > req.Overlap {
+			t.Fatalf("trial %d: achieved overlap %d exceeds requested %d", trial, p.Overlap, req.Overlap)
+		}
+		if !p.Violation && !p.Degraded && p.Overlap < req.Overlap {
+			t.Fatalf("trial %d: shrunk overlap %d < %d not flagged degraded", trial, p.Overlap, req.Overlap)
+		}
+	}
+}

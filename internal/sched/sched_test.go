@@ -141,3 +141,19 @@ func TestSqueezeBadArgsPanics(t *testing.T) {
 	}()
 	Squeeze(g, &core.Schedule{}, []int{1, 1, 1}, 0)
 }
+
+func TestReplanZeroAliveNodes(t *testing.T) {
+	// Degradation edge: a fully dead network must yield an empty schedule —
+	// no panic, no spin — since nobody can serve and nobody needs coverage.
+	g := gen.GNP(20, 0.3, rng.New(6))
+	residual := uniformB(20, 5)
+	alive := make([]bool, 20)
+	s := Replan(g, residual, 1, alive)
+	if s.Lifetime() != 0 || len(s.Phases) != 0 {
+		t.Fatalf("all-dead Replan produced %v", s)
+	}
+	// Same with tolerance above 1 and zero residuals.
+	if s := Replan(g, make([]int, 20), 2, nil); s.Lifetime() != 0 {
+		t.Fatalf("zero-residual Replan produced %v", s)
+	}
+}

@@ -2,15 +2,21 @@ package serve
 
 import "container/list"
 
-// lruCache is the result cache: a plain LRU over canonical request keys.
-// Results are immutable once stored (handlers add per-response envelope
-// fields outside the Result), so entries are shared, never copied. The
-// cache has its own methods but no own lock — Server.admit and completion
-// consult it under Server.mu so cache and pending-job state stay coherent.
+// lruCache is the result cache: a plain LRU over canonical request keys,
+// plus a secondary index from graph fingerprint to the entries computed for
+// that graph — what lets the PATCH endpoint invalidate exactly the entries a
+// live graph delta staled, and nothing else. Results are immutable once
+// stored (handlers add per-response envelope fields outside the Result), so
+// entries are shared, never copied. The cache has its own methods but no own
+// lock — Server.admit and completion consult it under Server.mu so cache,
+// index, and pending-job state stay coherent.
 type lruCache struct {
 	capacity int
 	ll       *list.List // front = most recently used
 	items    map[string]*list.Element
+	// byFP indexes cached entry keys by Result.Fingerprint. Results without
+	// a fingerprint (experiments) are not indexed.
+	byFP map[string]map[string]bool
 }
 
 type lruEntry struct {
@@ -26,6 +32,7 @@ func newLRUCache(capacity int) *lruCache {
 		capacity: capacity,
 		ll:       list.New(),
 		items:    make(map[string]*list.Element, capacity),
+		byFP:     make(map[string]map[string]bool),
 	}
 }
 
@@ -41,20 +48,85 @@ func (c *lruCache) get(key string) (*Result, bool) {
 
 // add stores res under key, evicting the least recently used entry when the
 // cache is at capacity. Re-adding an existing key refreshes its value and
-// recency.
+// recency (and re-indexes it if the fingerprint changed).
 func (c *lruCache) add(key string, res *Result) {
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
-		el.Value.(*lruEntry).res = res
+		entry := el.Value.(*lruEntry)
+		c.unindex(entry)
+		entry.res = res
+		c.index(key, res)
 		return
 	}
 	for c.ll.Len() >= c.capacity {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
-		delete(c.items, oldest.Value.(*lruEntry).key)
+		entry := oldest.Value.(*lruEntry)
+		delete(c.items, entry.key)
+		c.unindex(entry)
 	}
 	c.items[key] = c.ll.PushFront(&lruEntry{key: key, res: res})
+	c.index(key, res)
 }
 
 // len returns the number of cached entries.
 func (c *lruCache) len() int { return c.ll.Len() }
+
+func (c *lruCache) index(key string, res *Result) {
+	if res == nil || res.Fingerprint == "" {
+		return
+	}
+	keys := c.byFP[res.Fingerprint]
+	if keys == nil {
+		keys = make(map[string]bool, 1)
+		c.byFP[res.Fingerprint] = keys
+	}
+	keys[key] = true
+}
+
+func (c *lruCache) unindex(entry *lruEntry) {
+	if entry.res == nil || entry.res.Fingerprint == "" {
+		return
+	}
+	keys := c.byFP[entry.res.Fingerprint]
+	delete(keys, entry.key)
+	if len(keys) == 0 {
+		delete(c.byFP, entry.res.Fingerprint)
+	}
+}
+
+// byFingerprint returns the cached results computed for the graph with the
+// given fingerprint, without touching recency.
+func (c *lruCache) byFingerprint(fp string) []*Result {
+	keys := c.byFP[fp]
+	if len(keys) == 0 {
+		return nil
+	}
+	out := make([]*Result, 0, len(keys))
+	for key := range keys {
+		if el, ok := c.items[key]; ok {
+			out = append(out, el.Value.(*lruEntry).res)
+		}
+	}
+	return out
+}
+
+// invalidate removes every entry computed for the graph with the given
+// fingerprint and returns how many were dropped — the surgical invalidation
+// behind PATCH: entries for other graphs are untouched.
+func (c *lruCache) invalidate(fp string) int {
+	keys := c.byFP[fp]
+	if len(keys) == 0 {
+		return 0
+	}
+	n := 0
+	for key := range keys {
+		if el, ok := c.items[key]; ok {
+			c.ll.Remove(el)
+			delete(c.items, key)
+			n++
+		}
+	}
+	delete(c.byFP, fp)
+	return n
+}

@@ -22,17 +22,22 @@ const maxBodyBytes = 64 << 20
 
 // Handler returns the service mux:
 //
-//	GET  /healthz         liveness + drain state (503 while draining)
-//	GET  /metrics         obs.Registry snapshot (same registry as the
-//	                      service counters — one scrape shows everything)
-//	POST /v1/schedule     compute (or fetch) a schedule; ?async via body
-//	POST /v1/experiment   run a registered experiment
-//	GET  /v1/jobs/{key}   poll an async job
+//	GET   /healthz               liveness + drain state (503 while draining)
+//	GET   /metrics               obs.Registry snapshot (same registry as the
+//	                             service counters — one scrape shows everything)
+//	POST  /v1/schedule           compute (or fetch) a schedule; ?async via body
+//	PATCH /v1/schedule/{fp}      apply a live graph delta against the cached
+//	                             schedule for graph fingerprint fp: plans a
+//	                             verified overlap transition and invalidates
+//	                             the superseded entries
+//	POST  /v1/experiment         run a registered experiment
+//	GET   /v1/jobs/{key}         poll an async job
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.Handle("GET /metrics", s.cfg.Registry)
 	mux.HandleFunc("POST /v1/schedule", s.handleSchedule)
+	mux.HandleFunc("PATCH /v1/schedule/{fp}", s.handlePatch)
 	mux.HandleFunc("POST /v1/experiment", s.handleExperiment)
 	mux.HandleFunc("GET /v1/jobs/{key}", s.handleJob)
 	return mux
@@ -118,7 +123,7 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return nil, err
 		}
-		return scheduleResult(key, &req, sched)
+		return scheduleResult(key, &req, g, budgets, sched)
 	}
 	s.dispatch(w, r, key, "schedule",
 		timeoutFromMS(req.TimeoutMS, s.cfg.DefaultTimeout), req.Async, run)

@@ -40,6 +40,19 @@ type metrics struct {
 	solverSequential  *obs.Counter
 	solverRaced       *obs.Counter
 
+	// The serve.reconfig_* group observes PATCH /v1/schedule/{fp}:
+	// serve.reconfigs counts executed reconfig jobs, of which
+	// serve.reconfig_degraded fell short of the request (shorter overlap or
+	// solver fallback) and serve.reconfig_violations lost domination;
+	// serve.overlap_energy accumulates the residual slots charged to outgoing
+	// dominators, and serve.invalidated the cache entries dropped because
+	// their graph was superseded by a delta.
+	reconfigs          *obs.Counter
+	reconfigDegraded   *obs.Counter
+	reconfigViolations *obs.Counter
+	invalidated        *obs.Counter
+	overlapEnergy      *obs.Counter
+
 	queueDepth *obs.Gauge
 	running    *obs.Gauge
 	pending    *obs.Gauge
@@ -66,6 +79,12 @@ func newMetrics(reg *obs.Registry) *metrics {
 		solverAttempts:    reg.Counter("serve.solver_attempts"),
 		solverSequential:  reg.Counter("serve.solver_sequential"),
 		solverRaced:       reg.Counter("serve.solver_raced"),
+
+		reconfigs:          reg.Counter("serve.reconfigs"),
+		reconfigDegraded:   reg.Counter("serve.reconfig_degraded"),
+		reconfigViolations: reg.Counter("serve.reconfig_violations"),
+		invalidated:        reg.Counter("serve.invalidated"),
+		overlapEnergy:      reg.Counter("serve.overlap_energy"),
 		queueDepth:        reg.Gauge("serve.queue_depth"),
 		running:           reg.Gauge("serve.running"),
 		pending:           reg.Gauge("serve.pending"),

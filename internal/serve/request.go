@@ -238,12 +238,13 @@ func (r *ExperimentRequest) key(id string) string {
 
 // Result is the cached, immutable outcome of one computation. Schedule
 // results carry the schedule in the cmd/ltsched interchange format;
-// experiment results carry the rendered table. Per-response metadata
-// (cached, coalesced) lives in the HTTP envelope, not here, so one Result
-// can serve many responses.
+// experiment results carry the rendered table; reconfig results carry the
+// transition schedule plus the delta bookkeeping (fingerprints, mapping,
+// overlap cost). Per-response metadata (cached, coalesced) lives in the HTTP
+// envelope, not here, so one Result can serve many responses.
 type Result struct {
 	Key        string          `json:"key"`
-	Kind       string          `json:"kind"` // "schedule" | "experiment"
+	Kind       string          `json:"kind"` // "schedule" | "experiment" | "reconfig"
 	Algorithm  string          `json:"algorithm,omitempty"`
 	Lifetime   int             `json:"lifetime,omitempty"`
 	Phases     int             `json:"phases,omitempty"`
@@ -251,4 +252,26 @@ type Result struct {
 	Experiment string          `json:"experiment,omitempty"`
 	Table      string          `json:"table,omitempty"`
 	SolveMS    float64         `json:"solve_ms"`
+
+	// Fingerprint is the hex graph fingerprint the schedule was computed
+	// for — the address PATCH /v1/schedule/{fingerprint} patches against and
+	// the key the cache's invalidation index groups by. Empty on experiment
+	// results.
+	Fingerprint string `json:"fingerprint,omitempty"`
+	// The reconfig fields below are set only on Kind == "reconfig" results.
+	// PriorFingerprint is the fingerprint the delta was applied to;
+	// Fingerprint above is the post-delta one (chained PATCHes address it).
+	PriorFingerprint string `json:"prior_fingerprint,omitempty"`
+	Overlap          int    `json:"overlap,omitempty"`        // achieved overlap window, slots
+	OverlapEnergy    int    `json:"overlap_energy,omitempty"` // extra slots charged to outgoing nodes
+	Degraded         bool   `json:"degraded,omitempty"`       // shorter window or solver fallback
+	Violation        bool   `json:"violation,omitempty"`      // domination could not be preserved
+	Invalidated      int    `json:"invalidated,omitempty"`    // cache entries dropped for the prior fingerprint
+	Mapping          []int  `json:"mapping,omitempty"`        // old→new node IDs, -1 = removed
+
+	// ctx carries the solved instance (graph, budgets, schedule) alongside
+	// the wire payload so a PATCH against this result's fingerprint can plan
+	// a transition without re-parsing anything. Unexported: never serialized,
+	// immutable once set.
+	ctx *scheduleCtx
 }

@@ -40,6 +40,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/obs"
 	"repro/internal/par"
+	"repro/internal/reconfig"
 )
 
 // FaultInjector is the chaos hook of the serving layer: when configured, it
@@ -77,6 +78,11 @@ type Config struct {
 	// deterministic, so responses and cache keys are unaffected. <= 1 runs
 	// the sequential driver.
 	RaceWidth int
+	// DefaultOverlap is the overlap window (in slots) a PATCH request gets
+	// when it does not specify one. <= 0 means reconfig.DefaultOverlap; a
+	// per-request explicit 0 (pure swap) is still expressible through
+	// PatchRequest.Overlap.
+	DefaultOverlap int
 	// Fault, when non-nil, degrades every worker invocation (see
 	// FaultInjector). Nil injects nothing.
 	Fault FaultInjector
@@ -109,6 +115,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RaceWidth <= 0 {
 		c.RaceWidth = 1
+	}
+	if c.DefaultOverlap <= 0 {
+		c.DefaultOverlap = reconfig.DefaultOverlap
 	}
 	if c.Registry == nil {
 		c.Registry = obs.NewRegistry()
@@ -305,6 +314,18 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	case <-ctx.Done():
 		return ctx.Err()
 	}
+}
+
+// invalidateFingerprint drops every cached result computed for the graph
+// with the given fingerprint and returns how many were removed. It is called
+// from inside reconfig run closures — safe because execute runs jobs without
+// holding mu — and its ordering against completion is what keeps PATCH
+// results durable: the run invalidates the prior fingerprint first, then
+// completion caches the patch result under the new fingerprint.
+func (s *Server) invalidateFingerprint(fp string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cache.invalidate(fp)
 }
 
 // jobStatus returns the lifecycle state of the job under key: a pending

@@ -2,6 +2,8 @@ package serve
 
 import (
 	"bytes"
+	"encoding/hex"
+	"encoding/json"
 	"fmt"
 	"strings"
 
@@ -40,19 +42,42 @@ func Solve(g *graph.Graph, budgets []int, req *Request, width int,
 	return solver.Race(g, budgets, spec, opt, width)
 }
 
-// scheduleResult renders a solved schedule into the immutable cached Result.
-func scheduleResult(key string, req *Request, s *core.Schedule) (*Result, error) {
+// scheduleJSON renders a schedule into the cmd/ltsched interchange format.
+func scheduleJSON(s *core.Schedule) (json.RawMessage, error) {
 	var buf bytes.Buffer
 	if err := s.WriteJSON(&buf); err != nil {
 		return nil, fmt.Errorf("serve: encoding schedule: %w", err)
 	}
+	return json.RawMessage(bytes.TrimSpace(buf.Bytes())), nil
+}
+
+// scheduleResult renders a solved schedule into the immutable cached Result,
+// stamping the graph fingerprint and retaining the solved instance (ctx) so
+// the result is addressable — and patchable — by PATCH /v1/schedule/{fp}.
+func scheduleResult(key string, req *Request, g *graph.Graph, budgets []int,
+	s *core.Schedule) (*Result, error) {
+	raw, err := scheduleJSON(s)
+	if err != nil {
+		return nil, err
+	}
+	fp := g.Fingerprint()
 	return &Result{
-		Key:       key,
-		Kind:      "schedule",
-		Algorithm: req.Algorithm,
-		Lifetime:  s.Lifetime(),
-		Phases:    len(s.Phases),
-		Schedule:  bytes.TrimSpace(buf.Bytes()),
+		Key:         key,
+		Kind:        "schedule",
+		Algorithm:   req.Algorithm,
+		Lifetime:    s.Lifetime(),
+		Phases:      len(s.Phases),
+		Schedule:    raw,
+		Fingerprint: hex.EncodeToString(fp[:]),
+		ctx: &scheduleCtx{
+			g:         g,
+			budgets:   budgets,
+			k:         req.k(),
+			algorithm: req.Algorithm,
+			seed:      req.seed(),
+			tries:     req.tries(),
+			sched:     s,
+		},
 	}, nil
 }
 
