@@ -193,7 +193,7 @@ func toCase(name string, r testing.BenchmarkResult, baseline float64) Case {
 func Run(quick bool) Report {
 	rep := Report{
 		Schema:      Schema,
-		PR:          "PR6",
+		PR:          "PR7",
 		GoVersion:   runtime.Version(),
 		GOOS:        runtime.GOOS,
 		GOARCH:      runtime.GOARCH,
@@ -237,6 +237,33 @@ func Run(quick bool) Report {
 			})
 			rep.Cases = append(rep.Cases,
 				toCase(fmt.Sprintf("kernel/IsKDominating/n=%d/k=%d", n, k), opt, float64(base.NsPerOp())))
+
+			// kernel/Flip: the single-node-delta workload of PR 7. The
+			// baseline is the CURRENT fold path — what a one-node change
+			// used to cost (full O(n·Δ/64) re-fold per query). The measured
+			// arm is one O(deg) Flip plus one O(1) coverage query per op;
+			// the flipped node alternates in and out of the set across
+			// iterations, so every op is exactly one membership delta —
+			// the heal/reconfig/prune access pattern.
+			sess := ck.Begin(set, k, inst.alive)
+			v := set[len(set)/2]
+			foldDelta := run(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					ck.CoveredCount(set, k, inst.alive)
+				}
+			})
+			flip := run(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					sess.Flip(v)
+					sess.CoveredCount()
+					sess.Commit() // non-speculative caller: keep the log bounded
+				}
+				if !sess.Contains(v) {
+					sess.Flip(v) // leave the fixture set intact for the next case
+				}
+			})
+			rep.Cases = append(rep.Cases,
+				toCase(fmt.Sprintf("kernel/Flip/n=%d/k=%d", n, k), flip, float64(foldDelta.NsPerOp())))
 		}
 	}
 
@@ -288,9 +315,37 @@ func runSolverCases(quick bool) []Case {
 		}
 	})
 	seqNs := float64(seq.NsPerOp())
+
+	// solver/prune: the PR 7 refinement pass (greedy + per-phase speculative
+	// pruning on the incremental session + re-extension) against the plain
+	// greedy baseline it refines. Speedup here is an overhead ratio — the
+	// refiner does strictly more work than greedy, so values below 1 are
+	// expected; the datum tracks how cheap the session keeps that work.
+	pruneBudgets := make([]int, n)
+	for i := range pruneBudgets {
+		pruneBudgets[i] = 8
+	}
+	greedyRun := run(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := solver.Best(g, pruneBudgets, solver.Spec{Name: solver.NameGreedy},
+				solver.Options{Tries: 1, Src: rng.New(uint64(i) + 1)}); err != nil {
+				b.Fatalf("solver.Best(greedy): %v", err)
+			}
+		}
+	})
+	pruneRun := run(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := solver.Best(g, pruneBudgets, solver.Spec{Name: solver.NamePrune},
+				solver.Options{Tries: 1, Src: rng.New(uint64(i) + 1)}); err != nil {
+				b.Fatalf("solver.Best(prune): %v", err)
+			}
+		}
+	})
+
 	return []Case{
 		toCase(fmt.Sprintf("solver/Best/tries=32/n=%d", n), seq, 0),
 		toCase(fmt.Sprintf("solver/Race/width=4/tries=8/n=%d", n), raced, seqNs),
+		toCase(fmt.Sprintf("solver/prune/n=%d", n), pruneRun, float64(greedyRun.NsPerOp())),
 	}
 }
 

@@ -50,7 +50,7 @@ func TestRunQuickProducesReport(t *testing.T) {
 		t.Skip("bench suite is slow")
 	}
 	rep := Run(true)
-	if rep.Schema != Schema || rep.PR != "PR6" || !rep.Quick {
+	if rep.Schema != Schema || rep.PR != "PR7" || !rep.Quick {
 		t.Fatalf("bad report header: %+v", rep)
 	}
 	if len(rep.Cases) == 0 {
@@ -58,6 +58,7 @@ func TestRunQuickProducesReport(t *testing.T) {
 	}
 	var obsOff, obsMetrics *Case
 	var patchMiss, patchHit *Case
+	var flip, prune *Case
 	for i, c := range rep.Cases {
 		if c.Iterations <= 0 || c.NsPerOp <= 0 {
 			t.Fatalf("case %s did not run: %+v", c.Name, c)
@@ -82,6 +83,24 @@ func TestRunQuickProducesReport(t *testing.T) {
 		if strings.Contains(c.Name, "patch/cache=hit") {
 			patchHit = &rep.Cases[i]
 		}
+		if strings.Contains(c.Name, "kernel/Flip") && flip == nil {
+			flip = &rep.Cases[i]
+		}
+		if strings.Contains(c.Name, "solver/prune") {
+			prune = &rep.Cases[i]
+		}
+	}
+	if flip == nil {
+		t.Fatal("kernel/Flip cases missing from the suite")
+	}
+	if prune == nil {
+		t.Fatal("solver/prune case missing from the suite")
+	}
+	// The Flip case's baseline is a full re-fold of the same state: the
+	// incremental delta must beat it even at quick scale (n = 256).
+	if flip.NsPerOp >= flip.BaselineNsPerOp {
+		t.Fatalf("session Flip (%v ns/op) not faster than a full re-fold (%v ns/op)",
+			flip.NsPerOp, flip.BaselineNsPerOp)
 	}
 	if obsOff == nil || obsMetrics == nil {
 		t.Fatal("obs overhead cases missing from the suite")

@@ -59,6 +59,14 @@ func (s *Set) Clear(i int) {
 	s.words[i>>6] &^= 1 << uint(i&63)
 }
 
+// Toggle flips bit i and reports whether it is set afterwards — the
+// single-word membership flip of the incremental domination session.
+func (s *Set) Toggle(i int) bool {
+	s.check(i)
+	s.words[i>>6] ^= 1 << uint(i&63)
+	return s.words[i>>6]&(1<<uint(i&63)) != 0
+}
+
 // Test reports whether bit i is set.
 func (s *Set) Test(i int) bool {
 	s.check(i)

@@ -31,6 +31,32 @@ func TestSetClearTest(t *testing.T) {
 	}
 }
 
+func TestToggle(t *testing.T) {
+	for _, n := range []int{1, 63, 64, 65, 130} {
+		s := New(n)
+		ref := make([]bool, n)
+		for i := 0; i < 4*n; i++ {
+			v := (i * 7) % n
+			ref[v] = !ref[v]
+			if got := s.Toggle(v); got != ref[v] {
+				t.Fatalf("n=%d: Toggle(%d) = %v, want %v", n, v, got, ref[v])
+			}
+			if s.Test(v) != ref[v] {
+				t.Fatalf("n=%d: Test(%d) after toggle = %v, want %v", n, v, s.Test(v), ref[v])
+			}
+		}
+		count := 0
+		for _, b := range ref {
+			if b {
+				count++
+			}
+		}
+		if got := s.Count(); got != count {
+			t.Fatalf("n=%d: count after toggles = %d, want %d", n, got, count)
+		}
+	}
+}
+
 func TestOutOfRangePanics(t *testing.T) {
 	s := New(10)
 	for _, fn := range []func(){

@@ -41,6 +41,8 @@ type Checker struct {
 	levels []*bitset.Set // levels[i]: nodes with >= i+1 dominators; grown on demand
 	alive  *bitset.Set   // scratch: packed alive mask
 	full   *bitset.Set   // constant: all n bits set
+
+	session *Session // the reusable incremental session; lazily built by Begin
 }
 
 // NewChecker returns a dense Checker for g with precomputed packed
@@ -83,6 +85,16 @@ func (c *Checker) Graph() *graph.Graph { return c.g }
 func (c *Checker) checkNode(v int) {
 	if v < 0 || v >= c.n {
 		panic(fmt.Sprintf("domset: node %d out of range", v))
+	}
+}
+
+// checkAlive enforces the alive-mask contract every query shares: nil means
+// all nodes alive, and a non-nil mask carries exactly one flag per node. A
+// short or long slice used to surface as a bare index-out-of-range somewhere
+// inside the fold; now it fails fast with an actionable message.
+func (c *Checker) checkAlive(alive []bool) {
+	if alive != nil && len(alive) != c.n {
+		panic(fmt.Sprintf("domset: %d alive flags for %d nodes", len(alive), c.n))
 	}
 }
 
@@ -198,8 +210,10 @@ func (c *Checker) dominators(v, cap int) int {
 
 // IsKDominating reports whether every alive node has at least k alive
 // dominators from set in its closed neighborhood. Contract identical to the
-// free IsKDominating, with zero allocations in steady state.
+// free IsKDominating, with zero allocations in steady state. alive is nil
+// (all nodes) or exactly one flag per node.
 func (c *Checker) IsKDominating(set []int, k int, alive []bool) bool {
+	c.checkAlive(alive)
 	if k < 1 {
 		// Matches the free function: a demand of zero dominators is always met.
 		for _, v := range set {
@@ -224,8 +238,10 @@ func (c *Checker) IsKDominating(set []int, k int, alive []bool) bool {
 }
 
 // CoveredCount returns how many alive nodes have at least k alive dominators
-// from set in their closed neighborhood.
+// from set in their closed neighborhood. alive is nil (all nodes) or
+// exactly one flag per node.
 func (c *Checker) CoveredCount(set []int, k int, alive []bool) int {
+	c.checkAlive(alive)
 	if k < 1 {
 		for _, v := range set {
 			c.checkNode(v)
@@ -251,8 +267,9 @@ func (c *Checker) CoveredCount(set []int, k int, alive []bool) int {
 
 // DominatorDeficit returns the total number of missing dominator slots:
 // Σ over alive v of max(0, k - |N+[v] ∩ set ∩ alive|). Zero iff set is
-// k-dominating.
+// k-dominating. alive is nil (all nodes) or exactly one flag per node.
 func (c *Checker) DominatorDeficit(set []int, k int, alive []bool) int {
+	c.checkAlive(alive)
 	if k < 1 {
 		for _, v := range set {
 			c.checkNode(v)
@@ -284,7 +301,9 @@ func (c *Checker) DominatorDeficit(set []int, k int, alive []bool) int {
 // AppendUndominated appends the sorted alive nodes with fewer than k
 // dominators to dst and returns the extended slice. Callers reuse one
 // backing array across calls (dst[:0]) for an allocation-free hole scan.
+// alive is nil (all nodes) or exactly one flag per node.
 func (c *Checker) AppendUndominated(dst []int, set []int, k int, alive []bool) []int {
+	c.checkAlive(alive)
 	if k < 1 {
 		for _, v := range set {
 			c.checkNode(v)

@@ -1,0 +1,305 @@
+package domset
+
+import (
+	"fmt"
+
+	"repro/internal/bitset"
+)
+
+// Session is the incremental half of the domination kernel. A Checker
+// answers each query by re-folding every candidate row — O(n·Δ/64) words
+// per call, paid in full even when the caller changed a single node since
+// the last query. A Session pays that fold once, in Begin, and from then on
+// maintains the kernel state — exact per-node dominator counters, the alive
+// mask, and the undominated set — under single-node deltas in O(deg(v))
+// words per Flip/SetAlive, with O(1) coverage queries.
+//
+// This is the shape of every hot single-delta caller: heal's recruit loop
+// (enlist one node, recheck), reconfig's slot-by-slot verification
+// (consecutive phases differ in a few members), and local-search refiners
+// (speculatively drop one dominator, test, undo). For the speculative case
+// the Session keeps an undo log: Mark returns an epoch, Rollback(epoch)
+// rewinds every Flip/SetAlive applied since, restoring counters, masks, and
+// the undominated set exactly.
+//
+// Invariants maintained after every operation, matching the fold path's
+// contract bit for bit:
+//
+//	counts[v] = |N+[v] ∩ members ∩ alive|     (exact, not saturated)
+//	undom     = { v : alive[v] && counts[v] < k }
+//	IsKDominating() == Checker.IsKDominating(members, k, alive)
+//
+// Dead members contribute nothing (a dead dominator dominates no one);
+// dead nodes need no coverage. Duplicate members in Begin's set collapse.
+//
+// A Checker owns one Session: Begin resets and returns it, so steady-state
+// reuse allocates nothing (the property tests pin this). Beginning a new
+// session invalidates the previous one. Fold-path Checker queries may be
+// interleaved with an active session — they use disjoint scratch — but like
+// the Checker itself a Session is not safe for concurrent use.
+type Session struct {
+	c *Checker
+	k int
+
+	counts []int32     // exact dominator count per node
+	member *bitset.Set // declared membership (kept even for dead members)
+	alive  *bitset.Set // alive mask snapshot, maintained by SetAlive
+	undom  *bitset.Set // alive nodes with counts < k
+	undomN int
+	aliveN int
+
+	log []sessOp // undo log; Mark/Rollback index into it
+}
+
+// sessOp is one undoable mutation. Both kinds are self-inverse toggles, so
+// rollback replays them in reverse.
+type sessOp struct {
+	v    int32
+	kind uint8
+}
+
+const (
+	opFlip  uint8 = iota // membership toggle of v
+	opAlive              // alive toggle of v
+)
+
+// Begin starts (or restarts) an incremental session over the candidate set
+// with tolerance k and the given alive mask (nil = all alive). It pays one
+// O(Σ deg) batch fold; every subsequent Flip/SetAlive is O(deg(v)) and every
+// coverage query O(1). k must be >= 1 — the k = 0 "vacuously dominated"
+// convention of the one-shot queries has no meaningful incremental state.
+// alive, when non-nil, must hold exactly one flag per node.
+func (c *Checker) Begin(set []int, k int, alive []bool) *Session {
+	if k < 1 {
+		panic(fmt.Sprintf("domset: session tolerance k = %d must be >= 1", k))
+	}
+	c.checkAlive(alive)
+	s := c.session
+	if s == nil {
+		s = &Session{
+			c:      c,
+			counts: make([]int32, c.n),
+			member: bitset.New(c.n),
+			alive:  bitset.New(c.n),
+			undom:  bitset.New(c.n),
+		}
+		c.session = s
+	}
+	s.k = k
+	s.log = s.log[:0]
+	for i := range s.counts {
+		s.counts[i] = 0
+	}
+	s.member.Reset()
+	s.undom.Reset()
+
+	if alive == nil {
+		s.alive.CopyFrom(c.full)
+		s.aliveN = c.n
+	} else {
+		s.alive.Reset()
+		s.aliveN = 0
+		words := s.alive.Words()
+		for v, a := range alive {
+			if a {
+				words[v>>6] |= 1 << uint(v&63)
+				s.aliveN++
+			}
+		}
+	}
+
+	// Batch fold: one pass of counter bumps per alive member's closed
+	// neighborhood, then one linear sweep to derive the undominated set.
+	for _, v := range set {
+		c.checkNode(v)
+		if s.member.Test(v) {
+			continue // duplicate member collapses
+		}
+		s.member.Set(v)
+		if s.alive.Test(v) {
+			s.counts[v]++
+			for _, u := range c.g.Neighbors(v) {
+				s.counts[u]++
+			}
+		}
+	}
+	s.undomN = 0
+	aw := s.alive.Words()
+	uw := s.undom.Words()
+	kk := int32(k)
+	for v := 0; v < c.n; v++ {
+		if aw[v>>6]&(1<<uint(v&63)) != 0 && s.counts[v] < kk {
+			uw[v>>6] |= 1 << uint(v&63)
+			s.undomN++
+		}
+	}
+	return s
+}
+
+// K returns the session's domination tolerance.
+func (s *Session) K() int { return s.k }
+
+// Contains reports whether v is currently a member of the candidate set.
+func (s *Session) Contains(v int) bool { return s.member.Test(v) }
+
+// IsAlive reports whether v is currently alive in the session's mask.
+func (s *Session) IsAlive(v int) bool { return s.alive.Test(v) }
+
+// Dominators returns v's exact current dominator count
+// |N+[v] ∩ members ∩ alive|.
+func (s *Session) Dominators(v int) int {
+	s.c.checkNode(v)
+	return int(s.counts[v])
+}
+
+// AliveCount returns the number of alive nodes. O(1).
+func (s *Session) AliveCount() int { return s.aliveN }
+
+// IsKDominating reports whether every alive node has at least k alive
+// dominators in the current set. O(1).
+func (s *Session) IsKDominating() bool { return s.undomN == 0 }
+
+// CoveredCount returns how many alive nodes have at least k alive
+// dominators in the current set. O(1).
+func (s *Session) CoveredCount() int { return s.aliveN - s.undomN }
+
+// UndominatedCount returns how many alive nodes are under-covered. O(1).
+func (s *Session) UndominatedCount() int { return s.undomN }
+
+// AppendUndominated appends the sorted alive under-covered nodes to dst and
+// returns the extended slice; with a pre-grown dst it allocates nothing.
+func (s *Session) AppendUndominated(dst []int) []int { return s.undom.AppendBits(dst) }
+
+// AppendMembers appends the sorted current candidate set to dst and returns
+// the extended slice — the way a refiner extracts its pruned set.
+func (s *Session) AppendMembers(dst []int) []int { return s.member.AppendBits(dst) }
+
+// Flip toggles v's membership in the candidate set and updates the kernel
+// state in O(deg(v)) words. The mutation is logged: a later Rollback past
+// this point restores it (Flip is its own inverse, so flipping twice is
+// also an undo).
+func (s *Session) Flip(v int) {
+	s.c.checkNode(v)
+	s.log = append(s.log, sessOp{v: int32(v), kind: opFlip})
+	s.applyFlip(v)
+}
+
+// SetAlive sets v's alive flag. A node dying withdraws its dominator
+// contribution (if a member) and leaves the undominated set (the dead need
+// no coverage); a node reviving does the reverse. No-op when the flag
+// already matches — only real toggles are logged.
+func (s *Session) SetAlive(v int, up bool) {
+	s.c.checkNode(v)
+	if s.alive.Test(v) == up {
+		return
+	}
+	s.log = append(s.log, sessOp{v: int32(v), kind: opAlive})
+	s.applyAlive(v)
+}
+
+// Mark returns the current undo epoch. Pass it to Rollback to rewind every
+// mutation applied since — the speculative-move primitive.
+func (s *Session) Mark() int { return len(s.log) }
+
+// Commit declares the current state the new baseline: it clears the undo
+// log without touching the kernel state, making all outstanding marks
+// stale. Long-running non-speculative callers (a simulator streaming slot
+// deltas, a refiner that kept a move) call this so the log stays bounded
+// instead of growing with every Flip for the lifetime of the session.
+func (s *Session) Commit() { s.log = s.log[:0] }
+
+// Rollback rewinds the session to the state at Mark() == mark, undoing the
+// logged mutations in reverse order. Rolling back to a stale mark (after a
+// later Rollback already passed it) panics.
+func (s *Session) Rollback(mark int) {
+	if mark < 0 || mark > len(s.log) {
+		panic(fmt.Sprintf("domset: rollback to epoch %d outside log [0, %d]", mark, len(s.log)))
+	}
+	for i := len(s.log) - 1; i >= mark; i-- {
+		op := s.log[i]
+		switch op.kind {
+		case opFlip:
+			s.applyFlip(int(op.v))
+		default:
+			s.applyAlive(int(op.v))
+		}
+	}
+	s.log = s.log[:mark]
+}
+
+// applyFlip is the unlogged membership toggle.
+func (s *Session) applyFlip(v int) {
+	nowMember := s.member.Toggle(v)
+	if !s.alive.Test(v) {
+		return // dead members contribute nothing; counters untouched
+	}
+	if nowMember {
+		s.contribute(v, 1)
+	} else {
+		s.contribute(v, -1)
+	}
+}
+
+// applyAlive is the unlogged alive toggle.
+func (s *Session) applyAlive(v int) {
+	if s.alive.Test(v) {
+		// Dying: withdraw the contribution while v still counts as alive
+		// (contribute's threshold updates skip dead nodes), then drop v from
+		// the covered universe.
+		if s.member.Test(v) {
+			s.contribute(v, -1)
+		}
+		s.alive.Clear(v)
+		s.aliveN--
+		if s.undom.Test(v) {
+			s.undom.Clear(v)
+			s.undomN--
+		}
+		return
+	}
+	// Reviving: v rejoins the covered universe with its current count, then
+	// its own membership contribution (if any) is restored.
+	s.alive.Set(v)
+	s.aliveN++
+	if s.counts[v] < int32(s.k) {
+		s.undom.Set(v)
+		s.undomN++
+	}
+	if s.member.Test(v) {
+		s.contribute(v, 1)
+	}
+}
+
+// contribute applies d (±1) to the dominator count of every node in v's
+// closed neighborhood, maintaining the undominated set across the k
+// threshold for alive nodes. O(deg(v)) words. The alive/undom words are
+// hoisted out of the per-neighbor work so the inner bump is branch-light —
+// this loop IS the cost of a Flip, and the bench pins its speedup over the
+// fold path.
+func (s *Session) contribute(v int, d int32) {
+	kk := int32(s.k)
+	aw := s.alive.Words()
+	uw := s.undom.Words()
+	s.bump(v, d, kk, aw, uw)
+	for _, u := range s.c.g.Neighbors(v) {
+		s.bump(int(u), d, kk, aw, uw)
+	}
+}
+
+func (s *Session) bump(u int, d, k int32, aw, uw []uint64) {
+	c := s.counts[u] + d
+	s.counts[u] = c
+	w, bit := u>>6, uint64(1)<<uint(u&63)
+	if aw[w]&bit == 0 {
+		return // dead nodes need no coverage bookkeeping
+	}
+	if d > 0 {
+		if c == k { // crossed up: now covered
+			uw[w] &^= bit
+			s.undomN--
+		}
+	} else if c == k-1 { // crossed down: now under-covered
+		uw[w] |= bit
+		s.undomN++
+	}
+}

@@ -189,7 +189,11 @@ func Run(net *energy.Network, s *core.Schedule, opt Options) Result {
 		}
 
 		serving := serviceable(net, phaseSet, recruits)
-		uncovered := ck.AppendUndominated(uncovBuf[:0], serving, opt.K, net.Alive)
+		// One batch fold per slot; every recruit below is an O(deg) Flip
+		// instead of a full serviceable+re-fold pass per patch attempt.
+		sess := ck.Begin(serving, opt.K, net.Alive)
+		uncovBuf = sess.AppendUndominated(uncovBuf[:0])
+		uncovered := uncovBuf
 
 		// Rung 1: local patching with exponential backoff.
 		if len(uncovered) > 0 {
@@ -210,9 +214,15 @@ func Run(net *energy.Network, s *core.Schedule, opt Options) Result {
 					for _, v := range enlisted {
 						recruits[v] = true
 						opt.Emit(obs.Recruit(t, v))
+						// runPatch only returns serviceable non-serving nodes,
+						// so each one is a single incremental membership delta.
+						if !sess.Contains(v) {
+							sess.Flip(v)
+							serving = append(serving, v)
+						}
 					}
-					serving = serviceable(net, phaseSet, recruits)
-					uncovered = ck.AppendUndominated(uncovBuf[:0], serving, opt.K, net.Alive)
+					uncovBuf = sess.AppendUndominated(uncovBuf[:0])
+					uncovered = uncovBuf
 				}
 			}
 			if len(uncovered) == 0 {
@@ -234,7 +244,10 @@ func Run(net *energy.Network, s *core.Schedule, opt Options) Result {
 					recruits = map[int]bool{}
 					phaseSet, lastPhase = activeAt(cur, pos)
 					serving = serviceable(net, phaseSet, recruits)
-					uncovered = ck.AppendUndominated(uncovBuf[:0], serving, opt.K, net.Alive)
+					// A replan swaps the whole set — pay a fresh fold (rare).
+					sess = ck.Begin(serving, opt.K, net.Alive)
+					uncovBuf = sess.AppendUndominated(uncovBuf[:0])
+					uncovered = uncovBuf
 				}
 			}
 		}
@@ -247,21 +260,45 @@ func Run(net *energy.Network, s *core.Schedule, opt Options) Result {
 
 		served := net.DrainServiceable(serving)
 		res.EnergySpent += len(served) * net.ActiveCost
+		if len(served) != len(serving) {
+			// A serving node could no longer pay for the slot (defensive:
+			// nothing mid-slot drains today). DrainServiceable preserves input
+			// order, so one merge walk flips the unpaid nodes back out.
+			j := 0
+			for _, v := range serving {
+				if j < len(served) && served[j] == v {
+					j++
+				} else {
+					sess.Flip(v)
+				}
+			}
+		}
 
-		alive := net.AliveCount()
-		covered := ck.CoveredCount(served, opt.K, net.Alive)
+		alive := sess.AliveCount()
+		covered := sess.CoveredCount()
 		cov := 1.0 // only the 0-node network
+		dominated := covered == alive
 		if alive > 0 {
 			cov = float64(covered) / float64(alive)
+		} else if g.N() > 0 {
+			// Dead non-empty network: "0 of 0 covered" is a coverage
+			// violation, not perfect coverage — the vacuous-equality bug PR 2
+			// fixed in sensim. Unreachable today thanks to the top-of-loop
+			// dead check, but the scoring must not depend on that.
+			cov = 0
+			dominated = false
 		}
 		res.Coverage = append(res.Coverage, cov)
 		opt.Emit(obs.SlotEnd(t, len(served), alive, cov))
-		if covered == alive {
+		if dominated {
 			if res.FirstViolation == -1 {
 				res.AchievedLifetime = t + 1
 			}
 		} else if res.FirstViolation == -1 {
 			res.FirstViolation = t
+		}
+		if alive == 0 && g.N() > 0 {
+			break // terminal: no recruit or replan revives a dead network
 		}
 		pos++
 	}

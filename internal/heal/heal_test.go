@@ -259,3 +259,28 @@ func TestHealTerminatesUnderTotalLoss(t *testing.T) {
 		t.Fatalf("deaths = %d, want 1", res.Deaths)
 	}
 }
+
+func TestHealDeadNetworkIsTerminalViolation(t *testing.T) {
+	// Regression: a fully dead network used to score cov = 1.0 (0 of 0
+	// alive nodes covered) and keep advancing AchievedLifetime. It must be
+	// a terminal coverage violation, matching sensim's semantics.
+	g := gen.Complete(3)
+	s := &core.Schedule{Phases: []core.Phase{{Set: []int{0}, Duration: 6}}}
+	net := energy.NewNetwork(g, energy.Uniform(g, 6))
+	plan := chaos.Plan{Crashes: energy.FailurePlan{
+		{Time: 2, Node: 0}, {Time: 2, Node: 1}, {Time: 2, Node: 2},
+	}}
+	res := Run(net, s, Options{K: 1, Chaos: plan})
+	if res.AchievedLifetime != 2 {
+		t.Fatalf("AchievedLifetime = %d, want 2 (slots before the wipeout)", res.AchievedLifetime)
+	}
+	if res.FirstViolation != 2 {
+		t.Fatalf("FirstViolation = %d, want 2 (the dead slot)", res.FirstViolation)
+	}
+	if n := len(res.Coverage); n != 3 {
+		t.Fatalf("run continued %d slots past the wipeout, want termination at slot 2 (3 coverage entries)", n-3+2)
+	}
+	if last := res.Coverage[2]; last != 0 {
+		t.Fatalf("dead slot scored coverage %v, want 0", last)
+	}
+}

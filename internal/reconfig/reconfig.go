@@ -351,8 +351,16 @@ func unionSet(set, contributors []int) ([]int, int) {
 // verifyIndex checks the plan slot by slot: every positive-duration phase
 // must k-dominate the alive nodes and cumulative usage must stay within
 // budgets. It returns the index of the first offending phase, or -1.
+//
+// Consecutive phases of an overlap ladder differ only in the contributor
+// tail, so instead of a full fold per phase the check keeps one incremental
+// session and flips the symmetric difference between phases — O(changed
+// nodes · deg) per step after the first fold.
 func verifyIndex(ck *domset.Checker, phases []core.Phase, budgets []int, k int, alive []bool) int {
 	usage := make([]int, len(budgets))
+	inNext := make([]bool, len(budgets))
+	var sess *domset.Session
+	var members []int
 	for i, p := range phases {
 		if p.Duration < 0 {
 			return i
@@ -360,6 +368,7 @@ func verifyIndex(ck *domset.Checker, phases []core.Phase, budgets []int, k int, 
 		if p.Duration == 0 {
 			continue
 		}
+		// Range-check before touching inNext/session with these IDs.
 		for _, v := range p.Set {
 			if v < 0 || v >= len(budgets) {
 				return i
@@ -369,7 +378,27 @@ func verifyIndex(ck *domset.Checker, phases []core.Phase, budgets []int, k int, 
 				return i
 			}
 		}
-		if !ck.IsKDominating(p.Set, k, alive) {
+		if sess == nil {
+			sess = ck.Begin(p.Set, k, alive)
+		} else {
+			for _, v := range p.Set {
+				inNext[v] = true
+			}
+			members = sess.AppendMembers(members[:0])
+			for _, v := range members {
+				if !inNext[v] {
+					sess.Flip(v)
+				}
+			}
+			for _, v := range p.Set {
+				inNext[v] = false
+				if !sess.Contains(v) {
+					sess.Flip(v)
+				}
+			}
+			sess.Commit() // forward-only walk: no rollback, keep the log flat
+		}
+		if !sess.IsKDominating() {
 			return i
 		}
 	}

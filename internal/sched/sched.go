@@ -32,9 +32,8 @@ func Minimalize(g *graph.Graph, s *core.Schedule, k int) *core.Schedule {
 	}
 	out := &core.Schedule{}
 	ck := domset.NewChecker(g)
-	trial := make([]int, 0, g.N())
 	for _, p := range s.Phases {
-		pruned := minimalizeSet(ck, p.Set, k, trial)
+		pruned := minimalizeSet(ck, p.Set, k)
 		out.Phases = append(out.Phases, core.Phase{Set: pruned, Duration: p.Duration})
 	}
 	return out
@@ -42,32 +41,36 @@ func Minimalize(g *graph.Graph, s *core.Schedule, k int) *core.Schedule {
 
 // minimalizeSet removes redundant members of a k-dominating set. Members
 // are considered for removal in increasing degree order, so high-degree
-// nodes (which cover many others) survive. trial is caller-owned scratch
-// reused across phases; the returned slice is freshly allocated.
-func minimalizeSet(ck *domset.Checker, set []int, k int, trial []int) []int {
+// nodes (which cover many others) survive. The returned slice is freshly
+// allocated and sorted.
+//
+// Each removal is a speculative Flip on the checker's incremental session —
+// O(deg(candidate)) to try and O(deg) to undo — instead of the full
+// re-fold per candidate the trial-copy approach paid.
+func minimalizeSet(ck *domset.Checker, set []int, k int) []int {
 	g := ck.Graph()
-	if !ck.IsKDominating(set, k, nil) {
+	sess := ck.Begin(set, k, nil)
+	if !sess.IsKDominating() {
 		// Not dominating to begin with (possible for raw randomized
 		// schedules): leave untouched — Validate/Truncate is the caller's
 		// tool for that.
 		return append([]int(nil), set...)
 	}
-	current := append([]int(nil), set...)
 	order := append([]int(nil), set...)
 	sort.Slice(order, func(i, j int) bool { return g.Degree(order[i]) < g.Degree(order[j]) })
 	for _, candidate := range order {
-		trial = trial[:0]
-		for _, v := range current {
-			if v != candidate {
-				trial = append(trial, v)
-			}
+		if !sess.Contains(candidate) {
+			continue // duplicate member already handled
 		}
-		if ck.IsKDominating(trial, k, nil) {
-			current = current[:copy(current, trial)]
+		m := sess.Mark()
+		sess.Flip(candidate)
+		if !sess.IsKDominating() {
+			sess.Rollback(m)
+		} else {
+			sess.Commit() // removal kept: the log must not accumulate it
 		}
 	}
-	sort.Ints(current)
-	return current
+	return sess.AppendMembers(nil)
 }
 
 // Extend appends phases to s while the residual batteries still admit a

@@ -1,0 +1,38 @@
+package solver
+
+import (
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/sched"
+)
+
+// pruneSolver is the first refinement pass registered behind the solver
+// contract: it generates the greedy baseline schedule and then runs the
+// sched.Squeeze pipeline over it — every phase is pruned to a minimal
+// k-dominating subset by speculatively dropping redundant dominators on the
+// domination kernel's incremental session (Flip, test, Rollback), and the
+// freed budget is re-extended into additional phases. The lifetime is
+// therefore >= greedy's by construction, which the registry test pins.
+//
+// It is deliberately minimal — a proof of the metaheuristic shape ROADMAP
+// item 2 wants (local-search refiners running speculative moves against the
+// session API) rather than a full local search.
+type pruneSolver struct{}
+
+func init() { Register(pruneSolver{}) }
+
+func (pruneSolver) Name() string { return NamePrune }
+
+func (pruneSolver) Validate(g *graph.Graph, budgets []int, spec Spec) error {
+	return validateBudgets(g, budgets, NamePrune, false)
+}
+
+func (pruneSolver) GuaranteedLifetime(*graph.Graph, []int, Spec) int { return 0 }
+
+func (pruneSolver) TruncK(spec Spec) int { return spec.K }
+
+func (pruneSolver) Generate(g *graph.Graph, budgets []int, spec Spec, _ *rng.Source) *core.Schedule {
+	base := sched.Replan(g, budgets, spec.K, nil)
+	return sched.Squeeze(g, base, budgets, spec.K)
+}

@@ -41,6 +41,7 @@ const (
 	NameGreedy    = "greedy"    // deterministic greedy baseline (sched.Replan shape)
 	NameLP        = "lp"        // LP relaxation with floored phase durations
 	NameExact     = "exact"     // branch-and-bound optimum (small graphs only)
+	NamePrune     = "prune"     // greedy + per-phase redundancy pruning + extension
 )
 
 // Spec selects a registered algorithm and its parameters. The zero values

@@ -228,7 +228,7 @@ func TestBestEmitsAttemptEvents(t *testing.T) {
 
 // TestRegistryNames pins the registry contents and Resolve's error shape.
 func TestRegistryNames(t *testing.T) {
-	want := []string{"exact", "ft", "general", "generalft", "greedy", "lp", "uniform"}
+	want := []string{"exact", "ft", "general", "generalft", "greedy", "lp", "prune", "uniform"}
 	got := solver.Names()
 	if !sort.StringsAreSorted(got) {
 		t.Fatalf("Names() not sorted: %v", got)
@@ -275,7 +275,7 @@ func TestValidateRejections(t *testing.T) {
 func TestBaselinesFeasible(t *testing.T) {
 	g := gen.GNP(18, 0.4, rng.New(9))
 	budgets := uniformBudgets(g.N(), 2)
-	for _, name := range []string{solver.NameGreedy, solver.NameLP, solver.NameExact} {
+	for _, name := range []string{solver.NameGreedy, solver.NameLP, solver.NameExact, solver.NamePrune} {
 		t.Run(name, func(t *testing.T) {
 			s, err := solver.Best(g, budgets, solver.Spec{Name: name},
 				solver.Options{Tries: 1, Src: rng.New(1)})
@@ -286,5 +286,30 @@ func TestBaselinesFeasible(t *testing.T) {
 				t.Fatalf("%s schedule infeasible: %v", name, err)
 			}
 		})
+	}
+}
+
+// TestPruneAtLeastGreedy pins the refinement contract: the prune solver is
+// greedy plus redundancy pruning plus re-extension over the freed budget,
+// so its lifetime can never be below the greedy baseline's.
+func TestPruneAtLeastGreedy(t *testing.T) {
+	for seed := uint64(1); seed <= 4; seed++ {
+		g := gen.GNP(40, 0.2, rng.New(seed))
+		budgets := uniformBudgets(g.N(), 5)
+		opt := solver.Options{Tries: 1, Src: rng.New(seed)}
+		greedy, err := solver.Best(g, budgets, solver.Spec{Name: solver.NameGreedy}, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pruned, err := solver.Best(g, budgets, solver.Spec{Name: solver.NamePrune}, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := pruned.Validate(g, budgets, 1); err != nil {
+			t.Fatalf("seed %d: pruned schedule infeasible: %v", seed, err)
+		}
+		if pruned.Lifetime() < greedy.Lifetime() {
+			t.Fatalf("seed %d: prune lifetime %d < greedy %d", seed, pruned.Lifetime(), greedy.Lifetime())
+		}
 	}
 }
