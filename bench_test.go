@@ -23,6 +23,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/rng"
+	"repro/internal/solver"
 )
 
 func benchExperiment(b *testing.B, id string) {
@@ -116,11 +117,14 @@ func BenchmarkFaultTolerantAlgorithm(b *testing.B) {
 
 func BenchmarkScheduleValidate(b *testing.B) {
 	g := benchGraph(1024)
-	src := rng.New(1)
-	s := core.UniformWHP(g, 3, core.Options{K: 3, Src: src}, 10)
 	batteries := make([]int, g.N())
 	for i := range batteries {
 		batteries[i] = 3
+	}
+	s, err := solver.Solve(g, batteries, solver.Spec{Name: solver.NameUniform},
+		solver.Options{Tries: 10, Src: rng.New(1)})
+	if err != nil {
+		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -7,7 +7,9 @@
 // Usage:
 //
 //	ltbench [-run E1,E7] [-seed 42] [-trials 10] [-quick] [-trace e.jsonl]
-//	ltbench -bench [-quick] [-benchout BENCH_PR7.json]
+//	ltbench -run E25 -budget 50000          (refinement lifetime-vs-budget curve)
+//	ltbench -deadline 2m                    (stop between trials at the wall clock)
+//	ltbench -bench [-quick] [-benchout BENCH_PR8.json]
 //	        [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 package main
 
@@ -20,8 +22,10 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"time"
 
 	"repro/internal/bench"
+	"repro/internal/budgetflag"
 	"repro/internal/experiments"
 	"repro/internal/obs"
 )
@@ -39,11 +43,16 @@ func run() int {
 	list := flag.Bool("list", false, "list available experiments and exit")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	doBench := flag.Bool("bench", false, "run the fixed benchmark suite instead of experiments")
-	benchOut := flag.String("benchout", "BENCH_PR7.json", "benchmark report path (with -bench)")
+	benchOut := flag.String("benchout", "BENCH_PR8.json", "benchmark report path (with -bench)")
 	traceOut := flag.String("trace", "", "write experiment trial/reconfig events as JSONL to this file")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	bf := budgetflag.Register(flag.CommandLine)
 	flag.Parse()
+	if err := bf.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "ltbench:", err)
+		return 1
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -85,7 +94,13 @@ func run() int {
 		return 0
 	}
 
-	cfg := experiments.Config{Seed: *seed, Trials: *trials, Quick: *quick}
+	cfg := experiments.Config{Seed: *seed, Trials: *trials, Quick: *quick, Budget: bf.Budget}
+	if bf.Deadline > 0 {
+		// The unified -deadline flag maps onto the experiments cancellation
+		// contract: a sticky wall-clock check polled between trials.
+		deadline := time.Now().Add(bf.Deadline)
+		cfg.Cancel = func() bool { return !time.Now().Before(deadline) }
+	}
 	var traceClose func() error
 	if *traceOut != "" {
 		tf, err := os.Create(*traceOut)

@@ -11,6 +11,8 @@
 //	ltsched -graph g.edges -alg general -bmax 5
 //	ltsched -graph g.edges -alg ft -b 4 -k 2 -race-width 4
 //	ltsched -graph g.edges -alg exact -b 2      (small graphs only)
+//	ltsched -graph g.edges -alg general -refine tabu -budget 50000
+//	ltsched -graph g.edges -alg uniform -refine anneal -deadline 200ms
 package main
 
 import (
@@ -19,7 +21,9 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
+	"repro/internal/budgetflag"
 	"repro/internal/core"
 	"repro/internal/domset"
 	"repro/internal/graph"
@@ -44,10 +48,16 @@ func run() error {
 	seed := flag.Uint64("seed", 1, "random seed")
 	tries := flag.Int("tries", 30, "WHP retry budget")
 	raceWidth := flag.Int("race-width", 1, "independently seeded attempts raced concurrently")
+	refine := flag.String("refine", "", "refinement solver run on -alg's schedule: "+
+		strings.Join(solver.RefinerNames(), "|")+" (\"\" = off)")
+	bf := budgetflag.Register(flag.CommandLine)
 	gantt := flag.Bool("gantt", false, "print an ASCII Gantt chart")
 	csv := flag.Bool("csv", false, "print the schedule as CSV")
 	jsonOut := flag.Bool("json", false, "print the schedule as JSON")
 	flag.Parse()
+	if err := bf.Validate(); err != nil {
+		return err
+	}
 
 	var in io.Reader = os.Stdin
 	if *graphPath != "-" {
@@ -74,8 +84,12 @@ func run() error {
 	}
 
 	spec := solver.Spec{Name: *alg, K: *k, KConst: *kConst}
-	s, err := solver.Race(g, batteries, spec,
-		solver.Options{Tries: *tries, Src: src.Split()}, *raceWidth)
+	if *refine != "" {
+		spec.Name, spec.Base = *refine, *alg
+	}
+	opt := solver.Options{Tries: *tries, Src: src.Split(), RaceWidth: *raceWidth}
+	bf.Apply(&opt, time.Now())
+	s, err := solver.Solve(g, batteries, spec, opt)
 	if err != nil {
 		return err
 	}
@@ -92,7 +106,11 @@ func run() error {
 	}
 
 	fmt.Printf("graph: %v\n", g)
-	fmt.Printf("algorithm: %s (K=%.1f seed=%d)\n", *alg, *kConst, *seed)
+	algLabel := *alg
+	if *refine != "" {
+		algLabel = *alg + "+" + *refine
+	}
+	fmt.Printf("algorithm: %s (K=%.1f seed=%d)\n", algLabel, *kConst, *seed)
 	fmt.Printf("lifetime: %d slots in %d phases\n", s.Lifetime(), len(s.Phases))
 	switch *alg {
 	case solver.NameUniform:

@@ -26,6 +26,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/budgetflag"
 	"repro/internal/chaos"
 	"repro/internal/rng"
 	"repro/internal/serve"
@@ -53,6 +54,7 @@ type flags struct {
 	fault        string
 	faultSeed    uint64
 	readyFile    string
+	budget       *budgetflag.Flags
 }
 
 // validate rejects nonsensical flag combinations with actionable errors.
@@ -90,7 +92,7 @@ func (f flags) validate() error {
 	if _, err := chaos.ParseWorkerFault(f.fault, rng.New(1)); err != nil {
 		return fmt.Errorf("-fault: %w", err)
 	}
-	return nil
+	return f.budget.Validate()
 }
 
 // config builds the serve.Config, including the optional chaos fault.
@@ -104,6 +106,11 @@ func (f flags) config() (serve.Config, error) {
 		MaxNodes:       f.maxNodes,
 		RaceWidth:      f.raceWidth,
 		DefaultOverlap: f.overlap,
+		// The unified budget contract: -budget and -deadline set the
+		// server-side defaults a request gets when it omits budget /
+		// time_budget_ms.
+		DefaultBudget:     f.budget.Budget,
+		DefaultTimeBudget: f.budget.Deadline,
 	}
 	wf, err := chaos.ParseWorkerFault(f.fault, rng.New(f.faultSeed))
 	if err != nil {
@@ -132,6 +139,7 @@ func newFlagSet(f *flags) *flag.FlagSet {
 	fs.StringVar(&f.fault, "fault", "", `chaos worker fault, e.g. "slow=0.1:50ms,fail=0.01" ("" = off)`)
 	fs.Uint64Var(&f.faultSeed, "fault-seed", 1, "seed for the chaos worker fault")
 	fs.StringVar(&f.readyFile, "ready-file", "", "write the bound address to this file once listening")
+	f.budget = budgetflag.Register(fs)
 	return fs
 }
 

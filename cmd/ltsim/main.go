@@ -8,6 +8,7 @@
 //	graphgen -family gnp -n 200 -p 0.08 | ltsim -alg uniform -b 4
 //	ltsim -graph g.edges -alg ft -b 4 -k 2 -failures 10
 //	ltsim -graph g.edges -alg general -bmax 6 -covtrace
+//	ltsim -graph g.edges -alg uniform -b 4 -refine tabu -budget 50000
 //	ltsim -graph g.edges -alg uniform -b 4 -chaos "crash=10,leak=5x2" -heal -loss 0.15
 //	ltsim -graph g.edges -alg uniform -b 4 -trace run.jsonl -metrics -obs-addr 127.0.0.1:8135
 //	ltsim -graph g.edges -alg uniform -b 4 -delta d.json -delta-at 3 -overlap 2 -wakeloss 0.5
@@ -32,8 +33,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
+	"repro/internal/budgetflag"
 	"repro/internal/chaos"
 	"repro/internal/energy"
 	"repro/internal/graph"
@@ -56,6 +59,7 @@ func main() {
 // flags collects the command-line configuration so validation is testable.
 type flags struct {
 	alg      string
+	refine   string
 	b        int
 	bmax     int
 	k        int
@@ -79,6 +83,12 @@ func (f flags) validate() error {
 	case "uniform", "general", "ft":
 	default:
 		return fmt.Errorf("unknown algorithm %q (have uniform, general, ft)", f.alg)
+	}
+	switch f.refine {
+	case "", solver.NameTabu, solver.NameAnneal:
+	default:
+		return fmt.Errorf("unknown refiner %q (have %s)", f.refine,
+			strings.Join(solver.RefinerNames(), ", "))
 	}
 	if f.b < 0 {
 		return fmt.Errorf("-b %d: battery must be >= 0", f.b)
@@ -129,6 +139,9 @@ func run() error {
 	kConst := flag.Float64("K", 3, "color-range constant")
 	seed := flag.Uint64("seed", 1, "random seed")
 	tries := flag.Int("tries", 30, "WHP retry budget")
+	flag.StringVar(&f.refine, "refine", "", "refinement solver run on -alg's schedule: "+
+		strings.Join(solver.RefinerNames(), "|")+" (\"\" = off)")
+	bf := budgetflag.Register(flag.CommandLine)
 	flag.IntVar(&f.failures, "failures", 0, "random node crashes to inject")
 	flag.StringVar(&f.chaos, "chaos", "", `chaos plan spec, e.g. "crash=10,blackout=2x3,leak=5x2,loss=0.1"`)
 	flag.BoolVar(&f.healing, "heal", false, "run the self-healing runtime (patch → replan → degrade)")
@@ -144,6 +157,9 @@ func run() error {
 	flag.Parse()
 
 	if err := f.validate(); err != nil {
+		return err
+	}
+	if err := bf.Validate(); err != nil {
 		return err
 	}
 
@@ -182,7 +198,12 @@ func run() error {
 		budgets = uniformBudgets(g.N(), f.b)
 		spec.K = f.k
 	}
-	s, err := solver.Best(g, budgets, spec, solver.Options{Tries: *tries, Src: src.Split()})
+	if f.refine != "" {
+		spec.Name, spec.Base = f.refine, f.alg
+	}
+	opt := solver.Options{Tries: *tries, Src: src.Split()}
+	bf.Apply(&opt, time.Now())
+	s, err := solver.Solve(g, budgets, spec, opt)
 	if err != nil {
 		return err
 	}
@@ -236,8 +257,12 @@ func run() error {
 	}
 
 	enet := energy.NewNetwork(g, batteries)
+	algLabel := f.alg
+	if f.refine != "" {
+		algLabel = f.alg + "+" + f.refine
+	}
 	fmt.Printf("graph: %v\n", g)
-	fmt.Printf("schedule: %s, nominal lifetime %d\n", f.alg, s.Lifetime())
+	fmt.Printf("schedule: %s, nominal lifetime %d\n", algLabel, s.Lifetime())
 
 	var coverage []float64
 	if f.delta != "" {

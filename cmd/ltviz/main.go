@@ -43,7 +43,7 @@ func run() error {
 	for i := range budgets {
 		budgets[i] = *b
 	}
-	s, err := solver.Best(g, budgets, solver.Spec{Name: solver.NameUniform},
+	s, err := solver.Solve(g, budgets, solver.Spec{Name: solver.NameUniform},
 		solver.Options{Tries: 30, Src: src.Split()})
 	if err != nil {
 		return err

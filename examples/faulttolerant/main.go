@@ -38,7 +38,7 @@ func main() {
 	// nodes exactly one clusterhead — zero redundancy.
 	partition := domatic.GreedyPartition(g, domatic.GreedyExtractor)
 	plain := core.FromPartition(partition, b)
-	tolerant, err := solver.Best(g, energy.Uniform(g, b),
+	tolerant, err := solver.Solve(g, energy.Uniform(g, b),
 		solver.Spec{Name: solver.NameFT, K: k},
 		solver.Options{Tries: 30, Src: src.Split()})
 	if err != nil {

@@ -28,7 +28,7 @@ func main() {
 	// WHP retry driver (30 tries, early stop at the Lemma 4.2 guarantee).
 	const b = 5
 	budgets := energy.Uniform(g, b)
-	schedule, err := solver.Best(g, budgets, solver.Spec{Name: solver.NameUniform},
+	schedule, err := solver.Solve(g, budgets, solver.Spec{Name: solver.NameUniform},
 		solver.Options{Tries: 30, Src: src.Split()})
 	if err != nil {
 		log.Fatal(err)

@@ -82,7 +82,7 @@ func main() {
 	// 3. Algorithm 2 — distributed, constant rounds, O(log(b_max·n))
 	// approximation w.h.p. with the paper's analysis constant K = 3.
 	solve := func(spec solver.Spec) *core.Schedule {
-		s, err := solver.Best(g, batteries, spec,
+		s, err := solver.Solve(g, batteries, spec,
 			solver.Options{Tries: 30, Src: src.Split()})
 		if err != nil {
 			panic(err)

@@ -54,14 +54,39 @@ type Case struct {
 
 // Report is the top-level BENCH_*.json document.
 type Report struct {
-	Schema      string `json:"schema"`
-	PR          string `json:"pr"`
-	GoVersion   string `json:"go_version"`
-	GOOS        string `json:"goos"`
-	GOARCH      string `json:"goarch"`
-	Quick       bool   `json:"quick"`
-	GeneratedAt string `json:"generated_at"`
-	Cases       []Case `json:"cases"`
+	Schema      string  `json:"schema"`
+	PR          string  `json:"pr"`
+	GoVersion   string  `json:"go_version"`
+	GOOS        string  `json:"goos"`
+	GOARCH      string  `json:"goarch"`
+	Quick       bool    `json:"quick"`
+	GeneratedAt string  `json:"generated_at"`
+	Cases       []Case  `json:"cases"`
+	Curves      []Curve `json:"curves,omitempty"`
+}
+
+// CurvePoint is one point of a lifetime-vs-budget refinement curve: the mean
+// schedule lifetime over the trials when the refiner runs under that move
+// budget.
+type CurvePoint struct {
+	Budget   int     `json:"budget"`
+	Lifetime float64 `json:"lifetime"`
+}
+
+// Curve is the anytime-quality trajectory of one refiner on one graph
+// family: lifetime as a function of move budget, alongside the schedules it
+// must beat — the unrefined base it starts from, the prune post-pass, and
+// the paper's WHP algorithm. Monotone Points that clear BaseLifetime are the
+// refinement acceptance datum of PR 8, the quality-side counterpart of the
+// timing Cases.
+type Curve struct {
+	Family        string       `json:"family"`
+	Refiner       string       `json:"refiner"`
+	Base          string       `json:"base"`
+	BaseLifetime  float64      `json:"base_lifetime"`
+	PruneLifetime float64      `json:"prune_lifetime"`
+	WHPLifetime   float64      `json:"whp_lifetime"`
+	Points        []CurvePoint `json:"points"`
 }
 
 // baselineCoveredCount is the frozen pre-PR-2 sensim.coveredCount: it
@@ -193,7 +218,7 @@ func toCase(name string, r testing.BenchmarkResult, baseline float64) Case {
 func Run(quick bool) Report {
 	rep := Report{
 		Schema:      Schema,
-		PR:          "PR7",
+		PR:          "PR8",
 		GoVersion:   runtime.Version(),
 		GOOS:        runtime.GOOS,
 		GOARCH:      runtime.GOARCH,
@@ -268,6 +293,9 @@ func Run(quick bool) Report {
 	}
 
 	rep.Cases = append(rep.Cases, runSolverCases(quick)...)
+	refineCases, curves := runRefineCases(quick)
+	rep.Cases = append(rep.Cases, refineCases...)
+	rep.Curves = curves
 	rep.Cases = append(rep.Cases, runSensimCases(quick)...)
 	rep.Cases = append(rep.Cases, runServeCases(quick)...)
 	rep.Cases = append(rep.Cases, runReconfigCases(quick)...)
@@ -275,13 +303,119 @@ func Run(quick bool) Report {
 	return rep
 }
 
+// runRefineCases benchmarks the PR 8 anytime refiners in both dimensions.
+// The timing Cases measure one full refined solve (base draw + the whole
+// move budget) against the plain greedy baseline it starts from — like
+// solver/prune, Speedup is an overhead ratio and values far below 1 are the
+// expected price of the extra work. The Curves record the quality side:
+// mean lifetime at three move budgets per refiner per family, with the
+// greedy/prune/WHP reference lifetimes on the same instances. Instances use
+// heterogeneous batteries in [1, 2b]: with uniform batteries greedy already
+// sits on the min-degree bottleneck bound and local search has nothing to
+// rebalance.
+func runRefineCases(quick bool) ([]Case, []Curve) {
+	n := 128
+	budgets := []int{2000, 10000, 50000}
+	trials := 5
+	if quick {
+		n, budgets, trials = 64, []int{500, 2000, 8000}, 3
+	}
+	const b = 10
+
+	families := []struct {
+		name  string
+		build func(src *rng.Source) *graph.Graph
+	}{
+		{"gnp", func(src *rng.Source) *graph.Graph {
+			return gen.GNP(n, 6*math.Log(float64(n))/float64(n), src)
+		}},
+		{"udg", func(src *rng.Source) *graph.Graph {
+			g, _ := gen.RandomUDG(n, 1, 2.0*math.Sqrt(math.Log(float64(n))/float64(n)), src)
+			return g
+		}},
+	}
+
+	instance := func(fam int, trial int) (*graph.Graph, []int, *rng.Source) {
+		src := rng.New(uint64(8000 + 100*fam + trial))
+		g := families[fam].build(src.Split())
+		bsrc := src.Split()
+		bt := make([]int, g.N())
+		for v := range bt {
+			bt[v] = 1 + bsrc.Intn(2*b)
+		}
+		return g, bt, src
+	}
+	meanLifetime := func(fam int, spec solver.Spec, budget int) float64 {
+		total := 0.0
+		for trial := 0; trial < trials; trial++ {
+			g, bt, src := instance(fam, trial)
+			s, err := solver.Solve(g, bt, spec,
+				solver.Options{Tries: 10, Budget: budget, Src: src})
+			if err != nil {
+				panic(fmt.Sprintf("bench: refine %s: %v", spec.Name, err))
+			}
+			total += float64(s.Lifetime())
+		}
+		return total / float64(trials)
+	}
+
+	var curves []Curve
+	for fam := range families {
+		base := meanLifetime(fam, solver.Spec{Name: solver.NameGreedy}, 0)
+		prune := meanLifetime(fam, solver.Spec{Name: solver.NamePrune}, 0)
+		whp := meanLifetime(fam, solver.Spec{Name: solver.NameGeneral}, 0)
+		for _, refiner := range []string{solver.NameTabu, solver.NameAnneal} {
+			c := Curve{
+				Family: families[fam].name, Refiner: refiner, Base: solver.NameGreedy,
+				BaseLifetime: base, PruneLifetime: prune, WHPLifetime: whp,
+			}
+			for _, budget := range budgets {
+				spec := solver.Spec{Name: refiner, Base: solver.NameGreedy}
+				c.Points = append(c.Points, CurvePoint{
+					Budget: budget, Lifetime: meanLifetime(fam, spec, budget),
+				})
+			}
+			curves = append(curves, c)
+		}
+	}
+
+	// Timing: one refined solve per op at the largest budget on the first
+	// family's first instance, against the greedy base draw alone.
+	g, bt, _ := instance(0, 0)
+	maxBudget := budgets[len(budgets)-1]
+	greedyRun := run(func(tb *testing.B) {
+		for i := 0; i < tb.N; i++ {
+			if _, err := solver.Solve(g, bt, solver.Spec{Name: solver.NameGreedy},
+				solver.Options{Tries: 1, Src: rng.New(uint64(i) + 1)}); err != nil {
+				tb.Fatalf("solver.Solve(greedy): %v", err)
+			}
+		}
+	})
+	cases := make([]Case, 0, 2)
+	for _, refiner := range []string{solver.NameTabu, solver.NameAnneal} {
+		r := run(func(tb *testing.B) {
+			for i := 0; i < tb.N; i++ {
+				if _, err := solver.Solve(g, bt,
+					solver.Spec{Name: refiner, Base: solver.NameGreedy},
+					solver.Options{Tries: 1, Budget: maxBudget, Src: rng.New(uint64(i) + 1)}); err != nil {
+					tb.Fatalf("solver.Solve(%s): %v", refiner, err)
+				}
+			}
+		})
+		cases = append(cases, toCase(
+			fmt.Sprintf("solver/refine=%s/budget=%d/n=%d", refiner, maxBudget, n),
+			r, float64(greedyRun.NsPerOp())))
+	}
+	return cases, curves
+}
+
 // runSolverCases benchmarks the PR 5 solver driver in its two execution
 // modes on a workload where the retry loop genuinely retries: Algorithm 1
 // with the aggressive color-range constant K=0.5 on a dense graph targets
 // far more phases than a coloring usually validates, so the w.h.p. target is
 // unattainable and every try runs (with the paper's K=3 the first attempt
-// hits the guarantee and there is nothing to race). Sequential solver.Best
-// with 32 tries versus solver.Race with 4 attempt streams of 8 tries each:
+// hits the guarantee and there is nothing to race). A sequential Solve
+// with 32 tries versus a width-4 race of 8 tries per attempt stream:
 // total attempt work is equal by construction, so the raced case carries
 // the sequential time as its baseline and its Speedup field is the
 // wall-clock win from racing — bounded by min(4, cores), so on a
@@ -300,17 +434,17 @@ func runSolverCases(quick bool) []Case {
 	spec := solver.Spec{Name: solver.NameUniform, KConst: 0.5}
 	seq := run(func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := solver.Best(g, budgets, spec,
+			if _, err := solver.Solve(g, budgets, spec,
 				solver.Options{Tries: 32, Src: rng.New(uint64(i) + 1)}); err != nil {
-				b.Fatalf("solver.Best: %v", err)
+				b.Fatalf("solver.Solve: %v", err)
 			}
 		}
 	})
 	raced := run(func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := solver.Race(g, budgets, spec,
-				solver.Options{Tries: 8, Src: rng.New(uint64(i) + 1)}, 4); err != nil {
-				b.Fatalf("solver.Race: %v", err)
+			if _, err := solver.Solve(g, budgets, spec,
+				solver.Options{Tries: 8, Src: rng.New(uint64(i) + 1), RaceWidth: 4}); err != nil {
+				b.Fatalf("solver.Solve(race): %v", err)
 			}
 		}
 	})
@@ -327,24 +461,24 @@ func runSolverCases(quick bool) []Case {
 	}
 	greedyRun := run(func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := solver.Best(g, pruneBudgets, solver.Spec{Name: solver.NameGreedy},
+			if _, err := solver.Solve(g, pruneBudgets, solver.Spec{Name: solver.NameGreedy},
 				solver.Options{Tries: 1, Src: rng.New(uint64(i) + 1)}); err != nil {
-				b.Fatalf("solver.Best(greedy): %v", err)
+				b.Fatalf("solver.Solve(greedy): %v", err)
 			}
 		}
 	})
 	pruneRun := run(func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := solver.Best(g, pruneBudgets, solver.Spec{Name: solver.NamePrune},
+			if _, err := solver.Solve(g, pruneBudgets, solver.Spec{Name: solver.NamePrune},
 				solver.Options{Tries: 1, Src: rng.New(uint64(i) + 1)}); err != nil {
-				b.Fatalf("solver.Best(prune): %v", err)
+				b.Fatalf("solver.Solve(prune): %v", err)
 			}
 		}
 	})
 
 	return []Case{
-		toCase(fmt.Sprintf("solver/Best/tries=32/n=%d", n), seq, 0),
-		toCase(fmt.Sprintf("solver/Race/width=4/tries=8/n=%d", n), raced, seqNs),
+		toCase(fmt.Sprintf("solver/Solve/tries=32/n=%d", n), seq, 0),
+		toCase(fmt.Sprintf("solver/Solve/race=4/tries=8/n=%d", n), raced, seqNs),
 		toCase(fmt.Sprintf("solver/prune/n=%d", n), pruneRun, float64(greedyRun.NsPerOp())),
 	}
 }
@@ -605,7 +739,7 @@ func runSensimCases(quick bool) []Case {
 	for i := range b {
 		b[i] = 4 + src.Intn(4)
 	}
-	s, err := solver.Best(g, b, solver.Spec{Name: solver.NameGeneral},
+	s, err := solver.Solve(g, b, solver.Spec{Name: solver.NameGeneral},
 		solver.Options{Tries: 5, Src: rng.New(7)})
 	if err != nil {
 		panic(fmt.Sprintf("bench: general fixture: %v", err))

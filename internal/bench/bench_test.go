@@ -50,11 +50,30 @@ func TestRunQuickProducesReport(t *testing.T) {
 		t.Skip("bench suite is slow")
 	}
 	rep := Run(true)
-	if rep.Schema != Schema || rep.PR != "PR7" || !rep.Quick {
-		t.Fatalf("bad report header: %+v", rep)
+	if rep.Schema != Schema || rep.PR != "PR8" || !rep.Quick {
+		t.Fatalf("bad report header: schema=%s pr=%s quick=%v", rep.Schema, rep.PR, rep.Quick)
 	}
 	if len(rep.Cases) == 0 {
 		t.Fatal("no cases")
+	}
+	// The refinement curves are PR 8's quality datum: one per refiner per
+	// family, monotone in budget (the driver keeps the best snapshot), and
+	// never below the base schedule they start from.
+	if len(rep.Curves) != 4 {
+		t.Fatalf("got %d curves, want 4 (tabu/anneal × gnp/udg)", len(rep.Curves))
+	}
+	for _, c := range rep.Curves {
+		if len(c.Points) == 0 {
+			t.Fatalf("curve %s/%s has no points", c.Family, c.Refiner)
+		}
+		prev := c.BaseLifetime
+		for _, p := range c.Points {
+			if p.Lifetime < prev {
+				t.Fatalf("curve %s/%s not monotone: %v after %v at budget %d",
+					c.Family, c.Refiner, p.Lifetime, prev, p.Budget)
+			}
+			prev = p.Lifetime
+		}
 	}
 	var obsOff, obsMetrics *Case
 	var patchMiss, patchHit *Case

@@ -5,7 +5,6 @@ import (
 	"math"
 
 	"repro/internal/domatic"
-	"repro/internal/domset"
 	"repro/internal/graph"
 	"repro/internal/rng"
 )
@@ -40,8 +39,8 @@ func (o Options) normalize() Options {
 // interval [i·b, (i+1)·b). The returned raw schedule has one phase per color
 // class; with probability 1-O(1/n) its first GuaranteedPhases(g, opt) phases
 // are dominating sets (Lemma 4.2) and the schedule is then an O(log n)
-// approximation (Theorem 4.3). Callers should TruncateInvalid or use
-// UniformWHP.
+// approximation (Theorem 4.3). Callers should TruncateInvalid, or resolve
+// "uniform" in the internal/solver registry for the full retry loop.
 func Uniform(g *graph.Graph, b int, opt Options) *Schedule {
 	if b < 0 {
 		panic(fmt.Sprintf("core: negative battery %d", b))
@@ -59,45 +58,6 @@ func Uniform(g *graph.Graph, b int, opt Options) *Schedule {
 func GuaranteedPhases(g *graph.Graph, opt Options) int {
 	opt = opt.normalize()
 	return domatic.GuaranteedClasses(g, opt.K)
-}
-
-// whpBest is the retry/truncate/keep-best/early-stop loop shared by the
-// deprecated *WHP shims below: up to maxTries draws from generate, each
-// truncated at its first non-truncK-dominating phase, keeping the best
-// truncated schedule and stopping early once it reaches target. The
-// internal/solver driver (solver.Best) runs this exact loop for every
-// registered algorithm, with cancellation and observability hooks on top;
-// this helper only keeps the shims byte-compatible with their legacy
-// behavior. maxTries <= 0 means 1.
-func whpBest(target, truncK, maxTries int, ck *domset.Checker, generate func() *Schedule) *Schedule {
-	if maxTries <= 0 {
-		maxTries = 1
-	}
-	var best *Schedule
-	for try := 0; try < maxTries; try++ {
-		s := generate().TruncateInvalidWith(ck, truncK)
-		if best == nil || s.Lifetime() > best.Lifetime() {
-			best = s
-		}
-		if best.Lifetime() >= target {
-			break
-		}
-	}
-	return best
-}
-
-// UniformWHP runs Uniform up to maxTries times, truncating each raw schedule
-// at its first non-dominating phase, and returns the best truncated schedule
-// seen. It stops early once a schedule achieves the Lemma 4.2 guarantee of
-// GuaranteedPhases(g, opt) valid classes. maxTries <= 0 means 1.
-//
-// Deprecated: resolve "uniform" in the internal/solver registry and run
-// solver.Best (or solver.Race), which executes the same loop with the
-// cancellation contract and obs hooks threaded through.
-func UniformWHP(g *graph.Graph, b int, opt Options, maxTries int) *Schedule {
-	opt = opt.normalize()
-	return whpBest(GuaranteedPhases(g, opt)*b, 1, maxTries, domset.NewChecker(g),
-		func() *Schedule { return Uniform(g, b, opt) })
 }
 
 // General runs Algorithm 2 of the paper on graph g with per-node batteries
@@ -231,18 +191,6 @@ func GeneralGuaranteedSlots(g *graph.Graph, b []int, opt Options) int {
 	return GeneralColorRange(tauMin, bMax, n, opt.K)
 }
 
-// GeneralWHP runs General up to maxTries times, truncating each raw schedule
-// at its first non-dominating slot, and returns the best truncated schedule,
-// stopping early at the Lemma 5.2 guarantee.
-//
-// Deprecated: resolve "general" in the internal/solver registry and run
-// solver.Best (or solver.Race).
-func GeneralWHP(g *graph.Graph, b []int, opt Options, maxTries int) *Schedule {
-	opt = opt.normalize()
-	return whpBest(GeneralGuaranteedSlots(g, b, opt), 1, maxTries, domset.NewChecker(g),
-		func() *Schedule { return General(g, b, opt) })
-}
-
 // FaultTolerant runs Algorithm 3 of the paper on graph g with uniform
 // battery b and tolerance k: every node is active for the first ⌊b/2⌋ slots
 // (during which the full node set trivially k-dominates, given δ ≥ k-1);
@@ -336,18 +284,6 @@ func GeneralFaultTolerant(g *graph.Graph, b []int, k int, opt Options) *Schedule
 	return s
 }
 
-// GeneralFaultTolerantWHP retries GeneralFaultTolerant, truncating at the
-// first non-k-dominating phase, and returns the best schedule seen, stopping
-// early at the Lemma 5.2-derived guarantee of GeneralGuaranteedSlots/k.
-//
-// Deprecated: resolve "generalft" in the internal/solver registry and run
-// solver.Best (or solver.Race).
-func GeneralFaultTolerantWHP(g *graph.Graph, b []int, k int, opt Options, maxTries int) *Schedule {
-	opt = opt.normalize()
-	return whpBest(GeneralGuaranteedSlots(g, b, opt)/k, k, maxTries, domset.NewChecker(g),
-		func() *Schedule { return GeneralFaultTolerant(g, b, k, opt) })
-}
-
 // GeneralKTolerantUpperBound combines Lemmas 5.1 and 6.1: a k-tolerant
 // schedule drains at least k budget units per slot from the binding node's
 // closed neighborhood, so L_OPT ≤ min_u Σ_{N+[u]} b_w / k.
@@ -369,16 +305,4 @@ func FaultTolerantGuarantee(g *graph.Graph, b, k int, opt Options) int {
 		target += groups * (b - b/2)
 	}
 	return target
-}
-
-// FaultTolerantWHP retries FaultTolerant and returns the best schedule whose
-// phases are all k-dominating (truncating at the first failure), stopping
-// early once the Lemma 4.2 guarantee of ⌊δ/(K ln n)⌋/k merged groups is met.
-//
-// Deprecated: resolve "ft" in the internal/solver registry and run
-// solver.Best (or solver.Race).
-func FaultTolerantWHP(g *graph.Graph, b, k int, opt Options, maxTries int) *Schedule {
-	opt = opt.normalize()
-	return whpBest(FaultTolerantGuarantee(g, b, k, opt), k, maxTries, domset.NewChecker(g),
-		func() *Schedule { return FaultTolerant(g, b, k, opt) })
 }

@@ -56,7 +56,7 @@ func TestUniformWHPReachesGuarantee(t *testing.T) {
 	g := gen.GNP(200, 0.4, rng.New(3))
 	const b = 3
 	o := opts(11)
-	s := UniformWHP(g, b, o, 50)
+	s := uniformWHPForTest(g, b, o, 50)
 	if err := s.Validate(g, uniformBatteries(g.N(), b), 1); err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +93,7 @@ func TestUniformApproximationRatioIsLogarithmic(t *testing.T) {
 	g := gen.GNP(300, 0.35, rng.New(4))
 	const b = 2
 	o := opts(13)
-	s := UniformWHP(g, b, o, 50)
+	s := uniformWHPForTest(g, b, o, 50)
 	ub := UniformUpperBound(g, b)
 	ratio := float64(ub) / float64(s.Lifetime())
 	logn := math.Log(float64(g.N()))
@@ -132,7 +132,7 @@ func TestGeneralWHPReachesGuarantee(t *testing.T) {
 		b[i] = 2 + src.Intn(4)
 	}
 	o := opts(19)
-	s := GeneralWHP(g, b, o, 50)
+	s := generalWHPForTest(g, b, o, 50)
 	if err := s.Validate(g, b, 1); err != nil {
 		t.Fatal(err)
 	}
@@ -181,7 +181,7 @@ func TestFaultTolerantSchedulesAreKDominating(t *testing.T) {
 	const b = 4
 	for k := 1; k <= 3; k++ {
 		o := opts(uint64(29 + k))
-		s := FaultTolerantWHP(g, b, k, o, 50)
+		s := faultTolerantWHPForTest(g, b, k, o, 50)
 		if err := s.Validate(g, uniformBatteries(g.N(), b), k); err != nil {
 			t.Fatalf("k=%d: %v", k, err)
 		}
@@ -274,7 +274,7 @@ func TestAlgorithmsNeverBeatExactOptimum(t *testing.T) {
 			b[i] = 1 + src.Intn(3)
 		}
 		opt, _, _ := exact.Integral(g, b, 1)
-		s := GeneralWHP(g, b, opts(uint64(50+trial)), 20)
+		s := generalWHPForTest(g, b, opts(uint64(50+trial)), 20)
 		if s.Lifetime() > opt {
 			t.Fatalf("trial %d: algorithm %d beats exact optimum %d", trial, s.Lifetime(), opt)
 		}

@@ -21,7 +21,7 @@ func TestGeneralFaultTolerantSchedulesAreKDominating(t *testing.T) {
 	b := randomBatteries(g.N(), 6, src)
 	for k := 1; k <= 3; k++ {
 		o := Options{K: 3, Src: rng.New(uint64(10 + k))}
-		s := GeneralFaultTolerantWHP(g, b, k, o, 30)
+		s := generalFaultTolerantWHPForTest(g, b, k, o, 30)
 		if err := s.Validate(g, b, k); err != nil {
 			t.Fatalf("k=%d: %v", k, err)
 		}

@@ -10,7 +10,7 @@ import (
 
 func TestScheduleJSONRoundTrip(t *testing.T) {
 	g := gen.GNP(40, 0.3, rng.New(1))
-	s := UniformWHP(g, 3, Options{K: 3, Src: rng.New(2)}, 10)
+	s := uniformWHPForTest(g, 3, Options{K: 3, Src: rng.New(2)}, 10)
 	var sb strings.Builder
 	if err := s.WriteJSON(&sb); err != nil {
 		t.Fatal(err)

@@ -8,6 +8,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/rng"
+	"repro/internal/solver"
 )
 
 func uniformB(n, b int) []int {
@@ -197,8 +198,12 @@ func TestDistributedUniformMatchesCentralizedGuarantee(t *testing.T) {
 	// randomness, so we compare guarantees rather than bits).
 	g := gen.GNP(250, 0.4, rng.New(9))
 	const b = 2
-	o := core.Options{K: 3, Src: rng.New(21)}
-	central := core.UniformWHP(g, b, o, 50)
+	o := core.Options{K: 3}
+	central, err := solver.Solve(g, uniformB(g.N(), b), solver.Spec{Name: solver.NameUniform},
+		solver.Options{Tries: 50, Src: rng.New(21)})
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	sources := rng.New(22).SplitN(g.N())
 	nodes := NewUniformNodes(g, 3, sources)

@@ -34,7 +34,7 @@ var ErrCanceled = solver.ErrCanceled
 // instances, so a driver error is a bug and panics rather than threading
 // error plumbing through every trial closure.
 func solve(name string, g *graph.Graph, budgets []int, k, tries int, src *rng.Source) *core.Schedule {
-	s, err := solver.Best(g, budgets, solver.Spec{Name: name, K: k},
+	s, err := solver.Solve(g, budgets, solver.Spec{Name: name, K: k},
 		solver.Options{Tries: tries, Src: src})
 	if err != nil {
 		panic(fmt.Sprintf("experiments: solver %q: %v", name, err))
@@ -61,6 +61,9 @@ type Config struct {
 	Trials int
 	// Quick shrinks the parameter sweeps to test/bench-friendly sizes.
 	Quick bool
+	// Budget overrides the refinement move budget of the experiments that
+	// run the tabu/anneal refiners (E25). 0 keeps each experiment's sweep.
+	Budget int
 	// Trace, when non-nil, receives trial_start/trial_end events around
 	// every trial, labeled with the experiment ID. Emissions are serialized
 	// (trials run in parallel), so single-writer sinks like obs.JSONL are

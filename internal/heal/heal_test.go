@@ -14,7 +14,20 @@ import (
 	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/sensim"
+	"repro/internal/solver"
 )
+
+// mustSolve runs the registry WHP driver — the path that replaced the
+// deleted core.*WHP shims, seed-pinned equivalent to them draw for draw.
+func mustSolve(t testing.TB, g *graph.Graph, budgets []int, name string, tries int, src *rng.Source) *core.Schedule {
+	t.Helper()
+	s, err := solver.Solve(g, budgets, solver.Spec{Name: name},
+		solver.Options{Tries: tries, Src: src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
 
 // blackoutRadio drops every delivery — the deterministic worst radio, used
 // to force the patch rung to fail so escalation must fire.
@@ -154,7 +167,7 @@ func TestRunWithoutChaosMatchesScheduleAndHarvests(t *testing.T) {
 	// nominal lifetime (end-of-schedule replanning may extend it).
 	g := gen.GNP(60, 0.2, rng.New(4))
 	const b = 3
-	s := core.UniformWHP(g, b, core.Options{K: 3, Src: rng.New(5)}, 30)
+	s := mustSolve(t, g, energy.Uniform(g, b), "uniform", 30, rng.New(5))
 	if s.Lifetime() == 0 {
 		t.Skip("degenerate schedule")
 	}
@@ -214,7 +227,7 @@ func TestHealDeterministic(t *testing.T) {
 	g := gen.GNP(80, 0.15, rng.New(11))
 	const b = 3
 	run := func() Result {
-		s := core.UniformWHP(g, b, core.Options{K: 3, Src: rng.New(5)}, 20)
+		s := mustSolve(t, g, energy.Uniform(g, b), "uniform", 20, rng.New(5))
 		net := energy.NewNetwork(g, energy.Uniform(g, b))
 		plan := chaos.Merge(
 			chaos.Crashes(g, 8, 10, rng.New(17)),

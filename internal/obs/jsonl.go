@@ -95,6 +95,10 @@ func AppendJSON(dst []byte, ev Event) []byte {
 		dst = appendInt(dst, "try", ev.T)
 		dst = appendInt(dst, "lifetime", ev.A)
 		dst = appendInt(dst, "best", ev.B)
+	case EvRefine:
+		dst = appendInt(dst, "pass", ev.T)
+		dst = appendInt(dst, "lifetime", ev.A)
+		dst = appendInt(dst, "best", ev.B)
 	case EvReconfig:
 		dst = appendInt(dst, "t", ev.T)
 		dst = appendInt(dst, "overlap", ev.A)

@@ -78,6 +78,11 @@ const (
 	// name, T = attempt index (0-based), A = the attempt's truncated
 	// lifetime, B = the best lifetime so far.
 	EvAttempt
+	// EvRefine reports one improvement pass of an anytime refinement
+	// solver: Name = refiner name, T = pass index (0-based), A = the
+	// working schedule's lifetime after the pass, B = the best lifetime
+	// seen so far.
+	EvRefine
 	// EvReconfig reports a reconfiguration transition planned at slot T:
 	// Name = outcome mode ("clean", "degraded", or "violation"),
 	// A = achieved overlap slots, B = overlap energy charged.
@@ -104,6 +109,7 @@ var eventNames = [...]string{
 	EvTrialStart: "trial_start",
 	EvTrialEnd:   "trial_end",
 	EvAttempt:    "attempt",
+	EvRefine:     "refine",
 	EvReconfig:   "reconfig",
 	EvWakeMiss:   "wake_miss",
 }
@@ -196,6 +202,11 @@ func TrialEnd(name string, i int) Event {
 // Attempt reports one retry of the solver WHP driver.
 func Attempt(name string, try, lifetime, best int) Event {
 	return Event{Type: EvAttempt, Name: name, T: try, Node: -1, A: lifetime, B: best}
+}
+
+// Refine reports one improvement pass of an anytime refinement solver.
+func Refine(name string, pass, lifetime, best int) Event {
+	return Event{Type: EvRefine, Name: name, T: pass, Node: -1, A: lifetime, B: best}
 }
 
 // Reconfig reports a planned reconfiguration transition. mode is "clean"

@@ -106,7 +106,7 @@ func Build(spec Spec) (*Plan, error) {
 		p.Algorithm = "Algorithm 2 (general)"
 		p.UpperBound = core.GeneralUpperBound(g, batteries)
 	}
-	s, err := solver.Best(g, batteries, sspec,
+	s, err := solver.Solve(g, batteries, sspec,
 		solver.Options{Tries: spec.Retries, Src: src})
 	if err != nil {
 		return nil, fmt.Errorf("plan: %w", err)

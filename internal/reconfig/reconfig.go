@@ -283,7 +283,7 @@ func solveIncoming(g *graph.Graph, charged []int, k int, alive []bool,
 			Hooks:  req.Hooks,
 			Src:    rng.New(req.Seed),
 		}
-		s, err := solver.Best(g, charged, spec, opt)
+		s, err := solver.Solve(g, charged, spec, opt)
 		if err == solver.ErrCanceled {
 			return nil, false, err
 		}

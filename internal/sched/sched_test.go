@@ -4,6 +4,8 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/domset"
+	"repro/internal/graph"
 	"repro/internal/gen"
 	"repro/internal/rng"
 )
@@ -16,10 +18,38 @@ func uniformB(n, b int) []int {
 	return out
 }
 
+// The WHP retry loop lives in the internal/solver driver, which sched (a
+// solver dependency) cannot import from its tests; these fixtures replay it
+// locally over the core primitives.
+func whpFixture(g *graph.Graph, target, truncK, tries int, generate func() *core.Schedule) *core.Schedule {
+	ck := domset.NewChecker(g)
+	var best *core.Schedule
+	for try := 0; try < tries; try++ {
+		s := generate().TruncateInvalidWith(ck, truncK)
+		if best == nil || s.Lifetime() > best.Lifetime() {
+			best = s
+		}
+		if best.Lifetime() >= target {
+			break
+		}
+	}
+	return best
+}
+
+func uniformWHPFixture(g *graph.Graph, b int, opt core.Options, tries int) *core.Schedule {
+	return whpFixture(g, core.GuaranteedPhases(g, opt)*b, 1, tries,
+		func() *core.Schedule { return core.Uniform(g, b, opt) })
+}
+
+func faultTolerantWHPFixture(g *graph.Graph, b, k int, opt core.Options, tries int) *core.Schedule {
+	return whpFixture(g, core.FaultTolerantGuarantee(g, b, k, opt), k, tries,
+		func() *core.Schedule { return core.FaultTolerant(g, b, k, opt) })
+}
+
 func TestMinimalizePreservesLifetimeAndValidity(t *testing.T) {
 	g := gen.GNP(100, 0.25, rng.New(1))
 	const b = 3
-	s := core.UniformWHP(g, b, core.Options{K: 3, Src: rng.New(2)}, 20)
+	s := uniformWHPFixture(g, b, core.Options{K: 3, Src: rng.New(2)}, 20)
 	m := Minimalize(g, s, 1)
 	if m.Lifetime() != s.Lifetime() {
 		t.Fatalf("minimalize changed lifetime: %d vs %d", m.Lifetime(), s.Lifetime())
@@ -80,7 +110,7 @@ func TestExtendFromEmptySchedule(t *testing.T) {
 func TestExtendNeverShortens(t *testing.T) {
 	g := gen.GNP(60, 0.3, rng.New(3))
 	const b = 3
-	s := core.UniformWHP(g, b, core.Options{K: 3, Src: rng.New(4)}, 20)
+	s := uniformWHPFixture(g, b, core.Options{K: 3, Src: rng.New(4)}, 20)
 	e := Extend(g, s, uniformB(g.N(), b), 1)
 	if e.Lifetime() < s.Lifetime() {
 		t.Fatalf("extend shortened: %d -> %d", s.Lifetime(), e.Lifetime())
@@ -106,7 +136,7 @@ func TestSqueezeBeatsRawSchedule(t *testing.T) {
 	// Squeeze must recover a significant amount.
 	g := gen.GNP(150, 0.3, rng.New(5))
 	const b = 4
-	raw := core.UniformWHP(g, b, core.Options{K: 3, Src: rng.New(6)}, 20)
+	raw := uniformWHPFixture(g, b, core.Options{K: 3, Src: rng.New(6)}, 20)
 	sq := Squeeze(g, raw, uniformB(g.N(), b), 1)
 	if err := sq.Validate(g, uniformB(g.N(), b), 1); err != nil {
 		t.Fatal(err)
@@ -122,7 +152,7 @@ func TestSqueezeBeatsRawSchedule(t *testing.T) {
 func TestSqueezeKTolerant(t *testing.T) {
 	g := gen.GNP(120, 0.4, rng.New(7))
 	const b, k = 4, 2
-	raw := core.FaultTolerantWHP(g, b, k, core.Options{K: 3, Src: rng.New(8)}, 20)
+	raw := faultTolerantWHPFixture(g, b, k, core.Options{K: 3, Src: rng.New(8)}, 20)
 	sq := Squeeze(g, raw, uniformB(g.N(), b), k)
 	if err := sq.Validate(g, uniformB(g.N(), b), k); err != nil {
 		t.Fatal(err)

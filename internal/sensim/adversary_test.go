@@ -57,7 +57,7 @@ func TestKToleranceTheoremViaAdversary(t *testing.T) {
 	// for every victim.
 	g := gen.GNP(120, 0.4, rng.New(1))
 	const b, k = 4, 3
-	s := core.FaultTolerantWHP(g, b, k, core.Options{K: 3, Src: rng.New(2)}, 30)
+	s := mustSolve(t, g, uniformVec(g.N(), b), "ft", k, 30, rng.New(2))
 	if s.Lifetime() == 0 {
 		t.Skip("no schedule materialized")
 	}

@@ -15,7 +15,7 @@ func TestRealisticMatchesDutyModelAtZeroSleepCost(t *testing.T) {
 	// model is exactly the paper's duty model.
 	g := gen.GNP(100, 0.3, rng.New(1))
 	const b = 3
-	s := core.UniformWHP(g, b, core.Options{K: 3, Src: rng.New(2)}, 20)
+	s := mustSolve(t, g, uniformVec(g.N(), b), "uniform", 1, 20, rng.New(2))
 	batteries := make([]int, g.N())
 	for i := range batteries {
 		batteries[i] = b

@@ -166,8 +166,7 @@ func TestEndToEndUniformAlgorithmExecution(t *testing.T) {
 	// achieves exactly its nominal lifetime.
 	g := gen.GNP(150, 0.3, rng.New(1))
 	const b = 3
-	o := core.Options{K: 3, Src: rng.New(2)}
-	s := core.UniformWHP(g, b, o, 50)
+	s := mustSolve(t, g, energy.Uniform(g, b), "uniform", 1, 50, rng.New(2))
 	net := energy.NewNetwork(g, energy.Uniform(g, b))
 	res := Run(net, s, Options{K: 1})
 	if res.AchievedLifetime != s.Lifetime() {
@@ -267,7 +266,7 @@ func TestAchievedNeverExceedsResidualHorizon(t *testing.T) {
 		}
 		net := energy.NewNetwork(g, b)
 		horizon := ResidualDominationHorizon(net, 1)
-		s := core.GeneralWHP(g, b, core.Options{K: 3, Src: rng.New(uint64(100 + trial))}, 10)
+		s := mustSolve(t, g, b, "general", 1, 10, rng.New(uint64(100+trial)))
 		res := Run(net, s, Options{K: 1})
 		if res.AchievedLifetime > horizon {
 			t.Fatalf("trial %d: achieved %d > horizon %d", trial, res.AchievedLifetime, horizon)

@@ -66,7 +66,7 @@ func TestObsAllocNeutral(t *testing.T) {
 	for i := range b {
 		b[i] = 3
 	}
-	s := core.GeneralWHP(g, b, core.Options{Src: src.Split()}, 10)
+	s := mustSolve(t, g, b, "general", 1, 10, src.Split())
 	measure := func(h obs.Hooks) float64 {
 		return testing.AllocsPerRun(20, func() {
 			net := energy.NewNetwork(g, b)
@@ -92,7 +92,7 @@ func TestTraceDeterministicUnderChaos(t *testing.T) {
 		for i := range b {
 			b[i] = 3 + src.Intn(3)
 		}
-		s := core.GeneralWHP(g, b, core.Options{Src: src.Split()}, 10)
+		s := mustSolve(t, g, b, "general", 1, 10, src.Split())
 		plan := chaos.Merge(
 			chaos.Crashes(g, 8, 6, src.Split()),
 			chaos.LeakSpikes(g, 6, 2, 6, src.Split()),

@@ -1,0 +1,31 @@
+package sensim
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/solver"
+)
+
+// mustSolve resolves name in the solver registry and runs the WHP driver —
+// the registry path that replaced the deleted core.*WHP shims, seed-pinned
+// equivalent to them draw for draw.
+func mustSolve(t testing.TB, g *graph.Graph, budgets []int, name string, k, tries int, src *rng.Source) *core.Schedule {
+	t.Helper()
+	s, err := solver.Solve(g, budgets, solver.Spec{Name: name, K: k},
+		solver.Options{Tries: tries, Src: src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func uniformVec(n, b int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = b
+	}
+	return out
+}

@@ -119,7 +119,8 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 			s.met.solverSequential.Inc()
 		}
 		hooks := obs.Hooks{Trace: attemptTracer{s.met.solverAttempts}}
-		sched, err := Solve(g, budgets, &req, width, hooks, cancel)
+		defs := SolveDefaults{Budget: s.cfg.DefaultBudget, TimeBudget: s.cfg.DefaultTimeBudget}
+		sched, err := Solve(g, budgets, &req, width, defs, hooks, cancel)
 		if err != nil {
 			return nil, err
 		}

@@ -95,7 +95,7 @@ func newMetrics(reg *obs.Registry) *metrics {
 }
 
 // attemptTracer is the obs hook handed to the solver driver: it counts
-// every WHP retry into serve.solver_attempts. solver.Race serializes
+// every WHP retry into serve.solver_attempts. The racing driver serializes
 // emissions, and obs.Counter is atomic anyway.
 type attemptTracer struct{ c *obs.Counter }
 

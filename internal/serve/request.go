@@ -80,12 +80,21 @@ type Request struct {
 	// algorithms (uniform, ft) accept Batteries only if all entries agree.
 	Battery   int     `json:"battery,omitempty"`
 	Batteries []int   `json:"batteries,omitempty"`
-	K         int     `json:"k,omitempty"`          // domination tolerance; default 1
-	KConst    float64 `json:"kconst,omitempty"`     // color-range constant; default 3
-	Seed      uint64  `json:"seed,omitempty"`       // randomness seed; default 1
-	Tries     int     `json:"tries,omitempty"`      // WHP retry budget; default 30
-	TimeoutMS int     `json:"timeout_ms,omitempty"` // per-request deadline; default server-side
-	Async     bool    `json:"async,omitempty"`      // 202 + poll /v1/jobs/{key} instead of waiting
+	K      int     `json:"k,omitempty"`      // domination tolerance; default 1
+	KConst float64 `json:"kconst,omitempty"` // color-range constant; default 3
+	Seed   uint64  `json:"seed,omitempty"`   // randomness seed; default 1
+	Tries  int     `json:"tries,omitempty"`  // WHP retry budget; default 30
+	// Refine names a refinement solver ("tabu", "anneal") to run on top of
+	// Algorithm's schedule; empty means no refinement. Budget bounds the
+	// refiner's candidate moves (0 = solver default), and TimeBudgetMS is the
+	// wall-clock solve budget — unlike TimeoutMS it does not fail the request
+	// but truncates refinement to the best schedule found so far. All three
+	// change the response, so they are part of the cache key.
+	Refine       string `json:"refine,omitempty"`
+	Budget       int    `json:"budget,omitempty"`
+	TimeBudgetMS int    `json:"time_budget_ms,omitempty"`
+	TimeoutMS    int    `json:"timeout_ms,omitempty"` // per-request deadline; default server-side
+	Async        bool   `json:"async,omitempty"`      // 202 + poll /v1/jobs/{key} instead of waiting
 }
 
 func (r *Request) k() int {
@@ -116,6 +125,24 @@ func (r *Request) tries() int {
 	return r.Tries
 }
 
+func (r *Request) budget(fallback int) int {
+	if r.Budget <= 0 {
+		return fallback
+	}
+	return r.Budget
+}
+
+// spec is the solver.Spec the request resolves to: the algorithm itself, or
+// — when Refine is set — the refiner with the algorithm as its base.
+func (r *Request) spec() solver.Spec {
+	s := solver.Spec{Name: r.Algorithm, K: r.k(), KConst: r.kconst()}
+	if r.Refine != "" {
+		s.Name = r.Refine
+		s.Base = r.Algorithm
+	}
+	return s
+}
+
 func timeoutFromMS(ms int, fallback time.Duration) time.Duration {
 	if ms <= 0 {
 		return fallback
@@ -131,11 +158,15 @@ func timeoutFromMS(ms int, fallback time.Duration) time.Duration {
 // uniformity for the uniform algorithms, tolerance restrictions, node caps
 // for the exponential baselines) — all surfaced as client errors.
 func (r *Request) resolve(maxNodes int) (*graph.Graph, []int, error) {
-	sv, ok := solver.Get(r.Algorithm)
-	if !ok {
+	if _, ok := solver.Get(r.Algorithm); !ok {
 		return nil, nil, fmt.Errorf("unknown algorithm %q (have %s)",
 			r.Algorithm, strings.Join(solver.Names(), ", "))
 	}
+	if r.Refine != "" && !isRefiner(r.Refine) {
+		return nil, nil, fmt.Errorf("refine = %q is not a refinement solver (have %s)",
+			r.Refine, strings.Join(solver.RefinerNames(), ", "))
+	}
+	sv, _ := solver.Get(r.spec().Name)
 	if r.K < 0 {
 		return nil, nil, fmt.Errorf("k = %d must be >= 1", r.K)
 	}
@@ -144,6 +175,12 @@ func (r *Request) resolve(maxNodes int) (*graph.Graph, []int, error) {
 	}
 	if r.Tries < 0 {
 		return nil, nil, fmt.Errorf("tries = %d must be >= 0", r.Tries)
+	}
+	if r.Budget < 0 {
+		return nil, nil, fmt.Errorf("budget = %d must be >= 0", r.Budget)
+	}
+	if r.TimeBudgetMS < 0 {
+		return nil, nil, fmt.Errorf("time_budget_ms = %d must be >= 0", r.TimeBudgetMS)
 	}
 	if r.TimeoutMS < 0 {
 		return nil, nil, fmt.Errorf("timeout_ms = %d must be >= 0", r.TimeoutMS)
@@ -173,10 +210,22 @@ func (r *Request) resolve(maxNodes int) (*graph.Graph, []int, error) {
 			budgets[v] = r.Battery
 		}
 	}
-	if err := sv.Validate(g, budgets, solver.Spec{Name: r.Algorithm, K: r.k(), KConst: r.kconst()}); err != nil {
+	// The effective solver's Validate supplies the shape checks; a refiner's
+	// Validate also resolves and validates its base algorithm.
+	if err := sv.Validate(g, budgets, r.spec()); err != nil {
 		return nil, nil, err
 	}
 	return g, budgets, nil
+}
+
+// isRefiner reports whether name is a registered refinement solver.
+func isRefiner(name string) bool {
+	for _, n := range solver.RefinerNames() {
+		if n == name {
+			return true
+		}
+	}
+	return false
 }
 
 // key returns the canonical cache/coalescing key of the request: the
@@ -188,10 +237,13 @@ func (r *Request) key(g *graph.Graph, budgets []int) string {
 		Graph("graph", g).
 		Ints("budgets", budgets).
 		String("alg", r.Algorithm).
+		String("refine", r.Refine).
 		Int("k", r.k()).
 		Float("kconst", r.kconst()).
 		Uint64("seed", r.seed()).
 		Int("tries", r.tries()).
+		Int("budget", r.Budget).
+		Int("time_budget_ms", r.TimeBudgetMS).
 		Sum()
 }
 

@@ -74,8 +74,8 @@ type Config struct {
 	// RetryAfter is the hint returned with 429 responses. <= 0 means 1s.
 	RetryAfter time.Duration
 	// RaceWidth is the number of independently seeded solver attempts each
-	// schedule job races concurrently (solver.Race); the winner is
-	// deterministic, so responses and cache keys are unaffected. <= 1 runs
+	// schedule job races concurrently (solver.Options.RaceWidth); the winner
+	// is deterministic, so responses and cache keys are unaffected. <= 1 runs
 	// the sequential driver.
 	RaceWidth int
 	// DefaultOverlap is the overlap window (in slots) a PATCH request gets
@@ -83,6 +83,15 @@ type Config struct {
 	// per-request explicit 0 (pure swap) is still expressible through
 	// PatchRequest.Overlap.
 	DefaultOverlap int
+	// DefaultBudget is the refinement move budget a schedule request gets
+	// when it asks for refinement without a budget of its own. <= 0 defers
+	// to the solver default.
+	DefaultBudget int
+	// DefaultTimeBudget is the wall-clock solve budget a schedule request
+	// gets when it does not carry time_budget_ms. <= 0 means none. Unlike
+	// DefaultTimeout (which fails the request), an expired time budget
+	// truncates refinement to the best schedule found so far.
+	DefaultTimeBudget time.Duration
 	// Fault, when non-nil, degrades every worker invocation (see
 	// FaultInjector). Nil injects nothing.
 	Fault FaultInjector

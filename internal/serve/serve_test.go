@@ -16,6 +16,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/obs"
 	"repro/internal/rng"
+	"repro/internal/solver"
 )
 
 // ring returns the cycle graph C_n as a wire spec.
@@ -450,6 +451,11 @@ func TestRequestValidation(t *testing.T) {
 		{"battery length", Request{Graph: ring(4), Algorithm: AlgGeneral, Batteries: []int{1, 2}}, 400},
 		{"non-uniform for uniform", Request{Graph: ring(3), Algorithm: AlgUniform, Batteries: []int{1, 2, 1}}, 400},
 		{"k on plain algorithm", Request{Graph: ring(4), Algorithm: AlgUniform, Battery: 2, K: 2}, 400},
+		{"unknown refiner", Request{Graph: ring(4), Algorithm: AlgUniform, Battery: 2, Refine: "frob"}, 400},
+		{"refine by plain solver", Request{Graph: ring(4), Algorithm: AlgUniform, Battery: 2, Refine: AlgGeneral}, 400},
+		{"stacked refiner", Request{Graph: ring(4), Algorithm: solver.NameAnneal, Battery: 2, Refine: solver.NameTabu}, 400},
+		{"negative budget", Request{Graph: ring(4), Algorithm: AlgUniform, Battery: 2, Budget: -1}, 400},
+		{"negative time budget", Request{Graph: ring(4), Algorithm: AlgUniform, Battery: 2, TimeBudgetMS: -1}, 400},
 		{"too many nodes", Request{Graph: GraphSpec{N: 101}, Algorithm: AlgUniform, Battery: 1}, 413},
 	}
 	for _, c := range cases {
@@ -463,6 +469,83 @@ func TestRequestValidation(t *testing.T) {
 	// None of the rejects should have touched the queue.
 	if got := counter(s, "serve.admitted"); got != 0 {
 		t.Errorf("serve.admitted = %d after pure rejects", got)
+	}
+}
+
+// TestScheduleRefineRequest exercises the budgeted-refinement surface of the
+// schedule endpoint: refine= composes a refinement solver over the base
+// algorithm, the refined lifetime never drops below the unrefined one, and
+// refine/budget/time_budget_ms are part of the cache key, so refined and
+// plain requests for the same instance do not share entries.
+func TestScheduleRefineRequest(t *testing.T) {
+	s := New(Config{Workers: 2})
+	defer s.Shutdown(context.Background())
+	h := s.Handler()
+
+	// Heterogeneous batteries: with a uniform budget the greedy base already
+	// sits on the min-degree bottleneck bound and refinement has no slack.
+	batteries := []int{4, 1, 3, 2, 5, 1, 2, 6, 1, 3, 2, 4}
+	base := Request{Graph: ring(12), Algorithm: solver.NameGreedy, Batteries: batteries, Seed: 5}
+	w := post(h, "/v1/schedule", scheduleBody(t, base))
+	if w.Code != http.StatusOK {
+		t.Fatalf("base status %d: %s", w.Code, w.Body.String())
+	}
+	var plain response
+	if err := json.Unmarshal(w.Body.Bytes(), &plain); err != nil {
+		t.Fatal(err)
+	}
+
+	refined := base
+	refined.Refine = solver.NameTabu
+	refined.Budget = 2000
+	w = post(h, "/v1/schedule", scheduleBody(t, refined))
+	if w.Code != http.StatusOK {
+		t.Fatalf("refined status %d: %s", w.Code, w.Body.String())
+	}
+	var out response
+	if err := json.Unmarshal(w.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Cached {
+		t.Fatal("refined request served from the plain request's cache entry")
+	}
+	if out.Lifetime < plain.Lifetime {
+		t.Fatalf("refined lifetime %d < unrefined %d (anytime floor broken)",
+			out.Lifetime, plain.Lifetime)
+	}
+	// The refined schedule must still be feasible on the requested instance.
+	sched, err := core.ReadJSON(bytes.NewReader(out.Schedule))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, budgets, err := refined.resolve(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.Validate(g, budgets, 1); err != nil {
+		t.Fatalf("served refined schedule infeasible: %v", err)
+	}
+
+	// An identical refined request is a cache hit; a different budget is not.
+	if m := decodeResponse(t, post(h, "/v1/schedule", scheduleBody(t, refined))); m["cached"] != true {
+		t.Fatalf("repeated refined request not served from cache: %v", m)
+	}
+	bumped := refined
+	bumped.Budget = 4000
+	if m := decodeResponse(t, post(h, "/v1/schedule", scheduleBody(t, bumped))); m["cached"] == true {
+		t.Fatal("different budget served from cache")
+	}
+
+	// A tiny time budget truncates refinement to the best schedule so far —
+	// it must not fail the request, unlike timeout_ms.
+	trunc := refined
+	trunc.TimeBudgetMS = 1
+	w = post(h, "/v1/schedule", scheduleBody(t, trunc))
+	if w.Code != http.StatusOK {
+		t.Fatalf("time-budgeted status %d: %s", w.Code, w.Body.String())
+	}
+	if m := decodeResponse(t, w); int(m["lifetime"].(float64)) < plain.Lifetime {
+		t.Fatalf("time-budgeted lifetime %v < unrefined %d", m["lifetime"], plain.Lifetime)
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
@@ -15,31 +16,47 @@ import (
 	"repro/internal/solver"
 )
 
+// SolveDefaults carries the server-side budget defaults into Solve: the
+// refinement move budget and wall-clock solve budget a request gets when it
+// does not carry its own. The zero value defers to the solver's defaults
+// (budget) and no deadline (time budget).
+type SolveDefaults struct {
+	Budget     int
+	TimeBudget time.Duration
+}
+
 // Solve computes a feasible schedule for the request through the solver
-// registry: the algorithm name resolves to a registered solver, and the
-// generic WHP driver runs the retry/truncate/keep-best/early-stop loop with
-// the service's cancellation contract threaded through — cancel is the
-// sticky deadline check of experiments.Config.Cancel, polled before every
-// retry, and a fired cancel surfaces experiments.ErrCanceled. width > 1
-// races that many independently seeded attempts concurrently (solver.Race
-// picks the deterministic winner); width <= 1 is the sequential driver.
-// The driver validates the final schedule before returning, so the service
-// never hands out an infeasible one.
+// registry: the request's spec resolves to a registered solver — the
+// algorithm itself, or a refiner stacked on it when the request asks for
+// refinement — and the generic driver runs the retry/truncate/keep-best/
+// early-stop loop with the service's cancellation contract threaded through.
+// cancel is the sticky deadline check of experiments.Config.Cancel, polled
+// before every retry, and a fired cancel surfaces experiments.ErrCanceled;
+// a time budget (request time_budget_ms, or the server default) instead
+// becomes a solver deadline, which truncates refinement to the best schedule
+// found so far rather than failing. Options.RaceWidth > 1 races that many
+// independently seeded attempts concurrently with a deterministic winner;
+// <= 1 is the sequential driver. The driver validates the final schedule
+// before returning, so the service never hands out an infeasible one.
 //
 // Race attempts run on a transient per-call pool, never on the service's
 // worker pool: Solve itself executes on a pool worker, and re-submitting
 // the attempts to the same pool would deadlock once every worker blocks
 // waiting for attempts that sit queued behind the blocked workers.
 func Solve(g *graph.Graph, budgets []int, req *Request, width int,
-	hooks obs.Hooks, cancel func() bool) (*core.Schedule, error) {
-	spec := solver.Spec{Name: req.Algorithm, K: req.k(), KConst: req.kconst()}
+	defs SolveDefaults, hooks obs.Hooks, cancel func() bool) (*core.Schedule, error) {
 	opt := solver.Options{
-		Tries:  req.tries(),
-		Cancel: cancel,
-		Hooks:  hooks,
-		Src:    rng.New(req.seed()),
+		Tries:     req.tries(),
+		Budget:    req.budget(defs.Budget),
+		Cancel:    cancel,
+		Hooks:     hooks,
+		Src:       rng.New(req.seed()),
+		RaceWidth: width,
 	}
-	return solver.Race(g, budgets, spec, opt, width)
+	if tb := timeoutFromMS(req.TimeBudgetMS, defs.TimeBudget); tb > 0 {
+		opt.Deadline = time.Now().Add(tb)
+	}
+	return solver.Solve(g, budgets, req.spec(), opt)
 }
 
 // scheduleJSON renders a schedule into the cmd/ltsched interchange format.

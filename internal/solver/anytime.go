@@ -1,0 +1,450 @@
+// Anytime local-search refiners: registry solvers that start from another
+// solver's schedule and improve it under a deterministic candidate-move
+// budget. This is ROADMAP item 2, unblocked by the PR 7 incremental
+// domination kernel: every candidate move is a speculative
+// Flip/IsKDominating probe on a domset.Session — O(deg) to try, O(deg) to
+// undo via Mark/Rollback — instead of the full re-fold a trial copy pays.
+//
+// The move set, per phase of the schedule:
+//
+//   - removal: drop a redundant dominator, refunding duration x 1 battery;
+//   - swap: replace a battery-scarce dominator with a rich non-member that
+//     can afford the slot (the stepwise feasibility-preserving exchange of
+//     the reconfiguration literature);
+//   - extension: after each pass, pour the refunded budget back into
+//     lifetime — greedy phases over the residual (sched.Extend's shape),
+//     then stretch existing phases as far as their weakest member allows.
+//
+// tabu and anneal share the engine and differ only in the acceptance
+// policy: tabu admits non-worsening swaps and holds recently-removed nodes
+// out for a tenure; anneal accepts worsening swaps with probability
+// exp(-delta/T) under a budget-indexed geometric cooling schedule. Both
+// return the best schedule seen, so the refined lifetime is >= the starting
+// lifetime by construction, and both draw every random choice from the
+// caller's rng.Source — same seed + same budget means a byte-identical
+// schedule.
+package solver
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/domset"
+	"repro/internal/graph"
+	"repro/internal/obs"
+	"repro/internal/rng"
+)
+
+// DefaultRefineBudget is the candidate-move budget a refiner runs under
+// when Options.Budget is unset. Moves cost O(deg), so the default keeps
+// unconfigured refinement in the same cost band as a WHP retry loop.
+const DefaultRefineBudget = 20000
+
+// Refiner is the anytime capability a registered solver may implement on
+// top of Solver: the driver then composes a "base + refine" pipeline —
+// the WHP retry loop runs the base solver named by Spec.Base first, and
+// Refine improves its schedule under the Refinement contract.
+type Refiner interface {
+	Solver
+	// BaseSpec returns the spec of the base solver Refine starts from,
+	// derived from the refiner's own spec (empty Base means greedy).
+	BaseSpec(spec Spec) Spec
+	// Refine improves start under rc's budget contract and returns the
+	// best schedule seen — never worse than start. A fired rc.Cancel stops
+	// the search and returns that best (the anytime contract); it is not
+	// an error at this layer.
+	Refine(g *graph.Graph, budgets []int, start *core.Schedule, spec Spec, rc *Refinement) *core.Schedule
+}
+
+// Refinement is the budget contract the driver hands to Refiner.Refine.
+type Refinement struct {
+	// Budget bounds the candidate moves the search may charge. <= 0 means
+	// DefaultRefineBudget.
+	Budget int
+	// Cancel, when non-nil, is the sticky wall-clock/cooperative poll;
+	// once it fires the search returns its best schedule so far.
+	Cancel func() bool
+	// Src drives every random choice. Nil means rng.New(1).
+	Src *rng.Source
+	// Hooks receives one obs.Refine event per improvement pass.
+	Hooks obs.Hooks
+	// Checker, when non-nil, is the shared domination kernel over g (the
+	// driver reuses its own). Nil allocates one.
+	Checker *domset.Checker
+}
+
+// movePolicy is the acceptance policy that distinguishes tabu from anneal.
+// The engine proposes; the policy disposes.
+type movePolicy interface {
+	// admitAdd reports whether u may (re)enter a dominating set at
+	// iteration it — the tabu check.
+	admitAdd(u, it int) bool
+	// noteLeave records that v left a set at iteration it.
+	noteLeave(v, it int)
+	// acceptSwap decides a feasible swap with scarcity delta d (< 0
+	// improves the battery balance).
+	acceptSwap(d float64, it int, src *rng.Source) bool
+}
+
+// tabuPolicy holds each removed node out of the dominating sets for a
+// fixed tenure of iterations, preventing remove/re-add cycling, and admits
+// only non-worsening swaps.
+type tabuPolicy struct {
+	tenure int
+	until  []int // per-node iteration before which re-adding is tabu
+}
+
+func newTabuPolicy(n, _ int) movePolicy {
+	return &tabuPolicy{tenure: 7 + n/32, until: make([]int, n)}
+}
+
+func (p *tabuPolicy) admitAdd(u, it int) bool { return it >= p.until[u] }
+func (p *tabuPolicy) noteLeave(v, it int)     { p.until[v] = it + p.tenure }
+func (p *tabuPolicy) acceptSwap(d float64, _ int, _ *rng.Source) bool { return d <= 0 }
+
+// annealPolicy accepts worsening swaps with probability exp(-d/T), cooling
+// T geometrically from t0 to t1 as the iteration count approaches the
+// budget — so the cooling schedule is indexed by spent budget, not wall
+// clock, and a fixed (seed, budget) pair replays identically.
+type annealPolicy struct {
+	t0, t1 float64
+	budget int
+}
+
+func newAnnealPolicy(_, budget int) movePolicy {
+	return &annealPolicy{t0: 0.2, t1: 0.005, budget: budget}
+}
+
+func (p *annealPolicy) admitAdd(int, int) bool { return true }
+func (p *annealPolicy) noteLeave(int, int)     {}
+func (p *annealPolicy) acceptSwap(d float64, it int, src *rng.Source) bool {
+	if d <= 0 {
+		return true
+	}
+	t := p.t0 * math.Pow(p.t1/p.t0, float64(it)/float64(p.budget))
+	return src.Float64() < math.Exp(-d/t)
+}
+
+// anytimeSolver adapts the shared engine to the registry contract, once
+// per policy.
+type anytimeSolver struct {
+	nm     string
+	policy func(n, budget int) movePolicy
+}
+
+func init() {
+	Register(anytimeSolver{nm: NameTabu, policy: newTabuPolicy})
+	Register(anytimeSolver{nm: NameAnneal, policy: newAnnealPolicy})
+}
+
+func (s anytimeSolver) Name() string { return s.nm }
+
+func (s anytimeSolver) BaseSpec(spec Spec) Spec {
+	base := spec.Base
+	if base == "" {
+		base = NameGreedy
+	}
+	return Spec{Name: base, K: spec.K, KConst: spec.KConst}
+}
+
+func (s anytimeSolver) Validate(g *graph.Graph, budgets []int, spec Spec) error {
+	if err := validateBudgets(g, budgets, s.nm, false); err != nil {
+		return err
+	}
+	bspec := s.BaseSpec(spec)
+	base, err := Resolve(bspec.Name)
+	if err != nil {
+		return fmt.Errorf("solver: %s: invalid base: %w", s.nm, err)
+	}
+	if _, nested := base.(Refiner); nested {
+		return fmt.Errorf("solver: %s: base solver %q is itself a refiner; refiners do not stack", s.nm, bspec.Name)
+	}
+	return base.Validate(g, budgets, bspec)
+}
+
+// GuaranteedLifetime is 0: refiners carry no w.h.p. bound of their own
+// (the base loop early-stops on the base solver's guarantee instead).
+func (s anytimeSolver) GuaranteedLifetime(*graph.Graph, []int, Spec) int { return 0 }
+
+func (s anytimeSolver) TruncK(spec Spec) int { return spec.K }
+
+// Generate makes the refiner usable as a plain Solver (one base draw plus
+// a default-budget refinement); the driver normally intercepts before this
+// and runs the base WHP loop + Refine pipeline itself.
+func (s anytimeSolver) Generate(g *graph.Graph, budgets []int, spec Spec, src *rng.Source) *core.Schedule {
+	bspec := s.BaseSpec(spec)
+	base, err := Resolve(bspec.Name)
+	if err != nil {
+		return &core.Schedule{} // Validate rejects this before the driver gets here
+	}
+	ck := domset.NewChecker(g)
+	start := base.Generate(g, budgets, bspec, src).TruncateInvalidWith(ck, base.TruncK(bspec))
+	return s.Refine(g, budgets, start, spec, &Refinement{Src: src, Checker: ck})
+}
+
+func (s anytimeSolver) Refine(g *graph.Graph, budgets []int, start *core.Schedule, spec Spec, rc *Refinement) *core.Schedule {
+	budget := rc.Budget
+	if budget <= 0 {
+		budget = DefaultRefineBudget
+	}
+	return refineSchedule(g, budgets, start, spec.normalize(), rc, s.nm, s.policy(g.N(), budget), nil)
+}
+
+// refineState is the mutable search state: the working schedule as
+// parallel set/duration slices plus the per-node residual budgets, kept
+// incrementally consistent across moves so no pass ever recomputes usage.
+type refineState struct {
+	sets     [][]int
+	durs     []int
+	residual []int
+	it       int // candidate moves charged so far
+	budget   int
+	cancel   func() bool
+}
+
+func (st *refineState) exhausted() bool {
+	return st.it >= st.budget || (st.cancel != nil && st.cancel())
+}
+
+func (st *refineState) lifetime() int {
+	total := 0
+	for _, d := range st.durs {
+		total += d
+	}
+	return total
+}
+
+// snapshot clones the working schedule (dropping zero-duration phases).
+func (st *refineState) snapshot() *core.Schedule {
+	out := &core.Schedule{}
+	for p, set := range st.sets {
+		if st.durs[p] <= 0 || len(set) == 0 {
+			continue
+		}
+		out.Phases = append(out.Phases, core.Phase{
+			Set:      append([]int(nil), set...),
+			Duration: st.durs[p],
+		})
+	}
+	return out
+}
+
+// refineSchedule is the engine shared by tabu and anneal. observe, when
+// non-nil, fires with the live session after every accepted in-phase move
+// — the property-test hook asserting accepted moves preserve k-domination.
+func refineSchedule(g *graph.Graph, budgets []int, start *core.Schedule, spec Spec,
+	rc *Refinement, name string, pol movePolicy, observe func(*domset.Session)) *core.Schedule {
+	src := rc.Src
+	if src == nil {
+		src = rng.New(1)
+	}
+	ck := rc.Checker
+	if ck == nil {
+		ck = domset.NewChecker(g)
+	}
+	budget := rc.Budget
+	if budget <= 0 {
+		budget = DefaultRefineBudget
+	}
+	k := spec.K
+
+	st := &refineState{
+		durs:     make([]int, 0, len(start.Phases)),
+		residual: append([]int(nil), budgets...),
+		budget:   budget,
+		cancel:   rc.Cancel,
+	}
+	for _, p := range start.Phases {
+		st.sets = append(st.sets, append([]int(nil), p.Set...))
+		st.durs = append(st.durs, p.Duration)
+		for _, v := range p.Set {
+			st.residual[v] -= p.Duration
+		}
+	}
+	for _, r := range st.residual {
+		if r < 0 {
+			// The start overdraws a battery — not a schedule this search
+			// can reason about incrementally. Hand it back untouched; the
+			// driver's ValidateWith gate reports it.
+			return start
+		}
+	}
+
+	best := st.snapshot()
+	bestLife := best.Lifetime()
+
+	for pass := 0; !st.exhausted(); pass++ {
+		for p := range st.sets {
+			if st.exhausted() {
+				break
+			}
+			st.refinePhase(g, ck, k, p, pol, src, observe)
+		}
+		st.extend(g, ck, k)
+		st.stretch()
+		if life := st.lifetime(); life > bestLife {
+			best = st.snapshot()
+			bestLife = life
+		}
+		rc.Hooks.Emit(obs.Refine(name, pass, st.lifetime(), bestLife))
+	}
+	return best
+}
+
+// refinePhase runs one removal sweep and one swap sweep over phase p on a
+// fresh incremental session. Every probe — accepted or rejected — charges
+// one unit of budget.
+func (st *refineState) refinePhase(g *graph.Graph, ck *domset.Checker, k, p int,
+	pol movePolicy, src *rng.Source, observe func(*domset.Session)) {
+	if st.durs[p] <= 0 || len(st.sets[p]) == 0 {
+		return
+	}
+	sess := ck.Begin(st.sets[p], k, nil)
+	if !sess.IsKDominating() {
+		return // defensive: the driver only refines validated schedules
+	}
+	dur := st.durs[p]
+
+	// Removal sweep: members in random order, so successive passes explore
+	// different minimal subsets (the fixed degree order of sched.Minimalize
+	// always lands on the same one).
+	order := sess.AppendMembers(nil)
+	src.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	for _, v := range order {
+		if st.exhausted() {
+			break
+		}
+		st.it++
+		m := sess.Mark()
+		sess.Flip(v)
+		if sess.IsKDominating() {
+			sess.Commit()
+			pol.noteLeave(v, st.it)
+			st.residual[v] += dur
+			if observe != nil {
+				observe(sess)
+			}
+		} else {
+			sess.Rollback(m)
+		}
+	}
+
+	// Swap sweep: move the slot's load off battery-scarce dominators onto
+	// rich non-members that can afford it. Feasibility is checked by the
+	// session (flip out, flip in, probe, rollback on failure); desirability
+	// by the policy on the scarcity delta.
+	cur := sess.AppendMembers(nil)
+	attempts := 2 * len(cur)
+	if attempts < 8 {
+		attempts = 8
+	}
+	for a := 0; a < attempts && !st.exhausted(); a++ {
+		st.it++
+		if len(cur) == 0 || g.N() <= 1 {
+			break
+		}
+		vi := src.Intn(len(cur))
+		v := cur[vi]
+		u := src.Intn(g.N())
+		if u == v || sess.Contains(u) || st.residual[u] < dur || !pol.admitAdd(u, st.it) {
+			continue
+		}
+		// After the swap, u serves this slot at residual[u]-dur while v is
+		// freed back to residual[v]+dur; prefer the assignment that leaves
+		// the serving node richer.
+		d := scarcity(st.residual[u]-dur) - scarcity(st.residual[v]+dur)
+		if !pol.acceptSwap(d, st.it, src) {
+			continue
+		}
+		m := sess.Mark()
+		sess.Flip(v)
+		sess.Flip(u)
+		if !sess.IsKDominating() {
+			sess.Rollback(m)
+			continue
+		}
+		sess.Commit()
+		pol.noteLeave(v, st.it)
+		st.residual[v] += dur
+		st.residual[u] -= dur
+		cur[vi] = u
+		if observe != nil {
+			observe(sess)
+		}
+	}
+
+	st.sets[p] = sess.AppendMembers(st.sets[p][:0])
+}
+
+// scarcity is the pressure of leaving a node at residual budget r: high
+// when the battery is nearly drained, vanishing when plentiful.
+func scarcity(r int) float64 { return 1 / float64(1+r) }
+
+// extend pours refunded budget back into lifetime: greedy k-dominating
+// phases over the nodes with positive residual, each running as long as
+// its weakest member allows (sched.Extend's loop, kept local so the
+// engine's residual bookkeeping stays incremental). One budget unit per
+// extraction attempt.
+func (st *refineState) extend(g *graph.Graph, ck *domset.Checker, k int) {
+	n := g.N()
+	for !st.exhausted() {
+		st.it++
+		allowed := make([]bool, n)
+		any := false
+		for v, r := range st.residual {
+			if r > 0 {
+				allowed[v] = true
+				any = true
+			}
+		}
+		if !any {
+			return
+		}
+		set := domset.GreedyK(g, k, allowed, nil)
+		if set == nil {
+			return
+		}
+		dur := -1
+		for _, v := range set {
+			if dur == -1 || st.residual[v] < dur {
+				dur = st.residual[v]
+			}
+		}
+		if dur <= 0 {
+			return
+		}
+		for _, v := range set {
+			st.residual[v] -= dur
+		}
+		st.sets = append(st.sets, set)
+		st.durs = append(st.durs, dur)
+	}
+}
+
+// stretch lengthens existing phases by whatever their weakest member still
+// has — the residue extend could not turn into a full new phase.
+func (st *refineState) stretch() {
+	for p, set := range st.sets {
+		if st.exhausted() {
+			return
+		}
+		if st.durs[p] <= 0 || len(set) == 0 {
+			continue
+		}
+		d := -1
+		for _, v := range set {
+			if d == -1 || st.residual[v] < d {
+				d = st.residual[v]
+			}
+		}
+		if d <= 0 {
+			continue
+		}
+		st.it++
+		st.durs[p] += d
+		for _, v := range set {
+			st.residual[v] -= d
+		}
+	}
+}

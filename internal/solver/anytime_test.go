@@ -1,0 +1,238 @@
+package solver
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/domset"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/obs"
+	"repro/internal/rng"
+)
+
+// hetInstance is the refiner workbench: a moderately dense GNP graph with
+// heterogeneous batteries in [1, 20]. With uniform batteries the greedy
+// baseline already sits on the min-degree bottleneck bound and local search
+// has nothing to rebalance; battery skew is where move-based repair pays.
+func hetInstance(t testing.TB, n int, seed uint64) (*graph.Graph, []int) {
+	t.Helper()
+	src := rng.New(seed)
+	p := 6 * math.Log(float64(n)) / float64(n)
+	if p > 1 {
+		p = 1
+	}
+	g := gen.GNP(n, p, src.Split())
+	bsrc := src.Split()
+	budgets := make([]int, n)
+	for v := range budgets {
+		budgets[v] = 1 + bsrc.Intn(20)
+	}
+	return g, budgets
+}
+
+// TestRefineDeterministic pins the seed contract of the refiners: the same
+// (seed, budget) pair must reproduce a byte-identical schedule, and the
+// result must validate under the driver's feasibility gate (Solve already
+// gates internally; DeepEqual catches any nondeterminism in move order,
+// policy state, or snapshotting).
+func TestRefineDeterministic(t *testing.T) {
+	g, budgets := hetInstance(t, 96, 11)
+	for _, name := range []string{NameTabu, NameAnneal} {
+		spec := Spec{Name: name, Base: NameGreedy}
+		solveOnce := func() *core.Schedule {
+			s, err := Solve(g, budgets, spec,
+				Options{Tries: 3, Budget: 5000, Src: rng.New(42)})
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			return s
+		}
+		a, b := solveOnce(), solveOnce()
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: same seed+budget produced different schedules:\n%v\nvs\n%v", name, a, b)
+		}
+	}
+}
+
+// TestRefineNeverWorseThanBase is the anytime floor: whatever the budget,
+// the refined schedule's lifetime is >= the greedy base it starts from
+// (the engine returns its best snapshot, and the start is the first one).
+func TestRefineNeverWorseThanBase(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		g, budgets := hetInstance(t, 64, seed)
+		base, err := Solve(g, budgets, Spec{Name: NameGreedy}, Options{Src: rng.New(seed)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, name := range []string{NameTabu, NameAnneal} {
+			for _, budget := range []int{1, 100, 4000} {
+				s, err := Solve(g, budgets, Spec{Name: name, Base: NameGreedy},
+					Options{Tries: 1, Budget: budget, Src: rng.New(seed)})
+				if err != nil {
+					t.Fatalf("%s seed=%d budget=%d: %v", name, seed, budget, err)
+				}
+				if s.Lifetime() < base.Lifetime() {
+					t.Errorf("%s seed=%d budget=%d: refined lifetime %d < base %d",
+						name, seed, budget, s.Lifetime(), base.Lifetime())
+				}
+			}
+		}
+	}
+}
+
+// TestRefineImprovesFixture pins that the refiners actually buy lifetime on
+// an instance with known slack: the seed-7 heterogeneous GNP instance, where
+// both policies beat the greedy baseline at a 50k budget. A regression that
+// silently turns the move engine into a no-op fails here.
+func TestRefineImprovesFixture(t *testing.T) {
+	if testing.Short() {
+		t.Skip("50k-move refinement is slow")
+	}
+	g, budgets := hetInstance(t, 128, 7)
+	base, err := Solve(g, budgets, Spec{Name: NameGreedy}, Options{Src: rng.New(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{NameTabu, NameAnneal} {
+		s, err := Solve(g, budgets, Spec{Name: name, Base: NameGreedy},
+			Options{Tries: 1, Budget: 50000, Src: rng.New(1)})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if s.Lifetime() <= base.Lifetime() {
+			t.Errorf("%s: refined lifetime %d did not improve on greedy %d",
+				name, s.Lifetime(), base.Lifetime())
+		}
+	}
+}
+
+// TestRefineMovesPreserveDomination is the white-box property test of the
+// move engine: after every accepted move the live session must still be
+// k-dominating, and its incremental state must agree with a from-scratch
+// fold over the same member set — i.e. the Mark/Rollback bookkeeping leaves
+// no residue. The observe hook fires inside refinePhase after each commit.
+func TestRefineMovesPreserveDomination(t *testing.T) {
+	for _, k := range []int{1, 2} {
+		g, budgets := hetInstance(t, 48, uint64(13+k))
+		spec := Spec{Name: NameTabu, Base: NameGreedy, K: k}.normalize()
+		base, err := Solve(g, budgets, Spec{Name: NameGreedy, K: k}, Options{Src: rng.New(2)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ck := domset.NewChecker(g)
+		fold := domset.NewChecker(g) // independent kernel for the cross-check
+		moves := 0
+		observe := func(sess *domset.Session) {
+			moves++
+			if !sess.IsKDominating() {
+				t.Fatalf("k=%d: accepted move %d left a non-dominating set", k, moves)
+			}
+			members := sess.AppendMembers(nil)
+			if !fold.IsKDominating(members, k, nil) {
+				t.Fatalf("k=%d: session says k-dominating but a fresh fold over %v disagrees",
+					k, members)
+			}
+		}
+		rc := &Refinement{Budget: 3000, Src: rng.New(3), Checker: ck}
+		out := refineSchedule(g, budgets, base, spec, rc, NameTabu, newTabuPolicy(g.N(), 3000), observe)
+		if moves == 0 {
+			t.Fatalf("k=%d: the property test observed no accepted moves; fixture too easy", k)
+		}
+		if err := out.ValidateWith(domset.NewChecker(g), budgets, k); err != nil {
+			t.Fatalf("k=%d: refined schedule invalid: %v", k, err)
+		}
+	}
+}
+
+// TestRefineCancelReturnsBestSoFar pins the anytime contract at the Refiner
+// layer: a cancel that fires immediately returns the start schedule (the
+// best seen), not an error and never something worse.
+func TestRefineCancelReturnsBestSoFar(t *testing.T) {
+	g, budgets := hetInstance(t, 64, 3)
+	base, err := Solve(g, budgets, Spec{Name: NameGreedy}, Options{Src: rng.New(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{NameTabu, NameAnneal} {
+		sv, err := Resolve(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rf, ok := sv.(Refiner)
+		if !ok {
+			t.Fatalf("%s does not implement Refiner", name)
+		}
+		out := rf.Refine(g, budgets, base, Spec{Name: name, Base: NameGreedy}.normalize(),
+			&Refinement{Budget: 50000, Cancel: func() bool { return true }, Src: rng.New(1)})
+		if out.Lifetime() != base.Lifetime() {
+			t.Errorf("%s: canceled-at-once refinement returned lifetime %d, want the start's %d",
+				name, out.Lifetime(), base.Lifetime())
+		}
+
+		// A cancel firing after a bounded number of polls must still yield a
+		// feasible schedule no worse than the start.
+		polls := 0
+		out = rf.Refine(g, budgets, base, Spec{Name: name, Base: NameGreedy}.normalize(),
+			&Refinement{Budget: 50000, Cancel: func() bool { polls++; return polls > 500 }, Src: rng.New(1)})
+		if out.Lifetime() < base.Lifetime() {
+			t.Errorf("%s: mid-flight cancel returned lifetime %d < start %d",
+				name, out.Lifetime(), base.Lifetime())
+		}
+		if err := out.ValidateWith(domset.NewChecker(g), budgets, 1); err != nil {
+			t.Errorf("%s: mid-flight cancel schedule invalid: %v", name, err)
+		}
+	}
+}
+
+// TestRefineSpecRejections pins the composition rules of the redesigned
+// driver: refiners do not stack, bases must exist, and only refiners accept
+// a base at all.
+func TestRefineSpecRejections(t *testing.T) {
+	g, budgets := hetInstance(t, 16, 1)
+	cases := []struct {
+		name string
+		spec Spec
+	}{
+		{"nested refiner", Spec{Name: NameTabu, Base: NameAnneal}},
+		{"unknown base", Spec{Name: NameAnneal, Base: "nope"}},
+		{"base on plain solver", Spec{Name: NameGreedy, Base: NameUniform}},
+		{"base on randomized solver", Spec{Name: NameUniform, Base: NameGreedy}},
+	}
+	for _, tc := range cases {
+		if _, err := Solve(g, budgets, tc.spec, Options{Src: rng.New(1)}); err == nil {
+			t.Errorf("%s: Solve(%+v) succeeded, want error", tc.name, tc.spec)
+		}
+	}
+}
+
+// TestRefineEmitsRefineEvents pins the observability side: one obs.Refine
+// event per improvement pass, tagged with the refiner's name.
+func TestRefineEmitsRefineEvents(t *testing.T) {
+	g, budgets := hetInstance(t, 48, 5)
+	var tap refineTap
+	_, err := Solve(g, budgets, Spec{Name: NameAnneal, Base: NameGreedy},
+		Options{Tries: 1, Budget: 2000, Src: rng.New(1), Hooks: obs.Hooks{Trace: &tap}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tap.names) == 0 {
+		t.Fatal("no refine events emitted")
+	}
+	for _, name := range tap.names {
+		if name != NameAnneal {
+			t.Fatalf("refine event named %q, want %q", name, NameAnneal)
+		}
+	}
+}
+
+// refineTap collects the Name field of every obs.Refine event it sees.
+type refineTap struct{ names []string }
+
+func (r *refineTap) Emit(ev obs.Event) {
+	if ev.Type == obs.EvRefine {
+		r.names = append(r.names, ev.Name)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/domset"
@@ -14,44 +15,98 @@ import (
 	"repro/internal/rng"
 )
 
-// ErrCanceled reports that Options.Cancel fired before the driver produced
-// a schedule. experiments.ErrCanceled aliases this value, so the serve
-// layer's errors.Is checks (and its 504 mapping) see one identity across
-// the solver driver and the experiment runner.
+// ErrCanceled reports that the cancel contract (Options.Cancel or
+// Options.Deadline) fired before the driver produced a schedule.
+// experiments.ErrCanceled aliases this value, so the serve layer's
+// errors.Is checks (and its 504 mapping) see one identity across the
+// solver driver and the experiment runner.
 var ErrCanceled = errors.New("experiments: run canceled")
 
-// Options configures the Best/Race drivers.
+// Options configures the Solve driver. It replaces the positional
+// parameters the Best/Race signatures used to accumulate: every budget
+// knob — retry count, refinement iteration budget, wall-clock deadline,
+// cooperative cancel, race width — lives here, so growing the contract
+// never changes a signature again.
 type Options struct {
-	// Tries bounds the retry loop of one attempt. <= 0 means 1.
+	// Tries bounds the WHP retry loop of one attempt. <= 0 means 1.
 	Tries int
-	// Cancel, when non-nil, is polled before every retry; once it reports
-	// true the driver stops and returns ErrCanceled. This is the serve
-	// path's sticky deadline check.
+	// Budget bounds the candidate moves a refinement solver (tabu, anneal)
+	// may charge after the base schedule is drawn. <= 0 means
+	// DefaultRefineBudget. Non-refining solvers ignore it.
+	Budget int
+	// Deadline, when non-zero, is the wall-clock bound of the whole solve:
+	// once it passes, the WHP loop stops with ErrCanceled and a running
+	// refinement returns its best schedule so far (the anytime contract).
+	// It composes with Cancel — whichever fires first wins.
+	Deadline time.Time
+	// Cancel, when non-nil, is polled before every retry and refinement
+	// move; once it reports true the WHP loop stops and returns
+	// ErrCanceled. This is the serve path's sticky deadline check.
 	Cancel func() bool
-	// Hooks receives one obs.Attempt event per retry. The zero value is
-	// the free no-op.
+	// Hooks receives one obs.Attempt event per retry and one obs.Refine
+	// event per refinement pass. The zero value is the free no-op.
 	Hooks obs.Hooks
 	// Src seeds the randomized solvers. Nil means a fixed default seed
 	// (rng.New(1)), matching core.Options.
 	Src *rng.Source
-	// Pool, when non-nil, supplies the workers Race runs its attempts on
-	// (the serve worker pool, typically). Nil makes Race spin up a
-	// transient pool sized to the race width.
+	// Pool, when non-nil, supplies the workers a raced solve runs its
+	// attempts on (the serve worker pool, typically). Nil makes Solve spin
+	// up a transient pool sized to the race width.
 	Pool *par.Pool
+	// RaceWidth is the number of independently seeded attempts Solve races
+	// (rng.SplitN children, deterministic winner). <= 1 runs one
+	// sequential attempt.
+	RaceWidth int
 }
 
-// Best resolves spec.Name in the registry and runs the WHP retry loop the
-// legacy core.*WHP functions hard-coded per algorithm: up to Tries draws,
-// each truncated at its first non-k-dominating phase, keeping the best
-// truncated schedule and stopping early once it reaches the solver's
-// guaranteed lifetime. The final schedule passes the ValidateWith
-// feasibility gate before being returned — a violation there is a solver
-// bug and surfaces as an error, never as a bad schedule.
+// cancelFunc folds Cancel and Deadline into one sticky poll. Nil when
+// neither is set, so the hot loop skips the time syscall entirely.
+func (o Options) cancelFunc() func() bool {
+	cancel := o.Cancel
+	if o.Deadline.IsZero() {
+		return cancel
+	}
+	deadline := o.Deadline
+	fired := false
+	return func() bool {
+		if fired {
+			return true
+		}
+		if cancel != nil && cancel() {
+			fired = true
+			return true
+		}
+		if !time.Now().Before(deadline) {
+			fired = true
+			return true
+		}
+		return false
+	}
+}
+
+// Solve is the single driver entry point: it resolves spec.Name in the
+// registry, validates the instance once, and runs opt.RaceWidth
+// independently seeded attempts (sequentially for width <= 1, concurrently
+// on a pool otherwise), returning a deterministic winner — best lifetime,
+// lowest attempt index breaking ties.
 //
-// With the same source, tries, and spec, Best reproduces the legacy
-// per-algorithm loops draw for draw (the seed-pinned equivalence tests pin
-// this byte for byte).
-func Best(g *graph.Graph, budgets []int, spec Spec, opt Options) (*core.Schedule, error) {
+// Each attempt is the WHP retry loop the legacy core.*WHP functions
+// hard-coded per algorithm: up to Tries draws, each truncated at its first
+// non-k-dominating phase, keeping the best truncated schedule and stopping
+// early once it reaches the solver's guaranteed lifetime. When spec.Name
+// resolves to a Refiner (tabu, anneal), the attempt composes a pipeline:
+// the base solver named by spec.Base runs the WHP loop first, then Refine
+// improves its schedule under the Budget/Deadline/Cancel contract. The
+// final schedule passes the ValidateWith feasibility gate before being
+// returned — a violation there is a solver bug and surfaces as an error,
+// never as a bad schedule.
+//
+// With the same source, tries, and spec, a width-1 Solve reproduces the
+// legacy per-algorithm loops draw for draw (the seed-pinned equivalence
+// tests pin this byte for byte), and attempt i of a raced solve draws from
+// the i-th child of opt.Src, so the outcome depends only on (seed, width,
+// spec, tries, budget) — never on goroutine scheduling.
+func Solve(g *graph.Graph, budgets []int, spec Spec, opt Options) (*core.Schedule, error) {
 	sv, err := Resolve(spec.Name)
 	if err != nil {
 		return nil, err
@@ -60,31 +115,74 @@ func Best(g *graph.Graph, budgets []int, spec Spec, opt Options) (*core.Schedule
 	if err := sv.Validate(g, budgets, spec); err != nil {
 		return nil, err
 	}
-	tries := opt.Tries
-	if tries <= 0 {
-		tries = 1
+	if _, ok := sv.(Refiner); !ok && spec.Base != "" {
+		return nil, fmt.Errorf("solver: %s is not a refiner; base solver %q is only meaningful with one of %v",
+			spec.Name, spec.Base, RefinerNames())
 	}
+	if opt.RaceWidth <= 1 {
+		return solveOne(sv, g, budgets, spec, opt)
+	}
+	return race(sv, g, budgets, spec, opt)
+}
+
+// solveOne runs one sequential attempt: the WHP loop, plus the refinement
+// stage when sv is a Refiner. spec is normalized and validated.
+func solveOne(sv Solver, g *graph.Graph, budgets []int, spec Spec, opt Options) (*core.Schedule, error) {
 	src := opt.Src
 	if src == nil {
 		src = rng.New(1)
 	}
-	target := sv.GuaranteedLifetime(g, budgets, spec)
-	truncK := sv.TruncK(spec)
+	cancel := opt.cancelFunc()
 	ck := domset.NewChecker(g)
+
+	rf, refining := sv.(Refiner)
+	loopSolver, loopSpec := sv, spec
+	if refining {
+		// The base solver draws the starting schedule under its own
+		// guarantee/truncation contract; the refiner then improves it.
+		loopSpec = rf.BaseSpec(spec)
+		base, err := Resolve(loopSpec.Name)
+		if err != nil {
+			return nil, fmt.Errorf("solver: %s: %w", spec.Name, err)
+		}
+		loopSolver = base
+	}
+
+	tries := opt.Tries
+	if tries <= 0 {
+		tries = 1
+	}
+	target := loopSolver.GuaranteedLifetime(g, budgets, loopSpec)
+	loopK := loopSolver.TruncK(loopSpec)
 
 	var best *core.Schedule
 	for try := 0; try < tries; try++ {
-		if opt.Cancel != nil && opt.Cancel() {
+		if cancel != nil && cancel() {
 			return nil, ErrCanceled
 		}
-		s := sv.Generate(g, budgets, spec, src).TruncateInvalidWith(ck, truncK)
+		s := loopSolver.Generate(g, budgets, loopSpec, src).TruncateInvalidWith(ck, loopK)
 		if best == nil || s.Lifetime() > best.Lifetime() {
 			best = s
 		}
-		opt.Hooks.Emit(obs.Attempt(spec.Name, try, s.Lifetime(), best.Lifetime()))
+		opt.Hooks.Emit(obs.Attempt(loopSpec.Name, try, s.Lifetime(), best.Lifetime()))
 		if best.Lifetime() >= target {
 			break
 		}
+	}
+
+	truncK := sv.TruncK(spec)
+	if refining {
+		budget := opt.Budget
+		if budget <= 0 {
+			budget = DefaultRefineBudget
+		}
+		best = rf.Refine(g, budgets, best, spec, &Refinement{
+			Budget:  budget,
+			Cancel:  cancel,
+			Src:     src,
+			Hooks:   opt.Hooks,
+			Checker: ck,
+		})
 	}
 	if err := best.ValidateWith(ck, budgets, truncK); err != nil {
 		return nil, fmt.Errorf("solver: %s produced infeasible schedule: %w", spec.Name, err)
@@ -92,34 +190,16 @@ func Best(g *graph.Graph, budgets []int, spec Spec, opt Options) (*core.Schedule
 	return best, nil
 }
 
-// Race runs width independently seeded Best attempts concurrently and
-// returns a deterministic winner: the best lifetime, with the lowest
-// attempt index breaking ties. Attempt i draws from the i-th child of
-// opt.Src (rng.SplitN), so the outcome depends only on (seed, width, spec,
-// tries) — never on goroutine scheduling.
+// race runs opt.RaceWidth solveOne attempts concurrently and returns the
+// deterministic winner. sv is resolved, spec normalized and validated.
 //
-// width <= 1 delegates to Best with opt.Src untouched, so a width-1 race
-// is bit-identical to the sequential driver. Attempts run on opt.Pool when
-// given; a full pool is not an error — the attempt runs inline on the
-// calling goroutine instead, so Race never blocks behind foreign work and
-// never deadlocks on a busy shared pool.
-//
-// A fired cancel surfaces as ErrCanceled even when some attempts finished.
-func Race(g *graph.Graph, budgets []int, spec Spec, opt Options, width int) (*core.Schedule, error) {
-	if width <= 1 {
-		return Best(g, budgets, spec, opt)
-	}
-	// Fail fast (and only once) on unknown names and malformed input
-	// instead of spawning width attempts that all reject it.
-	sv, err := Resolve(spec.Name)
-	if err != nil {
-		return nil, err
-	}
-	nspec := spec.normalize()
-	if err := sv.Validate(g, budgets, nspec); err != nil {
-		return nil, err
-	}
-
+// Attempts run on opt.Pool when given; a full pool is not an error — the
+// attempt runs inline on the calling goroutine instead, so a raced solve
+// never blocks behind foreign work and never deadlocks on a busy shared
+// pool. A fired cancel surfaces as ErrCanceled even when some attempts
+// finished.
+func race(sv Solver, g *graph.Graph, budgets []int, spec Spec, opt Options) (*core.Schedule, error) {
+	width := opt.RaceWidth
 	src := opt.Src
 	if src == nil {
 		src = rng.New(1)
@@ -137,7 +217,8 @@ func Race(g *graph.Graph, budgets []int, spec Spec, opt Options, width int) (*co
 		o.Src = children[i]
 		o.Hooks = hooks
 		o.Pool = nil
-		results[i], errs[i] = Best(g, budgets, spec, o)
+		o.RaceWidth = 1
+		results[i], errs[i] = solveOne(sv, g, budgets, spec, o)
 	}
 
 	pool := opt.Pool
@@ -181,4 +262,23 @@ func Race(g *graph.Graph, budgets []int, spec Spec, opt Options, width int) (*co
 		return nil, firstErr
 	}
 	return best, nil
+}
+
+// Best runs one sequential attempt.
+//
+// Deprecated: use Solve, which takes the race width and budget contract
+// through Options. Best is Solve with RaceWidth <= 1 and remains only so
+// out-of-tree callers survive one PR of migration.
+func Best(g *graph.Graph, budgets []int, spec Spec, opt Options) (*core.Schedule, error) {
+	opt.RaceWidth = 1
+	return Solve(g, budgets, spec, opt)
+}
+
+// Race runs width independently seeded attempts concurrently.
+//
+// Deprecated: use Solve with Options.RaceWidth = width. Race remains only
+// so out-of-tree callers survive one PR of migration.
+func Race(g *graph.Graph, budgets []int, spec Spec, opt Options, width int) (*core.Schedule, error) {
+	opt.RaceWidth = width
+	return Solve(g, budgets, spec, opt)
 }

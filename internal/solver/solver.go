@@ -42,6 +42,8 @@ const (
 	NameLP        = "lp"        // LP relaxation with floored phase durations
 	NameExact     = "exact"     // branch-and-bound optimum (small graphs only)
 	NamePrune     = "prune"     // greedy + per-phase redundancy pruning + extension
+	NameTabu      = "tabu"      // anytime refiner: tabu search over a base schedule
+	NameAnneal    = "anneal"    // anytime refiner: simulated annealing over a base schedule
 )
 
 // Spec selects a registered algorithm and its parameters. The zero values
@@ -56,6 +58,10 @@ type Spec struct {
 	// KConst is the color-range constant of the randomized algorithms.
 	// <= 0 means the paper's 3.
 	KConst float64
+	// Base names the solver whose schedule a refinement solver (tabu,
+	// anneal) starts from; empty means greedy. Non-refining solvers reject
+	// a non-empty Base.
+	Base string
 }
 
 func (s Spec) normalize() Spec {
@@ -141,6 +147,21 @@ func Resolve(name string) (Solver, error) {
 		return nil, fmt.Errorf("solver: unknown algorithm %q (have %v)", name, Names())
 	}
 	return s, nil
+}
+
+// RefinerNames returns the registered names that implement the Refiner
+// capability, sorted. The cmds use it to document what -refine accepts.
+func RefinerNames() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	var names []string
+	for n, s := range registry {
+		if _, ok := s.(Refiner); ok {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	return names
 }
 
 // Guaranteed returns the w.h.p. lifetime target of the named algorithm on

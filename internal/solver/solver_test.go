@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/domset"
 	"repro/internal/experiments"
 	"repro/internal/gen"
 	"repro/internal/graph"
@@ -29,11 +30,30 @@ func uniformBudgets(n, b int) []int {
 	return out
 }
 
-// TestBestReproducesLegacyWHP is the seed-pinned equivalence contract of the
-// refactor: for every paper algorithm, solver.Best with a fresh source must
-// reproduce the exact schedule the deprecated core retry loop computes with
-// an identically seeded source — byte for byte, not just same lifetime.
-func TestBestReproducesLegacyWHP(t *testing.T) {
+// legacyWHP replays the retry/truncate/keep-best/early-stop loop the
+// deleted core.*WHP shims hard-coded per algorithm, composed from the
+// still-exported core primitives.
+func legacyWHP(g *graph.Graph, target, truncK, tries int, generate func() *core.Schedule) *core.Schedule {
+	ck := domset.NewChecker(g)
+	var best *core.Schedule
+	for try := 0; try < tries; try++ {
+		s := generate().TruncateInvalidWith(ck, truncK)
+		if best == nil || s.Lifetime() > best.Lifetime() {
+			best = s
+		}
+		if best.Lifetime() >= target {
+			break
+		}
+	}
+	return best
+}
+
+// TestSolveReproducesLegacyWHP is the seed-pinned equivalence contract of
+// the registry refactor: for every paper algorithm, solver.Solve with a
+// fresh source must reproduce the exact schedule the legacy per-algorithm
+// retry loop computes with an identically seeded source — byte for byte,
+// not just same lifetime.
+func TestSolveReproducesLegacyWHP(t *testing.T) {
 	g := testGraph(t)
 	const b, k, tries, seed = 4, 2, 12, 17
 
@@ -43,32 +63,38 @@ func TestBestReproducesLegacyWHP(t *testing.T) {
 		legacy  func() *core.Schedule
 	}{
 		{solver.Spec{Name: solver.NameUniform}, uniformBudgets(g.N(), b), func() *core.Schedule {
-			//lint:ignore SA1019 the shim's equivalence is exactly what this test pins
-			return core.UniformWHP(g, b, core.Options{Src: rng.New(seed)}, tries)
+			o := core.Options{Src: rng.New(seed)}
+			return legacyWHP(g, core.GuaranteedPhases(g, o)*b, 1, tries,
+				func() *core.Schedule { return core.Uniform(g, b, o) })
 		}},
 		{solver.Spec{Name: solver.NameGeneral}, rampBudgets(g.N()), func() *core.Schedule {
-			//lint:ignore SA1019 the shim's equivalence is exactly what this test pins
-			return core.GeneralWHP(g, rampBudgets(g.N()), core.Options{Src: rng.New(seed)}, tries)
+			o := core.Options{Src: rng.New(seed)}
+			budgets := rampBudgets(g.N())
+			return legacyWHP(g, core.GeneralGuaranteedSlots(g, budgets, o), 1, tries,
+				func() *core.Schedule { return core.General(g, budgets, o) })
 		}},
 		{solver.Spec{Name: solver.NameFT, K: k}, uniformBudgets(g.N(), b), func() *core.Schedule {
-			//lint:ignore SA1019 the shim's equivalence is exactly what this test pins
-			return core.FaultTolerantWHP(g, b, k, core.Options{Src: rng.New(seed)}, tries)
+			o := core.Options{Src: rng.New(seed)}
+			return legacyWHP(g, core.FaultTolerantGuarantee(g, b, k, o), k, tries,
+				func() *core.Schedule { return core.FaultTolerant(g, b, k, o) })
 		}},
 		{solver.Spec{Name: solver.NameGeneralFT, K: k}, rampBudgets(g.N()), func() *core.Schedule {
-			//lint:ignore SA1019 the shim's equivalence is exactly what this test pins
-			return core.GeneralFaultTolerantWHP(g, rampBudgets(g.N()), k, core.Options{Src: rng.New(seed)}, tries)
+			o := core.Options{Src: rng.New(seed)}
+			budgets := rampBudgets(g.N())
+			return legacyWHP(g, core.GeneralGuaranteedSlots(g, budgets, o)/k, k, tries,
+				func() *core.Schedule { return core.GeneralFaultTolerant(g, budgets, k, o) })
 		}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.spec.Name, func(t *testing.T) {
 			want := tc.legacy()
-			got, err := solver.Best(g, tc.budgets, tc.spec,
+			got, err := solver.Solve(g, tc.budgets, tc.spec,
 				solver.Options{Tries: tries, Src: rng.New(seed)})
 			if err != nil {
 				t.Fatal(err)
 			}
 			if !reflect.DeepEqual(got, want) {
-				t.Fatalf("solver.Best diverged from legacy loop:\n got lifetime %d (%d phases)\nwant lifetime %d (%d phases)",
+				t.Fatalf("solver.Solve diverged from legacy loop:\n got lifetime %d (%d phases)\nwant lifetime %d (%d phases)",
 					got.Lifetime(), len(got.Phases), want.Lifetime(), len(want.Phases))
 			}
 			if got.Lifetime() == 0 {
@@ -88,25 +114,40 @@ func rampBudgets(n int) []int {
 	return out
 }
 
-// TestRaceWidthOneEqualsBest pins the delegation contract: width <= 1 must
-// hand the parent source directly to Best, so racing is a pure superset of
-// the sequential driver.
-func TestRaceWidthOneEqualsBest(t *testing.T) {
+// TestSolveWidthOneSequential pins the delegation contract: RaceWidth <= 1
+// hands the parent source directly to the sequential attempt, so racing is
+// a pure superset of the sequential driver. It also pins the deprecated
+// Best/Race wrappers to Solve byte for byte.
+func TestSolveWidthOneSequential(t *testing.T) {
 	g := testGraph(t)
 	budgets := uniformBudgets(g.N(), 3)
 	spec := solver.Spec{Name: solver.NameUniform}
+	want, err := solver.Solve(g, budgets, spec, solver.Options{Tries: 8, Src: rng.New(5)})
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, width := range []int{0, 1} {
-		want, err := solver.Best(g, budgets, spec, solver.Options{Tries: 8, Src: rng.New(5)})
-		if err != nil {
-			t.Fatal(err)
-		}
-		got, err := solver.Race(g, budgets, spec, solver.Options{Tries: 8, Src: rng.New(5)}, width)
+		got, err := solver.Solve(g, budgets, spec,
+			solver.Options{Tries: 8, Src: rng.New(5), RaceWidth: width})
 		if err != nil {
 			t.Fatal(err)
 		}
 		if !reflect.DeepEqual(got, want) {
-			t.Fatalf("Race(width=%d) != Best: lifetime %d vs %d", width, got.Lifetime(), want.Lifetime())
+			t.Fatalf("Solve(RaceWidth=%d) != sequential: lifetime %d vs %d", width, got.Lifetime(), want.Lifetime())
 		}
+	}
+	//lint:ignore SA1019 the wrapper's delegation is exactly what this test pins
+	best, err := solver.Best(g, budgets, spec, solver.Options{Tries: 8, Src: rng.New(5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	//lint:ignore SA1019 the wrapper's delegation is exactly what this test pins
+	raced, err := solver.Race(g, budgets, spec, solver.Options{Tries: 8, Src: rng.New(5)}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(best, want) || !reflect.DeepEqual(raced, want) {
+		t.Fatal("deprecated Best/Race wrappers diverged from Solve")
 	}
 }
 
@@ -120,8 +161,8 @@ func TestRaceDeterministic(t *testing.T) {
 	for _, width := range []int{2, 4, 7} {
 		var want *core.Schedule
 		for rep := 0; rep < 3; rep++ {
-			got, err := solver.Race(g, budgets, spec,
-				solver.Options{Tries: 4, Src: rng.New(29)}, width)
+			got, err := solver.Solve(g, budgets, spec,
+				solver.Options{Tries: 4, Src: rng.New(29), RaceWidth: width})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -148,12 +189,12 @@ func TestRaceBeatsOrMatchesBest(t *testing.T) {
 	budgets := rampBudgets(g.N())
 	spec := solver.Spec{Name: solver.NameGeneral}
 	children := rng.New(29).SplitN(4)
-	first, err := solver.Best(g, budgets, spec, solver.Options{Tries: 4, Src: children[0]})
+	first, err := solver.Solve(g, budgets, spec, solver.Options{Tries: 4, Src: children[0]})
 	if err != nil {
 		t.Fatal(err)
 	}
-	raced, err := solver.Race(g, budgets, spec,
-		solver.Options{Tries: 4, Src: rng.New(29)}, 4)
+	raced, err := solver.Solve(g, budgets, spec,
+		solver.Options{Tries: 4, Src: rng.New(29), RaceWidth: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,7 +210,7 @@ func TestRaceBeatsOrMatchesBest(t *testing.T) {
 func TestBestCanceled(t *testing.T) {
 	g := testGraph(t)
 	budgets := uniformBudgets(g.N(), 3)
-	_, err := solver.Best(g, budgets, solver.Spec{Name: solver.NameUniform},
+	_, err := solver.Solve(g, budgets, solver.Spec{Name: solver.NameUniform},
 		solver.Options{Tries: 5, Cancel: func() bool { return true }, Src: rng.New(1)})
 	if !errors.Is(err, solver.ErrCanceled) {
 		t.Fatalf("want ErrCanceled, got %v", err)
@@ -186,8 +227,8 @@ func TestRaceCanceled(t *testing.T) {
 	budgets := uniformBudgets(g.N(), 3)
 	var calls atomic.Int64
 	cancel := func() bool { return calls.Add(1) > 2 }
-	_, err := solver.Race(g, budgets, solver.Spec{Name: solver.NameUniform},
-		solver.Options{Tries: 50, Cancel: cancel, Src: rng.New(1)}, 4)
+	_, err := solver.Solve(g, budgets, solver.Spec{Name: solver.NameUniform},
+		solver.Options{Tries: 50, Cancel: cancel, Src: rng.New(1), RaceWidth: 4})
 	if !errors.Is(err, solver.ErrCanceled) {
 		t.Fatalf("want ErrCanceled, got %v", err)
 	}
@@ -200,7 +241,7 @@ func TestBestEmitsAttemptEvents(t *testing.T) {
 	g := testGraph(t)
 	budgets := rampBudgets(g.N())
 	var mem obs.Memory
-	s, err := solver.Best(g, budgets, solver.Spec{Name: solver.NameGeneral},
+	s, err := solver.Solve(g, budgets, solver.Spec{Name: solver.NameGeneral},
 		solver.Options{Tries: 6, Src: rng.New(11), Hooks: obs.Hooks{Trace: &mem}})
 	if err != nil {
 		t.Fatal(err)
@@ -228,7 +269,7 @@ func TestBestEmitsAttemptEvents(t *testing.T) {
 
 // TestRegistryNames pins the registry contents and Resolve's error shape.
 func TestRegistryNames(t *testing.T) {
-	want := []string{"exact", "ft", "general", "generalft", "greedy", "lp", "prune", "uniform"}
+	want := []string{"anneal", "exact", "ft", "general", "generalft", "greedy", "lp", "prune", "tabu", "uniform"}
 	got := solver.Names()
 	if !sort.StringsAreSorted(got) {
 		t.Fatalf("Names() not sorted: %v", got)
@@ -263,7 +304,7 @@ func TestValidateRejections(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			if _, err := solver.Best(g, tc.budgets, tc.spec, solver.Options{Tries: 1, Src: rng.New(1)}); err == nil {
+			if _, err := solver.Solve(g, tc.budgets, tc.spec, solver.Options{Tries: 1, Src: rng.New(1)}); err == nil {
 				t.Fatal("accepted")
 			}
 		})
@@ -277,7 +318,7 @@ func TestBaselinesFeasible(t *testing.T) {
 	budgets := uniformBudgets(g.N(), 2)
 	for _, name := range []string{solver.NameGreedy, solver.NameLP, solver.NameExact, solver.NamePrune} {
 		t.Run(name, func(t *testing.T) {
-			s, err := solver.Best(g, budgets, solver.Spec{Name: name},
+			s, err := solver.Solve(g, budgets, solver.Spec{Name: name},
 				solver.Options{Tries: 1, Src: rng.New(1)})
 			if err != nil {
 				t.Fatal(err)
@@ -297,11 +338,11 @@ func TestPruneAtLeastGreedy(t *testing.T) {
 		g := gen.GNP(40, 0.2, rng.New(seed))
 		budgets := uniformBudgets(g.N(), 5)
 		opt := solver.Options{Tries: 1, Src: rng.New(seed)}
-		greedy, err := solver.Best(g, budgets, solver.Spec{Name: solver.NameGreedy}, opt)
+		greedy, err := solver.Solve(g, budgets, solver.Spec{Name: solver.NameGreedy}, opt)
 		if err != nil {
 			t.Fatal(err)
 		}
-		pruned, err := solver.Best(g, budgets, solver.Spec{Name: solver.NamePrune}, opt)
+		pruned, err := solver.Solve(g, budgets, solver.Spec{Name: solver.NamePrune}, opt)
 		if err != nil {
 			t.Fatal(err)
 		}
