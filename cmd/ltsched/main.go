@@ -27,7 +27,9 @@ import (
 	"repro/internal/core"
 	"repro/internal/domset"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/rng"
+	"repro/internal/shard"
 	"repro/internal/solver"
 )
 
@@ -50,6 +52,9 @@ func run() error {
 	raceWidth := flag.Int("race-width", 1, "independently seeded attempts raced concurrently")
 	refine := flag.String("refine", "", "refinement solver run on -alg's schedule: "+
 		strings.Join(solver.RefinerNames(), "|")+" (\"\" = off)")
+	shards := flag.Int("shards", 1, "partition into this many shards, solve concurrently, stitch with boundary repair (1 = whole graph)")
+	partitioner := flag.String("partitioner", "bfs", "shard partitioner: "+
+		strings.Join(shard.Partitioners(), "|")+" (geom needs coordinates; edge-list input supports bfs)")
 	bf := budgetflag.Register(flag.CommandLine)
 	gantt := flag.Bool("gantt", false, "print an ASCII Gantt chart")
 	csv := flag.Bool("csv", false, "print the schedule as CSV")
@@ -87,20 +92,39 @@ func run() error {
 	if *refine != "" {
 		spec.Name, spec.Base = *refine, *alg
 	}
+	tolerance := *k
+	if tolerance < 1 {
+		tolerance = 1
+	}
 	opt := solver.Options{Tries: *tries, Src: src.Split(), RaceWidth: *raceWidth}
 	bf.Apply(&opt, time.Now())
-	s, err := solver.Solve(g, batteries, spec, opt)
-	if err != nil {
-		return err
+	var s *core.Schedule
+	var st *shard.Stitched
+	if *shards > 1 {
+		p, err := shard.ByName(*partitioner, g, nil, *shards, *seed)
+		if err != nil {
+			return err
+		}
+		solved, err := shard.SolveShards(p, batteries, shard.Options{
+			Spec: spec, Solver: opt, Seed: *seed, TransientPool: true,
+		})
+		if err != nil {
+			return err
+		}
+		if st, err = shard.Stitch(g, p, batteries, solved, tolerance, obs.Hooks{}); err != nil {
+			return err
+		}
+		s = st.Schedule
+	} else {
+		var err error
+		if s, err = solver.Solve(g, batteries, spec, opt); err != nil {
+			return err
+		}
 	}
 
 	// The driver already ran the ValidateWith feasibility gate over every
 	// schedule — randomized and baseline alike — so a violation here means
 	// the batteries drifted between solve and print; keep the belt anyway.
-	tolerance := *k
-	if tolerance < 1 {
-		tolerance = 1
-	}
 	if err := s.ValidateWith(domset.NewChecker(g), batteries, tolerance); err != nil {
 		return fmt.Errorf("produced schedule failed validation: %v", err)
 	}
@@ -111,6 +135,14 @@ func run() error {
 		algLabel = *alg + "+" + *refine
 	}
 	fmt.Printf("algorithm: %s (K=%.1f seed=%d)\n", algLabel, *kConst, *seed)
+	if st != nil {
+		fmt.Printf("sharded: %d shards (%s), %d boundary repairs, %d replans",
+			*shards, *partitioner, st.Repairs, st.Replans)
+		if st.Degraded {
+			fmt.Print(", degraded")
+		}
+		fmt.Println()
+	}
 	fmt.Printf("lifetime: %d slots in %d phases\n", s.Lifetime(), len(s.Phases))
 	switch *alg {
 	case solver.NameUniform:

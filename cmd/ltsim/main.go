@@ -38,6 +38,7 @@ import (
 
 	"repro/internal/budgetflag"
 	"repro/internal/chaos"
+	"repro/internal/core"
 	"repro/internal/energy"
 	"repro/internal/graph"
 	"repro/internal/heal"
@@ -46,6 +47,7 @@ import (
 	"repro/internal/rng"
 	"repro/internal/sensim"
 	"repro/internal/serve"
+	"repro/internal/shard"
 	"repro/internal/solver"
 )
 
@@ -58,22 +60,24 @@ func main() {
 
 // flags collects the command-line configuration so validation is testable.
 type flags struct {
-	alg      string
-	refine   string
-	b        int
-	bmax     int
-	k        int
-	failures int
-	loss     float64
-	healing  bool
-	chaos    string
-	trace    string // JSONL event-trace output path ("" = off)
-	metrics  bool   // print the aggregated metrics after the run
-	obsAddr  string // serve the live metrics snapshot over HTTP ("" = off)
-	delta    string // JSON graph.Delta to apply mid-run ("" = off)
-	deltaAt  int    // slot at which the delta lands
-	overlap  int    // overlap window for the planned transition
-	wakeloss float64
+	alg         string
+	refine      string
+	b           int
+	bmax        int
+	k           int
+	failures    int
+	loss        float64
+	healing     bool
+	chaos       string
+	trace       string // JSONL event-trace output path ("" = off)
+	metrics     bool   // print the aggregated metrics after the run
+	obsAddr     string // serve the live metrics snapshot over HTTP ("" = off)
+	delta       string // JSON graph.Delta to apply mid-run ("" = off)
+	deltaAt     int    // slot at which the delta lands
+	overlap     int    // overlap window for the planned transition
+	wakeloss    float64
+	shards      int    // partition-solve-stitch when > 1
+	partitioner string // shard partitioner name
 }
 
 // validate rejects nonsensical flag combinations with actionable errors —
@@ -126,6 +130,19 @@ func (f flags) validate() error {
 	if f.wakeloss > 0 && f.delta == "" {
 		return fmt.Errorf("-wakeloss models missed schedule installs and needs -delta")
 	}
+	if f.shards < 0 {
+		return fmt.Errorf("-shards %d: shard count must not be negative", f.shards)
+	}
+	if f.shards > 1 {
+		switch f.partitioner {
+		case "", "bfs":
+		case "geom":
+			return fmt.Errorf("-partitioner geom needs node coordinates, which edge-list input does not carry; use bfs")
+		default:
+			return fmt.Errorf("unknown partitioner %q (have %s)", f.partitioner,
+				strings.Join(shard.Partitioners(), ", "))
+		}
+	}
 	return nil
 }
 
@@ -154,6 +171,9 @@ func run() error {
 	flag.IntVar(&f.deltaAt, "delta-at", 0, "slot at which the -delta lands")
 	flag.IntVar(&f.overlap, "overlap", reconfig.DefaultOverlap, "overlap slots for the planned transition (0 = naive swap)")
 	flag.Float64Var(&f.wakeloss, "wakeloss", 0, "probability a sleeping survivor misses the new schedule's install (with -delta)")
+	flag.IntVar(&f.shards, "shards", 1, "partition into this many shards, solve concurrently, stitch with boundary repair (1 = whole graph)")
+	flag.StringVar(&f.partitioner, "partitioner", "bfs", "shard partitioner: "+
+		strings.Join(shard.Partitioners(), "|")+" (edge-list input supports bfs)")
 	flag.Parse()
 
 	if err := f.validate(); err != nil {
@@ -203,9 +223,34 @@ func run() error {
 	}
 	opt := solver.Options{Tries: *tries, Src: src.Split()}
 	bf.Apply(&opt, time.Now())
-	s, err := solver.Solve(g, budgets, spec, opt)
-	if err != nil {
-		return err
+	var s *core.Schedule
+	if f.shards > 1 {
+		tolerance := spec.K
+		if tolerance < 1 {
+			tolerance = 1
+		}
+		p, err := shard.ByName(f.partitioner, g, nil, f.shards, *seed)
+		if err != nil {
+			return err
+		}
+		solved, err := shard.SolveShards(p, budgets, shard.Options{
+			Spec: spec, Solver: opt, Seed: *seed, TransientPool: true,
+		})
+		if err != nil {
+			return err
+		}
+		st, err := shard.Stitch(g, p, budgets, solved, tolerance, obs.Hooks{})
+		if err != nil {
+			return err
+		}
+		s = st.Schedule
+		fmt.Printf("sharded solve: %d shards (%s), %d boundary repairs, %d replans\n",
+			f.shards, f.partitioner, st.Repairs, st.Replans)
+	} else {
+		var err error
+		if s, err = solver.Solve(g, budgets, spec, opt); err != nil {
+			return err
+		}
 	}
 
 	horizon := maxInt(1, s.Lifetime())

@@ -25,6 +25,9 @@ func TestValidateFlags(t *testing.T) {
 		{"negative overlap", flags{alg: "uniform", b: 3, k: 1, delta: "d.json", overlap: -1}},
 		{"wakeloss out of range", flags{alg: "uniform", b: 3, k: 1, delta: "d.json", wakeloss: 1.0}},
 		{"wakeloss without delta", flags{alg: "uniform", b: 3, k: 1, wakeloss: 0.5}},
+		{"negative shards", flags{alg: "uniform", b: 3, k: 1, shards: -2}},
+		{"geom partitioner", flags{alg: "uniform", b: 3, k: 1, shards: 4, partitioner: "geom"}},
+		{"unknown partitioner", flags{alg: "uniform", b: 3, k: 1, shards: 4, partitioner: "metis"}},
 	}
 	for _, c := range cases {
 		if err := c.f.validate(); err == nil {
@@ -50,6 +53,10 @@ func TestValidateFlags(t *testing.T) {
 	obsHeal := flags{alg: "ft", b: 3, k: 2, healing: true, trace: "run.jsonl"}
 	if err := obsHeal.validate(); err != nil {
 		t.Errorf("obs flags with heal rejected: %v", err)
+	}
+	shardOK := flags{alg: "uniform", b: 3, k: 1, shards: 4, partitioner: "bfs"}
+	if err := shardOK.validate(); err != nil {
+		t.Errorf("shard flags rejected: %v", err)
 	}
 	deltaOK := flags{alg: "uniform", b: 3, k: 1,
 		delta: "d.json", deltaAt: 2, overlap: 2, wakeloss: 0.5, chaos: "", trace: "run.jsonl"}

@@ -218,7 +218,7 @@ func toCase(name string, r testing.BenchmarkResult, baseline float64) Case {
 func Run(quick bool) Report {
 	rep := Report{
 		Schema:      Schema,
-		PR:          "PR8",
+		PR:          "PR9",
 		GoVersion:   runtime.Version(),
 		GOOS:        runtime.GOOS,
 		GOARCH:      runtime.GOARCH,
@@ -292,6 +292,7 @@ func Run(quick bool) Report {
 		}
 	}
 
+	rep.Cases = append(rep.Cases, runFoldParCases(quick)...)
 	rep.Cases = append(rep.Cases, runSolverCases(quick)...)
 	refineCases, curves := runRefineCases(quick)
 	rep.Cases = append(rep.Cases, refineCases...)
@@ -299,6 +300,7 @@ func Run(quick bool) Report {
 	rep.Cases = append(rep.Cases, runSensimCases(quick)...)
 	rep.Cases = append(rep.Cases, runServeCases(quick)...)
 	rep.Cases = append(rep.Cases, runReconfigCases(quick)...)
+	rep.Cases = append(rep.Cases, runShardCases(quick)...)
 	rep.Cases = append(rep.Cases, runExperimentCase(quick))
 	return rep
 }

@@ -50,7 +50,7 @@ func TestRunQuickProducesReport(t *testing.T) {
 		t.Skip("bench suite is slow")
 	}
 	rep := Run(true)
-	if rep.Schema != Schema || rep.PR != "PR8" || !rep.Quick {
+	if rep.Schema != Schema || rep.PR != "PR9" || !rep.Quick {
 		t.Fatalf("bad report header: schema=%s pr=%s quick=%v", rep.Schema, rep.PR, rep.Quick)
 	}
 	if len(rep.Cases) == 0 {
@@ -78,6 +78,7 @@ func TestRunQuickProducesReport(t *testing.T) {
 	var obsOff, obsMetrics *Case
 	var patchMiss, patchHit *Case
 	var flip, prune *Case
+	var shardCold, shardWarm *Case
 	for i, c := range rep.Cases {
 		if c.Iterations <= 0 || c.NsPerOp <= 0 {
 			t.Fatalf("case %s did not run: %+v", c.Name, c)
@@ -108,6 +109,11 @@ func TestRunQuickProducesReport(t *testing.T) {
 		if strings.Contains(c.Name, "solver/prune") {
 			prune = &rep.Cases[i]
 		}
+		if strings.Contains(c.Name, "shard/stitch/shards=4/cache=warm") {
+			shardWarm = &rep.Cases[i]
+		} else if strings.Contains(c.Name, "shard/stitch/shards=4") {
+			shardCold = &rep.Cases[i]
+		}
 	}
 	if flip == nil {
 		t.Fatal("kernel/Flip cases missing from the suite")
@@ -120,6 +126,20 @@ func TestRunQuickProducesReport(t *testing.T) {
 	if flip.NsPerOp >= flip.BaselineNsPerOp {
 		t.Fatalf("session Flip (%v ns/op) not faster than a full re-fold (%v ns/op)",
 			flip.NsPerOp, flip.BaselineNsPerOp)
+	}
+	if shardCold == nil || shardWarm == nil {
+		t.Fatal("shard pipeline cases missing from the suite")
+	}
+	// The warm case carries the cold 4-shard run as baseline: with every
+	// per-shard schedule content-addressed in the cache, the pipeline is
+	// reduced to key hashing plus the stitch, which must beat re-solving.
+	if shardWarm.BaselineNsPerOp != shardCold.NsPerOp {
+		t.Fatalf("shard warm baseline %v, want cold time %v",
+			shardWarm.BaselineNsPerOp, shardCold.NsPerOp)
+	}
+	if shardWarm.NsPerOp >= shardCold.NsPerOp {
+		t.Fatalf("warm shard pipeline (%v ns/op) not faster than cold (%v ns/op)",
+			shardWarm.NsPerOp, shardCold.NsPerOp)
 	}
 	if obsOff == nil || obsMetrics == nil {
 		t.Fatal("obs overhead cases missing from the suite")

@@ -12,7 +12,7 @@ import (
 func quickCfg() Config { return Config{Seed: 42, Quick: true, Trials: 2} }
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19", "E20", "E21", "E22", "E23", "E24", "E25"}
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19", "E20", "E21", "E22", "E23", "E24", "E25", "E26"}
 	ids := IDs()
 	if len(ids) != len(want) {
 		t.Fatalf("registry has %v, want %v", ids, want)

@@ -1,0 +1,71 @@
+package heal
+
+import (
+	"sort"
+
+	"repro/internal/domset"
+	"repro/internal/graph"
+)
+
+// RecruitCover is the centralized form of the patch protocol's grant rule
+// (recruitNode.pickBidders): for every under-covered node it enlists the
+// deficit-many highest-residual idle candidates from the node's closed
+// neighborhood, ties to the lower ID. Where the distributed protocol
+// discovers bids over a lossy radio, this entry point reads them straight
+// from the residual function — it is what a coordinator with a global view
+// runs, and it is the repair rung the shard stitcher reuses at tile
+// boundaries before escalating to sched.Replan.
+//
+// sess must be an open session over the current active set (all-alive mask
+// or whatever mask the caller scores coverage against); enlisted nodes are
+// flipped into it, so the caller's coverage queries see the repair
+// immediately. residual(v) reports how many more whole slots v can fund —
+// candidates with residual < need are never enlisted. Each recruit is
+// reported through emit (which may be nil) before it is flipped.
+//
+// It returns the recruited nodes in enlistment order and whether every
+// uncovered node reached k dominators. A false return leaves the session
+// holding the partial repair: callers decide whether to keep it (heal's
+// degraded slots do) or escalate.
+func RecruitCover(g *graph.Graph, sess *domset.Session, uncovered []int, k, need int, residual func(v int) int, emit func(recruit, uncovered int)) ([]int, bool) {
+	var recruited []int
+	var cands []int
+	ok := true
+	for _, v := range uncovered {
+		deficit := k - sess.Dominators(v)
+		if deficit <= 0 {
+			continue // an earlier grant already covered v
+		}
+		// Bids: idle closed neighbors that can fund `need` more slots.
+		cands = cands[:0]
+		if !sess.Contains(v) && sess.IsAlive(v) && residual(v) >= need {
+			cands = append(cands, v)
+		}
+		for _, u := range g.Neighbors(v) {
+			if !sess.Contains(int(u)) && sess.IsAlive(int(u)) && residual(int(u)) >= need {
+				cands = append(cands, int(u))
+			}
+		}
+		sort.Slice(cands, func(i, j int) bool {
+			ri, rj := residual(cands[i]), residual(cands[j])
+			if ri != rj {
+				return ri > rj
+			}
+			return cands[i] < cands[j]
+		})
+		if len(cands) > deficit {
+			cands = cands[:deficit]
+		}
+		for _, u := range cands {
+			if emit != nil {
+				emit(u, v)
+			}
+			sess.Flip(u)
+			recruited = append(recruited, u)
+		}
+		if len(cands) < deficit {
+			ok = false
+		}
+	}
+	return recruited, ok
+}

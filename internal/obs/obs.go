@@ -90,6 +90,13 @@ const (
 	// EvWakeMiss reports Node sleeping through its first scheduled wake-up
 	// after a live schedule install at slot T (dissemination loss).
 	EvWakeMiss
+	// EvShard reports one stage of a sharded solve. Name = stage ("solve"
+	// for a per-shard solve, "hit" for a shard-cache hit, "repair" for a
+	// boundary recruitment, "replan" for a shard replan escalation,
+	// "truncate" for a stitch giving up at T). Node = shard index (-1 for
+	// whole-partition stages), T = stitch time slot where meaningful,
+	// A/B = stage-specific payload (see the Shard constructor).
+	EvShard
 )
 
 var eventNames = [...]string{
@@ -112,6 +119,7 @@ var eventNames = [...]string{
 	EvRefine:     "refine",
 	EvReconfig:   "reconfig",
 	EvWakeMiss:   "wake_miss",
+	EvShard:      "shard",
 }
 
 // String returns the JSONL name of the event type.
@@ -218,6 +226,17 @@ func Reconfig(t, overlap, energy int, mode string) Event {
 
 // WakeMiss reports a node missing its first wake-up after a live install.
 func WakeMiss(t, node int) Event { return Event{Type: EvWakeMiss, T: t, Node: node} }
+
+// Shard reports one stage of a sharded solve. stage is "solve" (shard solved
+// fresh, A = schedule lifetime), "hit" (shard served from the compositional
+// cache, A = schedule lifetime), "repair" (boundary recruitment at slot t,
+// A = recruited node, B = uncovered node it covers), "replan" (escalation at
+// slot t, A = the replanned tail's lifetime), or "truncate" (stitch gave up
+// at slot t, A = uncovered node count). shard is the shard index, -1 for
+// whole-partition stages.
+func Shard(stage string, shard, t, a, b int) Event {
+	return Event{Type: EvShard, Name: stage, T: t, Node: shard, A: a, B: b}
+}
 
 // Tracer receives the event stream of an instrumented execution. Emit is
 // called synchronously from the runtime hot path, so implementations should

@@ -71,6 +71,14 @@ type Request struct {
 	// instance (non-uniform residuals, dead nodes) fall back to
 	// sched.Replan, flagging the plan degraded.
 	Solver string
+	// Incoming, when non-nil, is a precomputed incoming schedule for the
+	// post-delta instance (post-delta node IDs), and the solver ladder is
+	// skipped entirely — this is how the sharded serving path re-solves only
+	// the shards a delta touched and hands the stitched result in. The
+	// overlap ladder still runs: contributors are the outgoing nodes that
+	// can afford extra awake slots beyond what Incoming already charges
+	// them, and the assembled plan is verified slot by slot as usual.
+	Incoming *core.Schedule
 	// Seed, Tries drive the randomized solvers; ignored by greedy.
 	Seed  uint64
 	Tries int
@@ -212,6 +220,13 @@ func Compute(g *graph.Graph, req Request) (*Plan, error) {
 	plan := &Plan{Graph: g2, Budgets: budgets2, Alive: alive2, Mapping: mapping}
 	ck := domset.NewChecker(g2)
 
+	// With a precomputed incoming schedule, a contributor's headroom is what
+	// its budget leaves beyond the incoming schedule's own charge.
+	var preUsage []int
+	if req.Incoming != nil {
+		preUsage = req.Incoming.Usage(g2.N())
+	}
+
 	fellBack := false
 	for w := req.Overlap; w >= 0; w-- {
 		if req.Cancel != nil && req.Cancel() {
@@ -220,7 +235,11 @@ func Compute(g *graph.Graph, req Request) (*Plan, error) {
 		// Contributors: outgoing nodes that can afford w extra awake slots.
 		var contributors []int
 		for _, v := range outgoing {
-			if budgets2[v] >= w {
+			headroom := budgets2[v]
+			if preUsage != nil {
+				headroom -= preUsage[v]
+			}
+			if headroom >= w {
 				contributors = append(contributors, v)
 			}
 		}
@@ -232,9 +251,13 @@ func Compute(g *graph.Graph, req Request) (*Plan, error) {
 			charged[v] -= w
 		}
 
-		incoming, fb, err := solveIncoming(g2, charged, k, alive2, solverName, req)
-		if err != nil {
-			return nil, err
+		incoming, fb := req.Incoming, false
+		if incoming == nil {
+			var err error
+			incoming, fb, err = solveIncoming(g2, charged, k, alive2, solverName, req)
+			if err != nil {
+				return nil, err
+			}
 		}
 		if incoming.Lifetime() == 0 {
 			continue

@@ -120,11 +120,18 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		}
 		hooks := obs.Hooks{Trace: attemptTracer{s.met.solverAttempts}}
 		defs := SolveDefaults{Budget: s.cfg.DefaultBudget, TimeBudget: s.cfg.DefaultTimeBudget}
+		if req.Shards > 1 {
+			sched, part, err := s.solveSharded(g, budgets, &req, defs, hooks, cancel)
+			if err != nil {
+				return nil, err
+			}
+			return scheduleResult(key, &req, g, budgets, sched, part, defs)
+		}
 		sched, err := Solve(g, budgets, &req, width, defs, hooks, cancel)
 		if err != nil {
 			return nil, err
 		}
-		return scheduleResult(key, &req, g, budgets, sched)
+		return scheduleResult(key, &req, g, budgets, sched, nil, defs)
 	}
 	s.dispatch(w, r, key, "schedule",
 		timeoutFromMS(req.TimeoutMS, s.cfg.DefaultTimeout), req.Async, run)

@@ -53,6 +53,17 @@ type metrics struct {
 	invalidated        *obs.Counter
 	overlapEnergy      *obs.Counter
 
+	// The serve.shard_* group observes sharded solves (Request.Shards > 1):
+	// serve.shard_solves counts per-shard solver runs, serve.shard_cache_hits
+	// the shards answered from the compositional cache instead — after a
+	// PATCH whose delta touched one tile, exactly one solve and shards-1 hits.
+	// serve.shard_repairs and serve.shard_replans count the stitcher's
+	// boundary recruitments and shard replan escalations.
+	shardSolves    *obs.Counter
+	shardCacheHits *obs.Counter
+	shardRepairs   *obs.Counter
+	shardReplans   *obs.Counter
+
 	queueDepth *obs.Gauge
 	running    *obs.Gauge
 	pending    *obs.Gauge
@@ -85,12 +96,17 @@ func newMetrics(reg *obs.Registry) *metrics {
 		reconfigViolations: reg.Counter("serve.reconfig_violations"),
 		invalidated:        reg.Counter("serve.invalidated"),
 		overlapEnergy:      reg.Counter("serve.overlap_energy"),
-		queueDepth:        reg.Gauge("serve.queue_depth"),
-		running:           reg.Gauge("serve.running"),
-		pending:           reg.Gauge("serve.pending"),
-		latencyMS:         reg.Histogram("serve.latency_ms", LatencyBounds),
-		queueWaitMS:       reg.Histogram("serve.queue_wait_ms", LatencyBounds),
-		solveMS:           reg.Histogram("serve.solve_ms", LatencyBounds),
+
+		shardSolves:    reg.Counter("serve.shard_solves"),
+		shardCacheHits: reg.Counter("serve.shard_cache_hits"),
+		shardRepairs:   reg.Counter("serve.shard_repairs"),
+		shardReplans:   reg.Counter("serve.shard_replans"),
+		queueDepth:     reg.Gauge("serve.queue_depth"),
+		running:        reg.Gauge("serve.running"),
+		pending:        reg.Gauge("serve.pending"),
+		latencyMS:      reg.Histogram("serve.latency_ms", LatencyBounds),
+		queueWaitMS:    reg.Histogram("serve.queue_wait_ms", LatencyBounds),
+		solveMS:        reg.Histogram("serve.solve_ms", LatencyBounds),
 	}
 }
 

@@ -6,10 +6,13 @@ import (
 	"net/http"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/reconfig"
+	"repro/internal/shard"
 	"repro/internal/solver"
 )
 
@@ -27,6 +30,15 @@ type scheduleCtx struct {
 	seed      uint64
 	tries     int
 	sched     *core.Schedule
+	// spec and budget are the resolved solver spec and refinement budget the
+	// schedule was computed with — what a sharded re-solve must replay for
+	// untouched shards to hit the compositional cache.
+	spec   solver.Spec
+	budget int
+	// part, when non-nil, is the partition the schedule was stitched from;
+	// PATCH rebases it through the delta mapping and re-solves only the
+	// shards the delta touched.
+	part *shard.Partition
 }
 
 // PatchRequest is the body of PATCH /v1/schedule/{fingerprint}: a live graph
@@ -169,6 +181,31 @@ func (s *Server) handlePatch(w http.ResponseWriter, r *http.Request) {
 	}
 
 	run := func(cancel func() bool) (*Result, error) {
+		// Sharded base: re-solve through the partition instead of the
+		// reconfig solver ladder. The delta's mapping rebases the partition;
+		// untouched shards keep their local instances, hence their
+		// content-addressed keys, hence hit the cache — a single-tile delta
+		// re-solves exactly one shard.
+		var incoming *core.Schedule
+		var part2 *shard.Partition
+		if ctx.part != nil {
+			g2, budgets2, mapping, err := req.Delta.Apply(ctx.g, residual)
+			if err != nil {
+				return nil, err
+			}
+			part2 = ctx.part.Rebase(g2, mapping)
+			opt := s.shardOptions(ctx.spec, ctx.seed, ctx.tries, ctx.budget,
+				time.Time{}, obs.Hooks{}, cancel)
+			solved, err := shard.SolveShards(part2, budgets2, opt)
+			if err != nil {
+				return nil, err
+			}
+			st, err := s.stitchCounted(g2, part2, budgets2, solved, ctx.k, obs.Hooks{})
+			if err != nil {
+				return nil, err
+			}
+			incoming = st.Schedule
+		}
 		p, err := reconfig.Compute(ctx.g, reconfig.Request{
 			Old:      ctx.sched,
 			At:       req.At,
@@ -180,6 +217,7 @@ func (s *Server) handlePatch(w http.ResponseWriter, r *http.Request) {
 			Seed:     req.seedOrDefault(),
 			Tries:    req.triesOrDefault(),
 			Cancel:   cancel,
+			Incoming: incoming,
 		})
 		if err != nil {
 			return nil, err
@@ -198,7 +236,7 @@ func (s *Server) handlePatch(w http.ResponseWriter, r *http.Request) {
 		// fingerprint.
 		dropped := s.invalidateFingerprint(fp)
 		s.met.invalidated.Add(uint64(dropped))
-		return patchResult(key, fp, &req, overlap, ctx, p, dropped)
+		return patchResult(key, fp, &req, overlap, ctx, p, dropped, part2)
 	}
 	s.dispatch(w, r, key, "reconfig",
 		timeoutFromMS(req.TimeoutMS, s.cfg.DefaultTimeout), req.Async, run)
@@ -245,7 +283,7 @@ func selectBase(candidates []*Result, fp, algorithm string) (*Result, int, strin
 // carrying a fresh scheduleCtx for the post-delta instance so subsequent
 // PATCHes can chain onto the new fingerprint.
 func patchResult(key, priorFP string, req *PatchRequest, overlap int,
-	base *scheduleCtx, p *reconfig.Plan, invalidated int) (*Result, error) {
+	base *scheduleCtx, p *reconfig.Plan, invalidated int, part *shard.Partition) (*Result, error) {
 	sched := p.Schedule()
 	res, err := scheduleJSON(sched)
 	if err != nil {
@@ -254,6 +292,27 @@ func patchResult(key, priorFP string, req *PatchRequest, overlap int,
 	algorithm := req.Solver
 	if algorithm == "" {
 		algorithm = solver.NameGreedy
+	}
+	ctx := &scheduleCtx{
+		g:         p.Graph,
+		budgets:   p.Budgets,
+		k:         base.k,
+		algorithm: algorithm,
+		seed:      req.seedOrDefault(),
+		tries:     req.triesOrDefault(),
+		sched:     sched,
+	}
+	if part != nil {
+		// A sharded base stays sharded: the next PATCH rebases this
+		// partition in turn, and replaying the base's solver parameters is
+		// what keeps untouched shards hitting the compositional cache.
+		ctx.part = part
+		ctx.spec = base.spec
+		ctx.budget = base.budget
+		ctx.seed = base.seed
+		ctx.tries = base.tries
+		ctx.algorithm = base.algorithm
+		algorithm = base.algorithm
 	}
 	newFP := p.Graph.Fingerprint()
 	return &Result{
@@ -271,14 +330,6 @@ func patchResult(key, priorFP string, req *PatchRequest, overlap int,
 		Violation:        p.Violation,
 		Invalidated:      invalidated,
 		Mapping:          p.Mapping,
-		ctx: &scheduleCtx{
-			g:         p.Graph,
-			budgets:   p.Budgets,
-			k:         base.k,
-			algorithm: algorithm,
-			seed:      req.seedOrDefault(),
-			tries:     req.triesOrDefault(),
-			sched:     sched,
-		},
+		ctx:              ctx,
 	}, nil
 }

@@ -6,8 +6,10 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/graph"
+	"repro/internal/shard"
 	"repro/internal/solver"
 )
 
@@ -80,10 +82,10 @@ type Request struct {
 	// algorithms (uniform, ft) accept Batteries only if all entries agree.
 	Battery   int     `json:"battery,omitempty"`
 	Batteries []int   `json:"batteries,omitempty"`
-	K      int     `json:"k,omitempty"`      // domination tolerance; default 1
-	KConst float64 `json:"kconst,omitempty"` // color-range constant; default 3
-	Seed   uint64  `json:"seed,omitempty"`   // randomness seed; default 1
-	Tries  int     `json:"tries,omitempty"`  // WHP retry budget; default 30
+	K         int     `json:"k,omitempty"`      // domination tolerance; default 1
+	KConst    float64 `json:"kconst,omitempty"` // color-range constant; default 3
+	Seed      uint64  `json:"seed,omitempty"`   // randomness seed; default 1
+	Tries     int     `json:"tries,omitempty"`  // WHP retry budget; default 30
 	// Refine names a refinement solver ("tabu", "anneal") to run on top of
 	// Algorithm's schedule; empty means no refinement. Budget bounds the
 	// refiner's candidate moves (0 = solver default), and TimeBudgetMS is the
@@ -93,8 +95,16 @@ type Request struct {
 	Refine       string `json:"refine,omitempty"`
 	Budget       int    `json:"budget,omitempty"`
 	TimeBudgetMS int    `json:"time_budget_ms,omitempty"`
-	TimeoutMS    int    `json:"timeout_ms,omitempty"` // per-request deadline; default server-side
-	Async        bool   `json:"async,omitempty"`      // 202 + poll /v1/jobs/{key} instead of waiting
+	// Shards > 1 partitions the graph (internal/shard), solves every shard
+	// independently against the server's compositional shard cache, and
+	// stitches the results with boundary repair. 0 or 1 solves whole.
+	// Partitioner names the strategy; service graphs arrive as edge lists
+	// with no coordinates, so only "bfs" (the default) is accepted. Both
+	// change the response, so both are part of the cache key.
+	Shards      int    `json:"shards,omitempty"`
+	Partitioner string `json:"partitioner,omitempty"`
+	TimeoutMS   int    `json:"timeout_ms,omitempty"` // per-request deadline; default server-side
+	Async       bool   `json:"async,omitempty"`      // 202 + poll /v1/jobs/{key} instead of waiting
 }
 
 func (r *Request) k() int {
@@ -185,6 +195,17 @@ func (r *Request) resolve(maxNodes int) (*graph.Graph, []int, error) {
 	if r.TimeoutMS < 0 {
 		return nil, nil, fmt.Errorf("timeout_ms = %d must be >= 0", r.TimeoutMS)
 	}
+	if r.Shards < 0 {
+		return nil, nil, fmt.Errorf("shards = %d must be >= 0", r.Shards)
+	}
+	switch r.Partitioner {
+	case "", "bfs":
+	case "geom":
+		return nil, nil, fmt.Errorf("partitioner = %q needs node coordinates, which edge-list requests do not carry; use \"bfs\"", r.Partitioner)
+	default:
+		return nil, nil, fmt.Errorf("unknown partitioner %q (have %s)",
+			r.Partitioner, strings.Join(shard.Partitioners(), ", "))
+	}
 	g, err := r.Graph.build(maxNodes)
 	if err != nil {
 		return nil, nil, err
@@ -244,6 +265,8 @@ func (r *Request) key(g *graph.Graph, budgets []int) string {
 		Int("tries", r.tries()).
 		Int("budget", r.Budget).
 		Int("time_budget_ms", r.TimeBudgetMS).
+		Int("shards", r.Shards).
+		String("partitioner", r.Partitioner).
 		Sum()
 }
 
@@ -326,4 +349,9 @@ type Result struct {
 	// a transition without re-parsing anything. Unexported: never serialized,
 	// immutable once set.
 	ctx *scheduleCtx
+	// shardSched is set only on Kind == "shard" entries: one shard's cached
+	// schedule under its content-addressed key (see shardCache). These
+	// entries carry no Fingerprint on purpose — fingerprint invalidation
+	// must never drop them.
+	shardSched *core.Schedule
 }

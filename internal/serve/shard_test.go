@@ -1,0 +1,186 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/solver"
+)
+
+// gridSpec returns the w×h grid graph as a wire spec — the canonical
+// instance with thin shard seams.
+func gridSpec(w, h int) GraphSpec {
+	var edges [][2]int
+	id := func(x, y int) int { return y*w + x }
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x+1 < w {
+				edges = append(edges, [2]int{id(x, y), id(x+1, y)})
+			}
+			if y+1 < h {
+				edges = append(edges, [2]int{id(x, y), id(x, y+1)})
+			}
+		}
+	}
+	return GraphSpec{N: w * h, Edges: edges}
+}
+
+func TestScheduleShardedEndToEnd(t *testing.T) {
+	s := New(Config{Workers: 2})
+	defer s.Shutdown(context.Background())
+	h := s.Handler()
+
+	req := Request{Graph: gridSpec(8, 8), Algorithm: solver.NameGreedy, Battery: 4, Shards: 4}
+	w := post(h, "/v1/schedule", scheduleBody(t, req))
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	var resp response
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Lifetime <= 0 {
+		t.Fatalf("sharded lifetime %d, want > 0", resp.Lifetime)
+	}
+	solves := counter(s, "serve.shard_solves")
+	if solves < 2 {
+		t.Fatalf("shard_solves = %d after a %d-shard solve", solves, req.Shards)
+	}
+	if hits := counter(s, "serve.shard_cache_hits"); hits != 0 {
+		t.Fatalf("shard_cache_hits = %d on a cold cache", hits)
+	}
+
+	// The whole request is cached under its canonical key: a repeat is a
+	// cache hit and runs no shard work at all.
+	w = post(h, "/v1/schedule", scheduleBody(t, req))
+	var again response
+	if err := json.Unmarshal(w.Body.Bytes(), &again); err != nil {
+		t.Fatal(err)
+	}
+	if !again.Cached {
+		t.Fatal("identical sharded request missed the result cache")
+	}
+	if got := counter(s, "serve.shard_solves"); got != solves {
+		t.Fatalf("repeat request re-solved shards (%d -> %d)", solves, got)
+	}
+
+	// A different shard count is a different request key AND different shard
+	// keys (the partition changed), so it solves fresh.
+	req2 := req
+	req2.Shards = 2
+	w = post(h, "/v1/schedule", scheduleBody(t, req2))
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	if got := counter(s, "serve.shard_solves"); got <= solves {
+		t.Fatalf("different shard count did not solve fresh (%d -> %d)", solves, got)
+	}
+}
+
+func TestScheduleShardValidation(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Shutdown(context.Background())
+	h := s.Handler()
+
+	for _, tc := range []struct {
+		name string
+		mut  func(*Request)
+	}{
+		{"geom partitioner without coordinates", func(r *Request) { r.Shards = 2; r.Partitioner = "geom" }},
+		{"unknown partitioner", func(r *Request) { r.Shards = 2; r.Partitioner = "metis" }},
+	} {
+		req := Request{Graph: ring(8), Algorithm: solver.NameGreedy, Battery: 3}
+		tc.mut(&req)
+		w := post(h, "/v1/schedule", scheduleBody(t, req))
+		if w.Code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400: %s", tc.name, w.Code, w.Body.String())
+		}
+	}
+}
+
+// TestPatchShardedResolvesOneShard is the compositional-caching acceptance
+// check: after a sharded solve, a delta interior to one tile re-solves
+// exactly that shard — every other shard's schedule is served from the
+// content-addressed cache, which fingerprint invalidation never touches.
+func TestPatchShardedResolvesOneShard(t *testing.T) {
+	s := New(Config{Workers: 2})
+	defer s.Shutdown(context.Background())
+	h := s.Handler()
+
+	req := Request{Graph: gridSpec(8, 8), Algorithm: solver.NameGreedy, Battery: 4, Shards: 4}
+	w := post(h, "/v1/schedule", scheduleBody(t, req))
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	var base response
+	if err := json.Unmarshal(w.Body.Bytes(), &base); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reach under the HTTP surface for the retained partition to find a
+	// node interior to one shard (a delta there touches no halo).
+	s.mu.Lock()
+	res, ok := s.cache.get(base.Key)
+	s.mu.Unlock()
+	if !ok || res.ctx == nil || res.ctx.part == nil {
+		t.Fatal("sharded result did not retain its partition")
+	}
+	part := res.ctx.part
+	nShards := len(part.Shards)
+	if nShards < 2 {
+		t.Fatalf("partition has %d shards; need >= 2", nShards)
+	}
+	victim := -1
+	for v := 0; v < res.ctx.g.N(); v++ {
+		if len(part.Touched(res.ctx.g, []int{v})) == 1 {
+			victim = v
+			break
+		}
+	}
+	if victim == -1 {
+		t.Fatal("no interior node in any shard")
+	}
+
+	solves0 := counter(s, "serve.shard_solves")
+	hits0 := counter(s, "serve.shard_cache_hits")
+
+	w = patch(h, base.Fingerprint, patchBody(t, PatchRequest{
+		Delta: graph.Delta{RemoveNodes: []int{victim}},
+		At:    0,
+	}))
+	if w.Code != http.StatusOK {
+		t.Fatalf("patch status %d: %s", w.Code, w.Body.String())
+	}
+	var resp response
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Kind != "reconfig" {
+		t.Fatalf("kind = %q, want reconfig", resp.Kind)
+	}
+	if resp.Violation {
+		t.Fatal("sharded patch reported a violation on a feasible instance")
+	}
+	if resp.Lifetime <= 0 {
+		t.Fatalf("transition lifetime %d, want > 0", resp.Lifetime)
+	}
+
+	if got := counter(s, "serve.shard_solves") - solves0; got != 1 {
+		t.Fatalf("interior single-node delta re-solved %d shards, want exactly 1", got)
+	}
+	if got := counter(s, "serve.shard_cache_hits") - hits0; got != uint64(nShards-1) {
+		t.Fatalf("%d shard cache hits on patch, want %d (all untouched shards)", got, nShards-1)
+	}
+
+	// The patch result stays sharded: a second interior delta against the
+	// new fingerprint repeats the trick.
+	s.mu.Lock()
+	res2, ok := s.cache.get(resp.Key)
+	s.mu.Unlock()
+	if !ok || res2.ctx == nil || res2.ctx.part == nil {
+		t.Fatal("patch result did not retain a rebased partition")
+	}
+}

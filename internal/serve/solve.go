@@ -13,6 +13,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/obs"
 	"repro/internal/rng"
+	"repro/internal/shard"
 	"repro/internal/solver"
 )
 
@@ -59,6 +60,100 @@ func Solve(g *graph.Graph, budgets []int, req *Request, width int,
 	return solver.Solve(g, budgets, req.spec(), opt)
 }
 
+// shardCache adapts the server's LRU to shard.Cache. Entries are Kind
+// "shard" Results keyed by the content-addressed shard key and carry no
+// graph fingerprint, so PATCH's fingerprint invalidation never touches
+// them — deliberately: a delta gives the shards it touched new keys (their
+// local instances changed), while untouched shards keep their keys and hit.
+// Invalidation is thereby exactly "entries whose shard changed", with no
+// bookkeeping; stale keys simply age out of the LRU.
+type shardCache struct{ s *Server }
+
+func (c shardCache) Get(key string) (*core.Schedule, bool) {
+	c.s.mu.Lock()
+	defer c.s.mu.Unlock()
+	res, ok := c.s.cache.get(key)
+	if !ok || res.shardSched == nil {
+		return nil, false
+	}
+	return res.shardSched, true
+}
+
+func (c shardCache) Put(key string, sched *core.Schedule) {
+	c.s.mu.Lock()
+	defer c.s.mu.Unlock()
+	c.s.cache.add(key, &Result{Key: key, Kind: "shard", shardSched: sched})
+}
+
+// shardOptions assembles the shard.Options of a server-side sharded solve:
+// the per-shard solves run on a transient pool (the job itself occupies a
+// serve worker; see Solve on why re-entering the service pool is off the
+// table), consult the server's compositional cache, and count into the
+// serve.shard_* metrics via the solve/hit events they emit.
+func (s *Server) shardOptions(spec solver.Spec, seed uint64, tries, budget int,
+	deadline time.Time, hooks obs.Hooks, cancel func() bool) shard.Options {
+	return shard.Options{
+		Spec: spec,
+		Solver: solver.Options{
+			Tries:    tries,
+			Budget:   budget,
+			Deadline: deadline,
+			Cancel:   cancel,
+		},
+		Seed:          seed,
+		TransientPool: true,
+		Cache:         shardCache{s},
+		Hooks:         hooks,
+	}
+}
+
+// solveSharded is the sharded counterpart of Solve: partition, per-shard
+// solve against the compositional cache, stitch with boundary repair. It
+// returns the partition alongside the schedule so the result's ctx can
+// rebase it when a PATCH arrives.
+func (s *Server) solveSharded(g *graph.Graph, budgets []int, req *Request,
+	defs SolveDefaults, hooks obs.Hooks, cancel func() bool) (*core.Schedule, *shard.Partition, error) {
+	p, err := shard.ByName(req.Partitioner, g, nil, req.Shards, req.seed())
+	if err != nil {
+		return nil, nil, err
+	}
+	var deadline time.Time
+	if tb := timeoutFromMS(req.TimeBudgetMS, defs.TimeBudget); tb > 0 {
+		deadline = time.Now().Add(tb)
+	}
+	opt := s.shardOptions(req.spec(), req.seed(), req.tries(), req.budget(defs.Budget),
+		deadline, hooks, cancel)
+	solved, err := shard.SolveShards(p, budgets, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	st, err := s.stitchCounted(g, p, budgets, solved, req.k(), hooks)
+	if err != nil {
+		return nil, nil, err
+	}
+	return st.Schedule, p, nil
+}
+
+// stitchCounted runs shard.Stitch and folds the outcome into the
+// serve.shard_* metrics.
+func (s *Server) stitchCounted(g *graph.Graph, p *shard.Partition, budgets []int,
+	solved []*shard.ShardResult, k int, hooks obs.Hooks) (*shard.Stitched, error) {
+	for _, sr := range solved {
+		if sr.Cached {
+			s.met.shardCacheHits.Inc()
+		} else {
+			s.met.shardSolves.Inc()
+		}
+	}
+	st, err := shard.Stitch(g, p, budgets, solved, k, hooks)
+	if err != nil {
+		return nil, err
+	}
+	s.met.shardRepairs.Add(uint64(st.Repairs))
+	s.met.shardReplans.Add(uint64(st.Replans))
+	return st, nil
+}
+
 // scheduleJSON renders a schedule into the cmd/ltsched interchange format.
 func scheduleJSON(s *core.Schedule) (json.RawMessage, error) {
 	var buf bytes.Buffer
@@ -72,7 +167,7 @@ func scheduleJSON(s *core.Schedule) (json.RawMessage, error) {
 // stamping the graph fingerprint and retaining the solved instance (ctx) so
 // the result is addressable — and patchable — by PATCH /v1/schedule/{fp}.
 func scheduleResult(key string, req *Request, g *graph.Graph, budgets []int,
-	s *core.Schedule) (*Result, error) {
+	s *core.Schedule, part *shard.Partition, defs SolveDefaults) (*Result, error) {
 	raw, err := scheduleJSON(s)
 	if err != nil {
 		return nil, err
@@ -94,6 +189,9 @@ func scheduleResult(key string, req *Request, g *graph.Graph, budgets []int,
 			seed:      req.seed(),
 			tries:     req.tries(),
 			sched:     s,
+			spec:      req.spec(),
+			budget:    req.budget(defs.Budget),
+			part:      part,
 		},
 	}, nil
 }

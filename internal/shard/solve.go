@@ -1,0 +1,206 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/obs"
+	"repro/internal/par"
+	"repro/internal/rng"
+	"repro/internal/solver"
+)
+
+// Cache is the compositional shard-schedule cache contract. Keys are
+// content-addressed (Key), so implementations never need an invalidation
+// protocol: a shard whose local instance changed simply has a new key, and
+// a stale entry ages out of whatever eviction policy the implementation
+// uses. Implementations must be safe for concurrent use — per-shard solves
+// call Get/Put from pool workers.
+type Cache interface {
+	// Get returns the schedule cached under key, if any. Callers must not
+	// mutate the returned schedule.
+	Get(key string) (*core.Schedule, bool)
+	// Put stores the schedule under key.
+	Put(key string, s *core.Schedule)
+}
+
+// Options configures a sharded solve.
+type Options struct {
+	// Spec names the registry solver every shard runs (including refiner
+	// specs with a Base).
+	Spec solver.Spec
+	// Solver carries the per-shard driver knobs — Tries, Budget, Deadline,
+	// Cancel, RaceWidth — shared by every shard. Src is ignored: per-shard
+	// sources derive from Seed so cache keys can name them. Pool is
+	// ignored in favor of Options.Pool.
+	Solver solver.Options
+	// Seed is the root seed. Shard i solves with the i-th split child (by
+	// stable Shard.Index), so results are deterministic in (partition,
+	// Seed) and independent of scheduling; the seed is part of every cache
+	// key.
+	Seed uint64
+	// Pool, when non-nil, runs per-shard solves concurrently; shards a
+	// busy pool rejects run inline on the caller, so a sharded solve never
+	// deadlocks on a shared pool. Nil solves sequentially unless
+	// Transient, below.
+	Pool *par.Pool
+	// TransientPool, when true and Pool is nil, spins up a pool sized to
+	// min(GOMAXPROCS, shards) for the duration of the call (the CLI path).
+	TransientPool bool
+	// Cache, when non-nil, is consulted before and updated after every
+	// per-shard solve.
+	Cache Cache
+	// Hooks receives one obs "shard" event per shard: stage "hit" for a
+	// cache hit, "solve" for a fresh solve. Forwarded (synchronized) to
+	// the per-shard solver drivers as well.
+	Hooks obs.Hooks
+}
+
+// ShardResult is one shard's solved schedule, in the shard's local IDs.
+type ShardResult struct {
+	Shard    *Shard
+	Schedule *core.Schedule
+	// Key is the content-addressed cache key of this solve (local
+	// instance + solver parameters + seed).
+	Key string
+	// Cached reports whether Schedule came from the cache.
+	Cached bool
+}
+
+// Key returns the content-addressed cache key of solving sh under the given
+// global budgets and options: the shard's local fingerprint material plus
+// every solver parameter that determines the schedule. Two invocations
+// share a key exactly when they are guaranteed to produce the same
+// schedule.
+func Key(sh *Shard, budgets []int, opt Options) string {
+	h := graph.NewHasher()
+	sh.HashInto(h, budgets)
+	h.String("shard.alg", opt.Spec.Name)
+	h.String("shard.base", opt.Spec.Base)
+	h.Int("shard.k", opt.Spec.K)
+	h.Float("shard.kconst", opt.Spec.KConst)
+	h.Int("shard.tries", opt.Solver.Tries)
+	h.Int("shard.budget", opt.Solver.Budget)
+	h.Int("shard.width", opt.Solver.RaceWidth)
+	h.Uint64("shard.seed", opt.Seed)
+	h.Int("shard.index", sh.Index)
+	return h.Sum()
+}
+
+// SolveShards solves every shard of p independently — concurrently when a
+// pool is available — and returns the per-shard schedules in partition
+// position order. Shard i's instance is its local subgraph (owned nodes
+// plus halo, so boundary nodes keep full closed neighborhoods) under the
+// local slice of the global budgets; its source is the Index-th split child
+// of the root seed, making the outcome deterministic and each shard's
+// result a pure function of its cache key.
+//
+// The first shard error cancels the remaining solves (by position, so the
+// reported error is deterministic too). A fired Options.Solver.Cancel or
+// Deadline surfaces as solver.ErrCanceled.
+func SolveShards(p *Partition, budgets []int, opt Options) ([]*ShardResult, error) {
+	if len(budgets) != len(p.Assign) {
+		return nil, fmt.Errorf("shard: %d budgets for %d nodes", len(budgets), len(p.Assign))
+	}
+	maxIndex := 0
+	for _, sh := range p.Shards {
+		if sh.Index > maxIndex {
+			maxIndex = sh.Index
+		}
+	}
+	children := rng.New(opt.Seed).SplitN(maxIndex + 1)
+	hooks := obs.Hooks{Trace: obs.Synchronized(opt.Hooks.Trace)}
+
+	results := make([]*ShardResult, len(p.Shards))
+	errs := make([]error, len(p.Shards))
+	var aborted atomic.Bool
+	baseCancel := opt.Solver.Cancel
+	cancel := func() bool {
+		return aborted.Load() || (baseCancel != nil && baseCancel())
+	}
+
+	solveOne := func(pos int) {
+		sh := p.Shards[pos]
+		key := Key(sh, budgets, opt)
+		if opt.Cache != nil {
+			if s, ok := opt.Cache.Get(key); ok {
+				results[pos] = &ShardResult{Shard: sh, Schedule: s, Key: key, Cached: true}
+				hooks.Emit(obs.Shard("hit", sh.Index, 0, s.Lifetime(), 0))
+				return
+			}
+		}
+		if aborted.Load() {
+			errs[pos] = solver.ErrCanceled
+			return
+		}
+		so := opt.Solver
+		so.Src = children[sh.Index]
+		so.Cancel = cancel
+		so.Pool = opt.Pool
+		so.Hooks = hooks
+		local := sh.LocalBudgets(budgets, nil)
+		s, err := solver.Solve(sh.Sub, local, opt.Spec, so)
+		if err != nil {
+			errs[pos] = err
+			aborted.Store(true)
+			return
+		}
+		results[pos] = &ShardResult{Shard: sh, Schedule: s, Key: key}
+		hooks.Emit(obs.Shard("solve", sh.Index, 0, s.Lifetime(), 0))
+		if opt.Cache != nil {
+			opt.Cache.Put(key, s)
+		}
+	}
+
+	pool := opt.Pool
+	transient := pool == nil && opt.TransientPool && len(p.Shards) > 1
+	if transient {
+		workers := runtime.GOMAXPROCS(0)
+		if len(p.Shards) < workers {
+			workers = len(p.Shards)
+		}
+		pool = par.NewPool(workers, len(p.Shards))
+		opt.Pool = nil // shard solves parallelize across, not within, shards
+	}
+	if pool == nil {
+		for pos := range p.Shards {
+			solveOne(pos)
+		}
+	} else {
+		var wg sync.WaitGroup
+		for pos := range p.Shards {
+			wg.Add(1)
+			pos := pos
+			task := func() { defer wg.Done(); solveOne(pos) }
+			if !pool.TrySubmit(task) {
+				task()
+			}
+		}
+		wg.Wait()
+	}
+	if transient {
+		pool.Close()
+	}
+
+	// A real error outranks the sibling cancellations it triggered.
+	canceled := false
+	for pos, err := range errs {
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, solver.ErrCanceled) {
+			canceled = true
+			continue
+		}
+		return nil, fmt.Errorf("shard %d: %w", p.Shards[pos].Index, err)
+	}
+	if canceled {
+		return nil, solver.ErrCanceled
+	}
+	return results, nil
+}

@@ -263,22 +263,3 @@ func race(sv Solver, g *graph.Graph, budgets []int, spec Spec, opt Options) (*co
 	}
 	return best, nil
 }
-
-// Best runs one sequential attempt.
-//
-// Deprecated: use Solve, which takes the race width and budget contract
-// through Options. Best is Solve with RaceWidth <= 1 and remains only so
-// out-of-tree callers survive one PR of migration.
-func Best(g *graph.Graph, budgets []int, spec Spec, opt Options) (*core.Schedule, error) {
-	opt.RaceWidth = 1
-	return Solve(g, budgets, spec, opt)
-}
-
-// Race runs width independently seeded attempts concurrently.
-//
-// Deprecated: use Solve with Options.RaceWidth = width. Race remains only
-// so out-of-tree callers survive one PR of migration.
-func Race(g *graph.Graph, budgets []int, spec Spec, opt Options, width int) (*core.Schedule, error) {
-	opt.RaceWidth = width
-	return Solve(g, budgets, spec, opt)
-}

@@ -116,8 +116,7 @@ func rampBudgets(n int) []int {
 
 // TestSolveWidthOneSequential pins the delegation contract: RaceWidth <= 1
 // hands the parent source directly to the sequential attempt, so racing is
-// a pure superset of the sequential driver. It also pins the deprecated
-// Best/Race wrappers to Solve byte for byte.
+// a pure superset of the sequential driver.
 func TestSolveWidthOneSequential(t *testing.T) {
 	g := testGraph(t)
 	budgets := uniformBudgets(g.N(), 3)
@@ -135,19 +134,6 @@ func TestSolveWidthOneSequential(t *testing.T) {
 		if !reflect.DeepEqual(got, want) {
 			t.Fatalf("Solve(RaceWidth=%d) != sequential: lifetime %d vs %d", width, got.Lifetime(), want.Lifetime())
 		}
-	}
-	//lint:ignore SA1019 the wrapper's delegation is exactly what this test pins
-	best, err := solver.Best(g, budgets, spec, solver.Options{Tries: 8, Src: rng.New(5)})
-	if err != nil {
-		t.Fatal(err)
-	}
-	//lint:ignore SA1019 the wrapper's delegation is exactly what this test pins
-	raced, err := solver.Race(g, budgets, spec, solver.Options{Tries: 8, Src: rng.New(5)}, 1)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !reflect.DeepEqual(best, want) || !reflect.DeepEqual(raced, want) {
-		t.Fatal("deprecated Best/Race wrappers diverged from Solve")
 	}
 }
 
