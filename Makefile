@@ -16,10 +16,10 @@ test:
 race:
 	go test -race ./...
 
-# Fixed benchmark suite → BENCH_PR9.json (the performance trajectory; see
+# Fixed benchmark suite → BENCH_PR10.json (the performance trajectory; see
 # EXPERIMENTS.md "Benchmarks"). Pass BENCHFLAGS=-quick for the CI smoke run.
 bench:
-	go run ./cmd/ltbench -bench -benchout BENCH_PR9.json $(BENCHFLAGS)
+	go run ./cmd/ltbench -bench -benchout BENCH_PR10.json $(BENCHFLAGS)
 
 # Raw go-test microbenchmarks across all packages.
 microbench:

@@ -22,6 +22,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/internal/instance"
 	"repro/internal/rng"
 	"repro/internal/solver"
 )
@@ -121,7 +122,7 @@ func BenchmarkScheduleValidate(b *testing.B) {
 	for i := range batteries {
 		batteries[i] = 3
 	}
-	s, err := solver.Solve(g, batteries, solver.Spec{Name: solver.NameUniform},
+	s, err := solver.Solve(instance.New(g, batteries), solver.Spec{Name: solver.NameUniform},
 		solver.Options{Tries: 10, Src: rng.New(1)})
 	if err != nil {
 		b.Fatal(err)

@@ -9,11 +9,17 @@
 //	graphgen -family circulant -n 60 -d 6
 //	graphgen -family fujita -k 5
 //	graphgen -family planted -n 60 -d 4
+//
+// Structured families tag their edge lists with a "# hint:" comment
+// ("grid 8 8", "torus 5 10", "udg") that seeds the instance classifier's
+// trial ordering downstream; the classifier re-verifies every claim, so
+// the tag is an ordering aid, never trusted.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/gen"
@@ -21,62 +27,92 @@ import (
 	"repro/internal/rng"
 )
 
+// params are the generator knobs; one struct so run is testable.
+type params struct {
+	family       string
+	n            int
+	p            float64
+	side, radius float64
+	rows, cols   int
+	d, k         int
+	seed         uint64
+	dot          bool
+}
+
+// build generates the requested family and its structure hint ("" when the
+// family has none worth tagging).
+func build(f params) (*graph.Graph, string, error) {
+	src := rng.New(f.seed)
+	switch f.family {
+	case "gnp":
+		return gen.GNP(f.n, f.p, src), "", nil
+	case "udg":
+		g, _ := gen.RandomUDG(f.n, f.side, f.radius, src)
+		return g, "udg", nil
+	case "hudg":
+		g, _, _ := gen.HeterogeneousUDG(f.n, f.side, f.radius/2, f.radius, src)
+		return g, "udg", nil
+	case "grid":
+		return gen.Grid(f.rows, f.cols), fmt.Sprintf("grid %d %d", f.rows, f.cols), nil
+	case "torus":
+		return gen.Torus(f.rows, f.cols), fmt.Sprintf("torus %d %d", f.rows, f.cols), nil
+	case "ring":
+		return gen.Ring(f.n), "", nil
+	case "path":
+		return gen.Path(f.n), "", nil
+	case "star":
+		return gen.Star(f.n), "", nil
+	case "complete":
+		return gen.Complete(f.n), "", nil
+	case "circulant":
+		return gen.Circulant(f.n, f.d), "", nil
+	case "tree":
+		return gen.RandomTree(f.n, src), "", nil
+	case "caterpillar":
+		return gen.Caterpillar(f.n, f.k), "", nil
+	case "fujita":
+		g, _ := gen.FujitaTrap(f.k)
+		return g, "", nil
+	case "planted":
+		g, _ := gen.PlantedDomatic(f.n, f.d, f.n/2, src)
+		return g, "", nil
+	}
+	return nil, "", fmt.Errorf("unknown family %q", f.family)
+}
+
+// run generates and writes the graph: DOT, or a hint-tagged edge list.
+func run(w io.Writer, f params) error {
+	g, hint, err := build(f)
+	if err != nil {
+		return err
+	}
+	if f.dot {
+		return graph.WriteDOT(w, g, f.family, nil)
+	}
+	if hint != "" {
+		if _, err := fmt.Fprintf(w, "%s %s\n", graph.HintPrefix, hint); err != nil {
+			return err
+		}
+	}
+	return graph.WriteEdgeList(w, g)
+}
+
 func main() {
-	family := flag.String("family", "gnp", "gnp|udg|hudg|grid|torus|ring|path|star|complete|circulant|tree|caterpillar|fujita|planted")
-	n := flag.Int("n", 100, "node count")
-	p := flag.Float64("p", 0.1, "edge probability (gnp)")
-	side := flag.Float64("side", 10, "deployment square side (udg)")
-	radius := flag.Float64("radius", 1.5, "communication radius (udg)")
-	rows := flag.Int("rows", 8, "grid/torus rows")
-	cols := flag.Int("cols", 8, "grid/torus cols")
-	d := flag.Int("d", 4, "degree (circulant) or planted domatic number")
-	k := flag.Int("k", 4, "trap parameter (fujita) / legs (caterpillar)")
-	seed := flag.Uint64("seed", 1, "random seed")
-	dot := flag.Bool("dot", false, "emit Graphviz DOT instead of an edge list")
+	var f params
+	flag.StringVar(&f.family, "family", "gnp", "gnp|udg|hudg|grid|torus|ring|path|star|complete|circulant|tree|caterpillar|fujita|planted")
+	flag.IntVar(&f.n, "n", 100, "node count")
+	flag.Float64Var(&f.p, "p", 0.1, "edge probability (gnp)")
+	flag.Float64Var(&f.side, "side", 10, "deployment square side (udg)")
+	flag.Float64Var(&f.radius, "radius", 1.5, "communication radius (udg)")
+	flag.IntVar(&f.rows, "rows", 8, "grid/torus rows")
+	flag.IntVar(&f.cols, "cols", 8, "grid/torus cols")
+	flag.IntVar(&f.d, "d", 4, "degree (circulant) or planted domatic number")
+	flag.IntVar(&f.k, "k", 4, "trap parameter (fujita) / legs (caterpillar)")
+	flag.Uint64Var(&f.seed, "seed", 1, "random seed")
+	flag.BoolVar(&f.dot, "dot", false, "emit Graphviz DOT instead of an edge list")
 	flag.Parse()
 
-	src := rng.New(*seed)
-	var g *graph.Graph
-	switch *family {
-	case "gnp":
-		g = gen.GNP(*n, *p, src)
-	case "udg":
-		g, _ = gen.RandomUDG(*n, *side, *radius, src)
-	case "hudg":
-		g, _, _ = gen.HeterogeneousUDG(*n, *side, *radius/2, *radius, src)
-	case "grid":
-		g = gen.Grid(*rows, *cols)
-	case "torus":
-		g = gen.Torus(*rows, *cols)
-	case "ring":
-		g = gen.Ring(*n)
-	case "path":
-		g = gen.Path(*n)
-	case "star":
-		g = gen.Star(*n)
-	case "complete":
-		g = gen.Complete(*n)
-	case "circulant":
-		g = gen.Circulant(*n, *d)
-	case "tree":
-		g = gen.RandomTree(*n, src)
-	case "caterpillar":
-		g = gen.Caterpillar(*n, *k)
-	case "fujita":
-		g, _ = gen.FujitaTrap(*k)
-	case "planted":
-		g, _ = gen.PlantedDomatic(*n, *d, *n/2, src)
-	default:
-		fmt.Fprintf(os.Stderr, "graphgen: unknown family %q\n", *family)
-		os.Exit(2)
-	}
-	var err error
-	if *dot {
-		err = graph.WriteDOT(os.Stdout, g, *family, nil)
-	} else {
-		err = graph.WriteEdgeList(os.Stdout, g)
-	}
-	if err != nil {
+	if err := run(os.Stdout, f); err != nil {
 		fmt.Fprintln(os.Stderr, "graphgen:", err)
 		os.Exit(1)
 	}

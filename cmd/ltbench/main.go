@@ -9,7 +9,7 @@
 //	ltbench [-run E1,E7] [-seed 42] [-trials 10] [-quick] [-trace e.jsonl]
 //	ltbench -run E25 -budget 50000          (refinement lifetime-vs-budget curve)
 //	ltbench -deadline 2m                    (stop between trials at the wall clock)
-//	ltbench -bench [-quick] [-benchout BENCH_PR9.json]
+//	ltbench -bench [-quick] [-benchout BENCH_PR10.json]
 //	        [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 package main
 
@@ -43,7 +43,7 @@ func run() int {
 	list := flag.Bool("list", false, "list available experiments and exit")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	doBench := flag.Bool("bench", false, "run the fixed benchmark suite instead of experiments")
-	benchOut := flag.String("benchout", "BENCH_PR9.json", "benchmark report path (with -bench)")
+	benchOut := flag.String("benchout", "BENCH_PR10.json", "benchmark report path (with -bench)")
 	traceOut := flag.String("trace", "", "write experiment trial/reconfig events as JSONL to this file")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")

@@ -27,6 +27,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/domset"
 	"repro/internal/graph"
+	"repro/internal/instance"
 	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/shard"
@@ -73,7 +74,10 @@ func run() error {
 		defer f.Close()
 		in = f
 	}
-	g, err := graph.ReadEdgeList(in)
+	// Hinted read: graphgen tags generated grids/tori with a "# hint:"
+	// comment, which seeds the structure classifier's trial ordering (the
+	// embedding is always re-verified, so a wrong hint only costs time).
+	g, hint, err := graph.ReadEdgeListHinted(in)
 	if err != nil {
 		return err
 	}
@@ -88,14 +92,12 @@ func run() error {
 		}
 	}
 
-	spec := solver.Spec{Name: *alg, K: *k, KConst: *kConst}
+	spec := solver.Spec{Name: *alg, KConst: *kConst}
 	if *refine != "" {
 		spec.Name, spec.Base = *refine, *alg
 	}
-	tolerance := *k
-	if tolerance < 1 {
-		tolerance = 1
-	}
+	inst := instance.New(g, batteries).WithK(*k).WithHint(instance.ParseHint(hint))
+	tolerance := inst.Tolerance()
 	opt := solver.Options{Tries: *tries, Src: src.Split(), RaceWidth: *raceWidth}
 	bf.Apply(&opt, time.Now())
 	var s *core.Schedule
@@ -105,19 +107,19 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		solved, err := shard.SolveShards(p, batteries, shard.Options{
+		solved, err := shard.SolveShards(inst, p, shard.Options{
 			Spec: spec, Solver: opt, Seed: *seed, TransientPool: true,
 		})
 		if err != nil {
 			return err
 		}
-		if st, err = shard.Stitch(g, p, batteries, solved, tolerance, obs.Hooks{}); err != nil {
+		if st, err = shard.Stitch(inst, p, solved, obs.Hooks{}); err != nil {
 			return err
 		}
 		s = st.Schedule
 	} else {
 		var err error
-		if s, err = solver.Solve(g, batteries, spec, opt); err != nil {
+		if s, err = solver.Solve(inst, spec, opt); err != nil {
 			return err
 		}
 	}
@@ -130,9 +132,19 @@ func run() error {
 	}
 
 	fmt.Printf("graph: %v\n", g)
+	if m := inst.Meta(); m.Class != instance.Generic {
+		fmt.Printf("structure: %s\n", m)
+	}
 	algLabel := *alg
+	if *alg == solver.NameAuto {
+		// Report where the portfolio dispatched so the user sees which
+		// concrete solver produced the schedule.
+		if _, eff, err := solver.Effective(inst, solver.Spec{Name: *alg, KConst: *kConst}); err == nil {
+			algLabel = "auto→" + eff.Name
+		}
+	}
 	if *refine != "" {
-		algLabel = *alg + "+" + *refine
+		algLabel = algLabel + "+" + *refine
 	}
 	fmt.Printf("algorithm: %s (K=%.1f seed=%d)\n", algLabel, *kConst, *seed)
 	if st != nil {
@@ -156,7 +168,7 @@ func run() error {
 			fmt.Printf("upper bound (Lemma 5.1): %d\n", core.GeneralUpperBound(g, batteries))
 		}
 	}
-	if guaranteed, err := solver.Guaranteed(g, batteries, spec); err == nil && guaranteed > 0 {
+	if guaranteed, err := solver.Guaranteed(inst, spec); err == nil && guaranteed > 0 {
 		fmt.Printf("guaranteed w.h.p.: %d\n", guaranteed)
 	}
 	if *gantt {

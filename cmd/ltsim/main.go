@@ -41,6 +41,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/energy"
 	"repro/internal/graph"
+	"repro/internal/instance"
 	"repro/internal/heal"
 	"repro/internal/obs"
 	"repro/internal/reconfig"
@@ -84,9 +85,9 @@ type flags struct {
 // historically several of these panicked deep inside the libraries.
 func (f flags) validate() error {
 	switch f.alg {
-	case "uniform", "general", "ft":
+	case "uniform", "general", "ft", solver.NameGrid, solver.NameAuto:
 	default:
-		return fmt.Errorf("unknown algorithm %q (have uniform, general, ft)", f.alg)
+		return fmt.Errorf("unknown algorithm %q (have uniform, general, ft, grid, auto)", f.alg)
 	}
 	switch f.refine {
 	case "", solver.NameTabu, solver.NameAnneal:
@@ -192,7 +193,7 @@ func run() error {
 		defer file.Close()
 		in = file
 	}
-	g, err := graph.ReadEdgeList(in)
+	g, hint, err := graph.ReadEdgeListHinted(in)
 	if err != nil {
 		return err
 	}
@@ -211,35 +212,33 @@ func run() error {
 	// only "general" consumes the per-node vector.
 	budgets := batteries
 	spec := solver.Spec{Name: f.alg, KConst: *kConst}
+	scheduleK := 1
 	switch f.alg {
 	case solver.NameUniform:
 		budgets = uniformBudgets(g.N(), f.b)
 	case solver.NameFT:
 		budgets = uniformBudgets(g.N(), f.b)
-		spec.K = f.k
+		scheduleK = f.k
 	}
 	if f.refine != "" {
 		spec.Name, spec.Base = f.refine, f.alg
 	}
+	inst := instance.New(g, budgets).WithK(scheduleK).WithHint(instance.ParseHint(hint))
 	opt := solver.Options{Tries: *tries, Src: src.Split()}
 	bf.Apply(&opt, time.Now())
 	var s *core.Schedule
 	if f.shards > 1 {
-		tolerance := spec.K
-		if tolerance < 1 {
-			tolerance = 1
-		}
 		p, err := shard.ByName(f.partitioner, g, nil, f.shards, *seed)
 		if err != nil {
 			return err
 		}
-		solved, err := shard.SolveShards(p, budgets, shard.Options{
+		solved, err := shard.SolveShards(inst, p, shard.Options{
 			Spec: spec, Solver: opt, Seed: *seed, TransientPool: true,
 		})
 		if err != nil {
 			return err
 		}
-		st, err := shard.Stitch(g, p, budgets, solved, tolerance, obs.Hooks{})
+		st, err := shard.Stitch(inst, p, solved, obs.Hooks{})
 		if err != nil {
 			return err
 		}
@@ -248,7 +247,7 @@ func run() error {
 			f.shards, f.partitioner, st.Repairs, st.Replans)
 	} else {
 		var err error
-		if s, err = solver.Solve(g, budgets, spec, opt); err != nil {
+		if s, err = solver.Solve(inst, spec, opt); err != nil {
 			return err
 		}
 	}
@@ -303,8 +302,15 @@ func run() error {
 
 	enet := energy.NewNetwork(g, batteries)
 	algLabel := f.alg
+	if f.alg == solver.NameAuto {
+		// Probe with a fresh auto spec \u2014 the solve spec may have been
+		// rewritten by -refine \u2014 so the label reports the dispatch target.
+		if _, eff, err := solver.Effective(inst, solver.Spec{Name: solver.NameAuto, KConst: *kConst}); err == nil {
+			algLabel = "auto\u2192" + eff.Name
+		}
+	}
 	if f.refine != "" {
-		algLabel = f.alg + "+" + f.refine
+		algLabel = algLabel + "+" + f.refine
 	}
 	fmt.Printf("graph: %v\n", g)
 	fmt.Printf("schedule: %s, nominal lifetime %d\n", algLabel, s.Lifetime())

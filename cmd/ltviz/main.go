@@ -14,6 +14,7 @@ import (
 	"os"
 
 	"repro/internal/gen"
+	"repro/internal/instance"
 	"repro/internal/rng"
 	"repro/internal/solver"
 	"repro/internal/viz"
@@ -43,7 +44,8 @@ func run() error {
 	for i := range budgets {
 		budgets[i] = *b
 	}
-	s, err := solver.Solve(g, budgets, solver.Spec{Name: solver.NameUniform},
+	in := instance.New(g, budgets).WithHint(instance.Hint{Family: "udg"})
+	s, err := solver.Solve(in, solver.Spec{Name: solver.NameUniform},
 		solver.Options{Tries: 30, Src: src.Split()})
 	if err != nil {
 		return err

@@ -19,6 +19,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/heal"
+	"repro/internal/instance"
 	"repro/internal/rng"
 	"repro/internal/sensim"
 	"repro/internal/solver"
@@ -38,8 +39,8 @@ func main() {
 	// nodes exactly one clusterhead — zero redundancy.
 	partition := domatic.GreedyPartition(g, domatic.GreedyExtractor)
 	plain := core.FromPartition(partition, b)
-	tolerant, err := solver.Solve(g, energy.Uniform(g, b),
-		solver.Spec{Name: solver.NameFT, K: k},
+	tolerant, err := solver.Solve(instance.New(g, energy.Uniform(g, b)).WithK(k),
+		solver.Spec{Name: solver.NameFT},
 		solver.Options{Tries: 30, Src: src.Split()})
 	if err != nil {
 		panic(err)

@@ -11,6 +11,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/energy"
 	"repro/internal/gen"
+	"repro/internal/instance"
 	"repro/internal/rng"
 	"repro/internal/solver"
 )
@@ -28,7 +29,8 @@ func main() {
 	// WHP retry driver (30 tries, early stop at the Lemma 4.2 guarantee).
 	const b = 5
 	budgets := energy.Uniform(g, b)
-	schedule, err := solver.Solve(g, budgets, solver.Spec{Name: solver.NameUniform},
+	in := instance.New(g, budgets)
+	schedule, err := solver.Solve(in, solver.Spec{Name: solver.NameUniform},
 		solver.Options{Tries: 30, Src: src.Split()})
 	if err != nil {
 		log.Fatal(err)
@@ -44,7 +46,7 @@ func main() {
 	fmt.Printf("upper bound on any schedule (Lemma 4.1): %d slots\n",
 		core.UniformUpperBound(g, b))
 	fmt.Printf("naive always-on baseline: %d slots\n", b)
-	guaranteed, err := solver.Guaranteed(g, budgets, solver.Spec{Name: solver.NameUniform})
+	guaranteed, err := solver.Guaranteed(in, solver.Spec{Name: solver.NameUniform})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -17,6 +17,7 @@ import (
 	"repro/internal/domatic"
 	"repro/internal/energy"
 	"repro/internal/gen"
+	"repro/internal/instance"
 	"repro/internal/rng"
 	"repro/internal/sensim"
 	"repro/internal/solver"
@@ -81,8 +82,9 @@ func main() {
 
 	// 3. Algorithm 2 — distributed, constant rounds, O(log(b_max·n))
 	// approximation w.h.p. with the paper's analysis constant K = 3.
+	in := instance.New(g, batteries).WithHint(instance.Hint{Family: "udg"})
 	solve := func(spec solver.Spec) *core.Schedule {
-		s, err := solver.Solve(g, batteries, spec,
+		s, err := solver.Solve(in, spec,
 			solver.Options{Tries: 30, Src: src.Split()})
 		if err != nil {
 			panic(err)

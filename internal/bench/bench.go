@@ -28,6 +28,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/internal/instance"
 	"repro/internal/obs"
 	"repro/internal/reconfig"
 	"repro/internal/rng"
@@ -218,7 +219,7 @@ func toCase(name string, r testing.BenchmarkResult, baseline float64) Case {
 func Run(quick bool) Report {
 	rep := Report{
 		Schema:      Schema,
-		PR:          "PR9",
+		PR:          "PR10",
 		GoVersion:   runtime.Version(),
 		GOOS:        runtime.GOOS,
 		GOARCH:      runtime.GOARCH,
@@ -294,6 +295,7 @@ func Run(quick bool) Report {
 
 	rep.Cases = append(rep.Cases, runFoldParCases(quick)...)
 	rep.Cases = append(rep.Cases, runSolverCases(quick)...)
+	rep.Cases = append(rep.Cases, runGridCases(quick)...)
 	refineCases, curves := runRefineCases(quick)
 	rep.Cases = append(rep.Cases, refineCases...)
 	rep.Curves = curves
@@ -337,7 +339,7 @@ func runRefineCases(quick bool) ([]Case, []Curve) {
 		}},
 	}
 
-	instance := func(fam int, trial int) (*graph.Graph, []int, *rng.Source) {
+	buildInstance := func(fam int, trial int) (*graph.Graph, []int, *rng.Source) {
 		src := rng.New(uint64(8000 + 100*fam + trial))
 		g := families[fam].build(src.Split())
 		bsrc := src.Split()
@@ -350,8 +352,8 @@ func runRefineCases(quick bool) ([]Case, []Curve) {
 	meanLifetime := func(fam int, spec solver.Spec, budget int) float64 {
 		total := 0.0
 		for trial := 0; trial < trials; trial++ {
-			g, bt, src := instance(fam, trial)
-			s, err := solver.Solve(g, bt, spec,
+			g, bt, src := buildInstance(fam, trial)
+			s, err := solver.Solve(instance.New(g, bt), spec,
 				solver.Options{Tries: 10, Budget: budget, Src: src})
 			if err != nil {
 				panic(fmt.Sprintf("bench: refine %s: %v", spec.Name, err))
@@ -383,11 +385,12 @@ func runRefineCases(quick bool) ([]Case, []Curve) {
 
 	// Timing: one refined solve per op at the largest budget on the first
 	// family's first instance, against the greedy base draw alone.
-	g, bt, _ := instance(0, 0)
+	g, bt, _ := buildInstance(0, 0)
+	in := instance.New(g, bt)
 	maxBudget := budgets[len(budgets)-1]
 	greedyRun := run(func(tb *testing.B) {
 		for i := 0; i < tb.N; i++ {
-			if _, err := solver.Solve(g, bt, solver.Spec{Name: solver.NameGreedy},
+			if _, err := solver.Solve(in, solver.Spec{Name: solver.NameGreedy},
 				solver.Options{Tries: 1, Src: rng.New(uint64(i) + 1)}); err != nil {
 				tb.Fatalf("solver.Solve(greedy): %v", err)
 			}
@@ -397,7 +400,7 @@ func runRefineCases(quick bool) ([]Case, []Curve) {
 	for _, refiner := range []string{solver.NameTabu, solver.NameAnneal} {
 		r := run(func(tb *testing.B) {
 			for i := 0; i < tb.N; i++ {
-				if _, err := solver.Solve(g, bt,
+				if _, err := solver.Solve(in,
 					solver.Spec{Name: refiner, Base: solver.NameGreedy},
 					solver.Options{Tries: 1, Budget: maxBudget, Src: rng.New(uint64(i) + 1)}); err != nil {
 					tb.Fatalf("solver.Solve(%s): %v", refiner, err)
@@ -434,9 +437,10 @@ func runSolverCases(quick bool) []Case {
 		budgets[i] = 8
 	}
 	spec := solver.Spec{Name: solver.NameUniform, KConst: 0.5}
+	in := instance.New(g, budgets)
 	seq := run(func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := solver.Solve(g, budgets, spec,
+			if _, err := solver.Solve(in, spec,
 				solver.Options{Tries: 32, Src: rng.New(uint64(i) + 1)}); err != nil {
 				b.Fatalf("solver.Solve: %v", err)
 			}
@@ -444,7 +448,7 @@ func runSolverCases(quick bool) []Case {
 	})
 	raced := run(func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := solver.Solve(g, budgets, spec,
+			if _, err := solver.Solve(in, spec,
 				solver.Options{Tries: 8, Src: rng.New(uint64(i) + 1), RaceWidth: 4}); err != nil {
 				b.Fatalf("solver.Solve(race): %v", err)
 			}
@@ -461,9 +465,10 @@ func runSolverCases(quick bool) []Case {
 	for i := range pruneBudgets {
 		pruneBudgets[i] = 8
 	}
+	pruneIn := instance.New(g, pruneBudgets)
 	greedyRun := run(func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := solver.Solve(g, pruneBudgets, solver.Spec{Name: solver.NameGreedy},
+			if _, err := solver.Solve(pruneIn, solver.Spec{Name: solver.NameGreedy},
 				solver.Options{Tries: 1, Src: rng.New(uint64(i) + 1)}); err != nil {
 				b.Fatalf("solver.Solve(greedy): %v", err)
 			}
@@ -471,7 +476,7 @@ func runSolverCases(quick bool) []Case {
 	})
 	pruneRun := run(func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := solver.Solve(g, pruneBudgets, solver.Spec{Name: solver.NamePrune},
+			if _, err := solver.Solve(pruneIn, solver.Spec{Name: solver.NamePrune},
 				solver.Options{Tries: 1, Src: rng.New(uint64(i) + 1)}); err != nil {
 				b.Fatalf("solver.Solve(prune): %v", err)
 			}
@@ -482,6 +487,88 @@ func runSolverCases(quick bool) []Case {
 		toCase(fmt.Sprintf("solver/Solve/tries=32/n=%d", n), seq, 0),
 		toCase(fmt.Sprintf("solver/Solve/race=4/tries=8/n=%d", n), raced, seqNs),
 		toCase(fmt.Sprintf("solver/prune/n=%d", n), pruneRun, float64(greedyRun.NsPerOp())),
+	}
+}
+
+// runGridCases benchmarks the PR 10 structured-instance path on the 50×50
+// grid (quick: 20×20), uniform battery 3: the structure-detection pass
+// alone, and the auto portfolio end to end (classify + dispatch + tile +
+// driver validation; a fresh Instance per op, so every op pays the
+// classification a real request pays).
+//
+// The grid-vs-uniform acceptance datum is the auto case's baseline pair.
+// Uniform on a grid is bimodal: with the default color range its WHP
+// guarantee (δ = 2) is one color class, so the first draw hits lifetime b
+// and the solver stops instantly — fast, but less than half the tiling's
+// lifetime, and no retry budget improves it. The only configuration that
+// even attempts a comparable lifetime is an aggressive color range
+// (KConst = 0.25 asks for more classes), and there every random class
+// fails domination: all 300 tries run and deliver lifetime 0. That
+// searching arm is the honest "uniform chasing equal-or-better lifetime"
+// wall clock, and auto's Speedup against it is the pinned ≥10x headline
+// (observed ~30-40x; lifetimes on the full-scale instance: auto 7,
+// uniform-instant 3, uniform-search 0). The instant arm is recorded as its
+// own case for transparency. greedy — auto's off-grid fallback, lifetime 6
+// here — is the second baseline pair, pinning what dispatch-on-structure
+// saves against the solver auto would otherwise run.
+func runGridCases(quick bool) []Case {
+	side := 50
+	if quick {
+		side = 20
+	}
+	g := gen.Grid(side, side)
+	budgets := make([]int, g.N())
+	for i := range budgets {
+		budgets[i] = 3
+	}
+	in := instance.New(g, budgets)
+
+	classify := run(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			instance.Classify(g, instance.Hint{})
+		}
+	})
+	auto := run(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := solver.Solve(instance.New(g, budgets), solver.Spec{Name: solver.NameAuto},
+				solver.Options{Src: rng.New(uint64(i) + 1)}); err != nil {
+				b.Fatalf("solver.Solve(auto): %v", err)
+			}
+		}
+	})
+	instant := run(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := solver.Solve(in, solver.Spec{Name: solver.NameUniform},
+				solver.Options{Tries: 300, Src: rng.New(uint64(i) + 1)}); err != nil {
+				b.Fatalf("solver.Solve(uniform): %v", err)
+			}
+		}
+	})
+	search := run(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := solver.Solve(in, solver.Spec{Name: solver.NameUniform, KConst: 0.25},
+				solver.Options{Tries: 300, Src: rng.New(uint64(i) + 1)}); err != nil {
+				b.Fatalf("solver.Solve(uniform search): %v", err)
+			}
+		}
+	})
+	greedy := run(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := solver.Solve(in, solver.Spec{Name: solver.NameGreedy},
+				solver.Options{Tries: 1, Src: rng.New(uint64(i) + 1)}); err != nil {
+				b.Fatalf("solver.Solve(greedy): %v", err)
+			}
+		}
+	})
+
+	n := g.N()
+	return []Case{
+		toCase(fmt.Sprintf("instance/Classify/grid=%dx%d", side, side), classify, 0),
+		toCase(fmt.Sprintf("solver/uniform/grid=%dx%d/instant", side, side), instant, 0),
+		toCase(fmt.Sprintf("solver/auto/grid=%dx%d/vs=uniform-search/n=%d", side, side, n),
+			auto, float64(search.NsPerOp())),
+		toCase(fmt.Sprintf("solver/auto/grid=%dx%d/vs=greedy-fallback/n=%d", side, side, n),
+			auto, float64(greedy.NsPerOp())),
 	}
 }
 
@@ -631,9 +718,9 @@ func runReconfigCases(quick bool) []Case {
 	}
 	compute := run(func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := reconfig.Compute(g, reconfig.Request{
-				Old: old, At: at, Residual: residual, Delta: swap,
-				K: 1, Overlap: 2, Seed: uint64(i) + 1, Tries: 8,
+			if _, err := reconfig.Compute(instance.New(g, residual), reconfig.Request{
+				Old: old, At: at, Delta: swap,
+				Overlap: 2, Seed: uint64(i) + 1, Tries: 8,
 			}); err != nil {
 				b.Fatalf("reconfig.Compute: %v", err)
 			}
@@ -741,7 +828,7 @@ func runSensimCases(quick bool) []Case {
 	for i := range b {
 		b[i] = 4 + src.Intn(4)
 	}
-	s, err := solver.Solve(g, b, solver.Spec{Name: solver.NameGeneral},
+	s, err := solver.Solve(instance.New(g, b), solver.Spec{Name: solver.NameGeneral},
 		solver.Options{Tries: 5, Src: rng.New(7)})
 	if err != nil {
 		panic(fmt.Sprintf("bench: general fixture: %v", err))

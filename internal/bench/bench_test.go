@@ -50,7 +50,7 @@ func TestRunQuickProducesReport(t *testing.T) {
 		t.Skip("bench suite is slow")
 	}
 	rep := Run(true)
-	if rep.Schema != Schema || rep.PR != "PR9" || !rep.Quick {
+	if rep.Schema != Schema || rep.PR != "PR10" || !rep.Quick {
 		t.Fatalf("bad report header: schema=%s pr=%s quick=%v", rep.Schema, rep.PR, rep.Quick)
 	}
 	if len(rep.Cases) == 0 {
@@ -79,6 +79,7 @@ func TestRunQuickProducesReport(t *testing.T) {
 	var patchMiss, patchHit *Case
 	var flip, prune *Case
 	var shardCold, shardWarm *Case
+	var autoSearch *Case
 	for i, c := range rep.Cases {
 		if c.Iterations <= 0 || c.NsPerOp <= 0 {
 			t.Fatalf("case %s did not run: %+v", c.Name, c)
@@ -114,6 +115,23 @@ func TestRunQuickProducesReport(t *testing.T) {
 		} else if strings.Contains(c.Name, "shard/stitch/shards=4") {
 			shardCold = &rep.Cases[i]
 		}
+		if strings.Contains(c.Name, "solver/auto/") && strings.Contains(c.Name, "vs=uniform-search") {
+			autoSearch = &rep.Cases[i]
+		}
+	}
+	if autoSearch == nil {
+		t.Fatal("solver/auto vs uniform-search case missing from the suite")
+	}
+	// The PR 10 acceptance datum: auto's deterministic classify + tile pass
+	// must beat uniform's searching configuration, which burns its whole
+	// retry budget. The full-scale report pins ~36x; even at quick scale
+	// the margin is an order of magnitude, so plain "faster" is safe here.
+	if autoSearch.BaselineNsPerOp <= 0 {
+		t.Fatal("auto case has no uniform-search baseline")
+	}
+	if autoSearch.NsPerOp >= autoSearch.BaselineNsPerOp {
+		t.Fatalf("auto on a grid (%v ns/op) not faster than uniform search (%v ns/op)",
+			autoSearch.NsPerOp, autoSearch.BaselineNsPerOp)
 	}
 	if flip == nil {
 		t.Fatal("kernel/Flip cases missing from the suite")

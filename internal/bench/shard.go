@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/domset"
 	"repro/internal/gen"
+	"repro/internal/instance"
 	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/rng"
@@ -61,10 +62,11 @@ func runShardCases(quick bool) []Case {
 		budgets[i] = 8
 	}
 	spec := solver.Spec{Name: solver.NameGreedy}
+	in := instance.New(g, budgets)
 
 	whole := run(func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := solver.Solve(g, budgets, spec,
+			if _, err := solver.Solve(in, spec,
 				solver.Options{Tries: 1, Src: rng.New(9)}); err != nil {
 				b.Fatalf("solver.Solve: %v", err)
 			}
@@ -73,13 +75,13 @@ func runShardCases(quick bool) []Case {
 	wholeNs := float64(whole.NsPerOp())
 
 	pipeline := func(p *shard.Partition, cache shard.Cache) {
-		solved, err := shard.SolveShards(p, budgets, shard.Options{
+		solved, err := shard.SolveShards(in, p, shard.Options{
 			Spec: spec, Seed: 9, TransientPool: true, Cache: cache,
 		})
 		if err != nil {
 			panic(fmt.Sprintf("bench: SolveShards: %v", err))
 		}
-		if _, err := shard.Stitch(g, p, budgets, solved, 1, obs.Hooks{}); err != nil {
+		if _, err := shard.Stitch(in, p, solved, obs.Hooks{}); err != nil {
 			panic(fmt.Sprintf("bench: Stitch: %v", err))
 		}
 	}

@@ -1,0 +1,113 @@
+package budgetflag
+
+import (
+	"bytes"
+	"flag"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/solver"
+)
+
+// newSet returns a silent FlagSet wired through Register, the way every cmd
+// installs the budget contract.
+func newSet() (*flag.FlagSet, *Flags) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.SetOutput(&bytes.Buffer{})
+	return fs, Register(fs)
+}
+
+func TestParseCanonicalFlags(t *testing.T) {
+	fs, f := newSet()
+	if err := fs.Parse([]string{"-budget", "5000", "-deadline", "250ms"}); err != nil {
+		t.Fatal(err)
+	}
+	if f.Budget != 5000 || f.Deadline != 250*time.Millisecond {
+		t.Fatalf("parsed %+v, want budget 5000 deadline 250ms", f)
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatalf("valid flags rejected: %v", err)
+	}
+}
+
+func TestDefaultsAreZero(t *testing.T) {
+	fs, f := newSet()
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if f.Budget != 0 || f.Deadline != 0 {
+		t.Fatalf("defaults %+v, want zero budget and deadline", f)
+	}
+	var opt solver.Options
+	f.Apply(&opt, time.Now())
+	if opt.Budget != 0 || !opt.Deadline.IsZero() {
+		t.Fatalf("zero contract stamped %+v, want untouched options", opt)
+	}
+}
+
+// TestLegacySpellingsRejectWithRedirect: the ad-hoc spellings older tools
+// use must fail the parse with a pointer to the canonical flag, not fall
+// through as "flag provided but not defined".
+func TestLegacySpellingsRejectWithRedirect(t *testing.T) {
+	cases := []struct {
+		args []string
+		want string // canonical flag the error must point at
+	}{
+		{[]string{"-iters", "100"}, "-budget"},
+		{[]string{"-iterations", "100"}, "-budget"},
+		{[]string{"-time-budget", "1s"}, "-deadline"},
+		{[]string{"-time-limit", "1s"}, "-deadline"},
+		{[]string{"-budget-ms", "100"}, "-budget"},
+		{[]string{"-deadline-ms", "100"}, "-deadline"},
+	}
+	for _, tc := range cases {
+		fs, _ := newSet()
+		err := fs.Parse(tc.args)
+		if err == nil {
+			t.Errorf("%v: accepted", tc.args)
+			continue
+		}
+		if strings.Contains(err.Error(), "not defined") {
+			t.Errorf("%v: fell through to an undefined-flag error: %v", tc.args, err)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%v: error %q does not redirect to %s", tc.args, err, tc.want)
+		}
+	}
+}
+
+func TestValidateRejectsNegatives(t *testing.T) {
+	if err := (&Flags{Budget: -1}).Validate(); err == nil || !strings.Contains(err.Error(), "-budget") {
+		t.Errorf("negative budget: err = %v", err)
+	}
+	if err := (&Flags{Deadline: -time.Second}).Validate(); err == nil || !strings.Contains(err.Error(), "-deadline") {
+		t.Errorf("negative deadline: err = %v", err)
+	}
+}
+
+// TestApplyDeadlineInteraction: the iteration budget lands verbatim, and a
+// non-zero deadline becomes the absolute bound now + Deadline — independent
+// knobs, so setting one never disturbs the other.
+func TestApplyDeadlineInteraction(t *testing.T) {
+	now := time.Unix(1000, 0)
+	var opt solver.Options
+	(&Flags{Budget: 42}).Apply(&opt, now)
+	if opt.Budget != 42 || !opt.Deadline.IsZero() {
+		t.Fatalf("budget-only contract stamped %+v", opt)
+	}
+
+	opt = solver.Options{}
+	(&Flags{Deadline: 3 * time.Second}).Apply(&opt, now)
+	if opt.Budget != 0 || !opt.Deadline.Equal(now.Add(3*time.Second)) {
+		t.Fatalf("deadline-only contract stamped %+v", opt)
+	}
+
+	// Re-applying overwrites the budget but leaves a previously stamped
+	// deadline alone when the new contract has none: callers re-stamp with
+	// the same Flags value, so zero means "no opinion", not "clear".
+	(&Flags{Budget: 7}).Apply(&opt, now.Add(time.Minute))
+	if opt.Budget != 7 || !opt.Deadline.Equal(now.Add(3*time.Second)) {
+		t.Fatalf("re-applied contract stamped %+v", opt)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/domatic"
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/internal/instance"
 	"repro/internal/rng"
 	"repro/internal/solver"
 )
@@ -199,7 +200,7 @@ func TestDistributedUniformMatchesCentralizedGuarantee(t *testing.T) {
 	g := gen.GNP(250, 0.4, rng.New(9))
 	const b = 2
 	o := core.Options{K: 3}
-	central, err := solver.Solve(g, uniformB(g.N(), b), solver.Spec{Name: solver.NameUniform},
+	central, err := solver.Solve(instance.New(g, uniformB(g.N(), b)), solver.Spec{Name: solver.NameUniform},
 		solver.Options{Tries: 50, Src: rng.New(21)})
 	if err != nil {
 		t.Fatal(err)

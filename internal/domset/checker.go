@@ -75,6 +75,14 @@ func NewChecker(g *graph.Graph) *Checker {
 	return c
 }
 
+// NewSparseChecker returns a rowless Checker that answers queries by
+// walking adjacency lists instead of folding precomputed rows. Sessions
+// run entirely on adjacency walks, so a sparse Checker is the right host
+// when the caller only wants Begin/Flip incrementality (the grid solver
+// keeps five of them) and the O(n²/64) row build plus its memclr would
+// dominate the work the checker actually does.
+func NewSparseChecker(g *graph.Graph) *Checker { return newSparseChecker(g) }
+
 // newSparseChecker returns a rowless Checker that answers queries by walking
 // adjacency lists (the pre-kernel strategy, minus the per-call allocation).
 // The free functions of this package use it for one-shot queries where

@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/instance"
 	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/rng"
@@ -34,7 +35,7 @@ var ErrCanceled = solver.ErrCanceled
 // instances, so a driver error is a bug and panics rather than threading
 // error plumbing through every trial closure.
 func solve(name string, g *graph.Graph, budgets []int, k, tries int, src *rng.Source) *core.Schedule {
-	s, err := solver.Solve(g, budgets, solver.Spec{Name: name, K: k},
+	s, err := solver.Solve(instance.New(g, budgets).WithK(k), solver.Spec{Name: name},
 		solver.Options{Tries: tries, Src: src})
 	if err != nil {
 		panic(fmt.Sprintf("experiments: solver %q: %v", name, err))

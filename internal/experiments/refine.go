@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/internal/instance"
 	"repro/internal/rng"
 	"repro/internal/solver"
 	"repro/internal/stats"
@@ -95,7 +96,7 @@ func runE25(cfg Config) *Table {
 				for v := range budgets {
 					budgets[v] = 1 + bsrc.Intn(2*b)
 				}
-				s, err := solver.Solve(g, budgets, a.spec,
+				s, err := solver.Solve(instance.New(g, budgets), a.spec,
 					solver.Options{Tries: 10, Budget: a.budget, Src: src})
 				if err != nil {
 					panic("experiments: " + id + ": " + err.Error())

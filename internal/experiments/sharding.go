@@ -9,6 +9,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/geom"
 	"repro/internal/graph"
+	"repro/internal/instance"
 	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/shard"
@@ -77,8 +78,9 @@ func runE26(cfg Config) *Table {
 	// SolveShards / Stitch path the service and CLIs use.
 	runArm := func(a arm, g *graph.Graph, pts []geom.Point, budgets []int, seed uint64) (*core.Schedule, *shard.Stitched) {
 		spec := solver.Spec{Name: solver.NameGreedy}
+		in := instance.New(g, budgets)
 		if a.partitioner == "" {
-			s, err := solver.Solve(g, budgets, spec, solver.Options{Src: rng.New(seed)})
+			s, err := solver.Solve(in, spec, solver.Options{Src: rng.New(seed)})
 			if err != nil {
 				panic("experiments: E26 whole: " + err.Error())
 			}
@@ -88,20 +90,20 @@ func runE26(cfg Config) *Table {
 		if err != nil {
 			panic("experiments: E26 partition: " + err.Error())
 		}
-		solved, err := shard.SolveShards(p, budgets, shard.Options{
+		solved, err := shard.SolveShards(in, p, shard.Options{
 			Spec: spec, Seed: seed, TransientPool: true,
 		})
 		if err != nil {
 			panic("experiments: E26 solve: " + err.Error())
 		}
-		st, err := shard.Stitch(g, p, budgets, solved, 1, obs.Hooks{})
+		st, err := shard.Stitch(in, p, solved, obs.Hooks{})
 		if err != nil {
 			panic("experiments: E26 stitch: " + err.Error())
 		}
 		return st.Schedule, st
 	}
 
-	instance := func(i int) (*graph.Graph, []geom.Point, uint64) {
+	buildInstance := func(i int) (*graph.Graph, []geom.Point, uint64) {
 		seed := cfg.Seed + 26 + uint64(i)*5309
 		g, pts := gen.RandomUDG(n, 1, radius, rng.New(seed))
 		return g, pts, seed
@@ -112,7 +114,7 @@ func runE26(cfg Config) *Table {
 	for _, a := range arms {
 		id := fmt.Sprintf("E26/%s/%d", a.label, a.shards)
 		samples := mapTrials(cfg, "E26", cfg.trials(), func(i int) sample {
-			g, pts, seed := instance(i)
+			g, pts, seed := buildInstance(i)
 			s, st := runArm(a, g, pts, uniformBudgets(g.N(), b), seed)
 			out := sample{lifetime: float64(s.Lifetime()), ok: true}
 			if st != nil {
@@ -148,7 +150,7 @@ func runE26(cfg Config) *Table {
 		// trial averages above run concurrently (mapTrials), so timing them
 		// would measure scheduler contention; this pass is the honest
 		// wall-clock comparison and the only non-deterministic cell.
-		g0, pts0, seed0 := instance(0)
+		g0, pts0, seed0 := buildInstance(0)
 		budgets0 := uniformBudgets(g0.N(), b)
 		start := time.Now()
 		runArm(a, g0, pts0, budgets0, seed0)

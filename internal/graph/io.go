@@ -33,64 +33,83 @@ func WriteEdgeList(w io.Writer, g *Graph) error {
 	return bw.Flush()
 }
 
+// HintPrefix is the comment prefix under which edge lists may carry a
+// structure hint ("# hint: grid 8 8"). ReadEdgeList skips it like any
+// other comment; ReadEdgeListHinted surfaces the payload.
+const HintPrefix = "# hint:"
+
 // ReadEdgeList parses the format written by WriteEdgeList. Blank lines and
 // lines starting with '#' are ignored. The "n <N>" header must precede all
 // edges.
 func ReadEdgeList(r io.Reader) (*Graph, error) {
+	g, _, err := ReadEdgeListHinted(r)
+	return g, err
+}
+
+// ReadEdgeListHinted is ReadEdgeList plus the structure hint: when the
+// stream carries a "# hint: <payload>" comment (cmd/graphgen tags its
+// grid/torus/udg families), the trimmed payload of the first such line is
+// returned alongside the graph. The hint is free-form advice for
+// instance.ParseHint — this layer does not interpret it.
+func ReadEdgeListHinted(r io.Reader) (*Graph, string, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<16), 1<<24)
 	var g *Graph
+	hint := ""
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
 		line := strings.TrimSpace(sc.Text())
 		if line == "" || strings.HasPrefix(line, "#") {
+			if hint == "" && strings.HasPrefix(line, HintPrefix) {
+				hint = strings.TrimSpace(strings.TrimPrefix(line, HintPrefix))
+			}
 			continue
 		}
 		fields := strings.Fields(line)
 		if fields[0] == "n" {
 			if g != nil {
-				return nil, fmt.Errorf("graph: line %d: duplicate node-count header", lineNo)
+				return nil, "", fmt.Errorf("graph: line %d: duplicate node-count header", lineNo)
 			}
 			if len(fields) != 2 {
-				return nil, fmt.Errorf("graph: line %d: malformed header %q", lineNo, line)
+				return nil, "", fmt.Errorf("graph: line %d: malformed header %q", lineNo, line)
 			}
 			n, err := strconv.Atoi(fields[1])
 			if err != nil || n < 0 {
-				return nil, fmt.Errorf("graph: line %d: bad node count %q", lineNo, fields[1])
+				return nil, "", fmt.Errorf("graph: line %d: bad node count %q", lineNo, fields[1])
 			}
 			g = New(n)
 			continue
 		}
 		if g == nil {
-			return nil, fmt.Errorf("graph: line %d: edge before \"n <N>\" header", lineNo)
+			return nil, "", fmt.Errorf("graph: line %d: edge before \"n <N>\" header", lineNo)
 		}
 		if len(fields) != 2 {
-			return nil, fmt.Errorf("graph: line %d: malformed edge %q", lineNo, line)
+			return nil, "", fmt.Errorf("graph: line %d: malformed edge %q", lineNo, line)
 		}
 		u, err := strconv.Atoi(fields[0])
 		if err != nil {
-			return nil, fmt.Errorf("graph: line %d: bad endpoint %q", lineNo, fields[0])
+			return nil, "", fmt.Errorf("graph: line %d: bad endpoint %q", lineNo, fields[0])
 		}
 		v, err := strconv.Atoi(fields[1])
 		if err != nil {
-			return nil, fmt.Errorf("graph: line %d: bad endpoint %q", lineNo, fields[1])
+			return nil, "", fmt.Errorf("graph: line %d: bad endpoint %q", lineNo, fields[1])
 		}
 		if u < 0 || u >= g.N() || v < 0 || v >= g.N() {
-			return nil, fmt.Errorf("graph: line %d: endpoint out of range in %q", lineNo, line)
+			return nil, "", fmt.Errorf("graph: line %d: endpoint out of range in %q", lineNo, line)
 		}
 		if u == v {
-			return nil, fmt.Errorf("graph: line %d: self-loop %d", lineNo, u)
+			return nil, "", fmt.Errorf("graph: line %d: self-loop %d", lineNo, u)
 		}
 		if !g.AddEdgeIfAbsent(u, v) {
-			return nil, fmt.Errorf("graph: line %d: duplicate edge {%d,%d}", lineNo, u, v)
+			return nil, "", fmt.Errorf("graph: line %d: duplicate edge {%d,%d}", lineNo, u, v)
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	if g == nil {
-		return nil, fmt.Errorf("graph: missing \"n <N>\" header")
+		return nil, "", fmt.Errorf("graph: missing \"n <N>\" header")
 	}
-	return g, nil
+	return g, hint, nil
 }

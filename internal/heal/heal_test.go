@@ -11,6 +11,7 @@ import (
 	"repro/internal/energy"
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/internal/instance"
 	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/sensim"
@@ -21,7 +22,7 @@ import (
 // deleted core.*WHP shims, seed-pinned equivalent to them draw for draw.
 func mustSolve(t testing.TB, g *graph.Graph, budgets []int, name string, tries int, src *rng.Source) *core.Schedule {
 	t.Helper()
-	s, err := solver.Solve(g, budgets, solver.Spec{Name: name},
+	s, err := solver.Solve(instance.New(g, budgets), solver.Spec{Name: name},
 		solver.Options{Tries: tries, Src: src})
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,594 @@
+package instance
+
+import (
+	"repro/internal/graph"
+)
+
+// Classify runs the structure-detection pass over g: grid and torus
+// recognition by degree-sequence gating plus an explicit coordinate
+// embedding that is verified edge-for-edge, tree detection, and the
+// degree/density/degeneracy statistics. hint (possibly zero) only orders
+// the embedding trials — a wrong hint cannot produce a wrong Class,
+// because every positive classification is certified by full adjacency
+// verification. Cost is O(n + m) for the gates and statistics and
+// O(n + m) per embedding trial, with a constant number of trials.
+func Classify(g *graph.Graph, hint Hint) *Meta {
+	n := g.N()
+	m := &Meta{
+		MinDeg: g.MinDegree(),
+		MaxDeg: g.MaxDegree(),
+		AvgDeg: g.AverageDegree(),
+		UDG:    hint.Family == "udg",
+	}
+	comps := componentCount(g)
+	m.Connected = comps <= 1
+	if n > 1 {
+		m.Density = float64(2*g.M()) / float64(n*(n-1))
+	}
+	m.Degeneracy = degeneracy(g)
+	m.Acyclic = g.M() == n-comps
+
+	if rows, cols, coords := detectGrid(g, hint, m.Connected); coords != nil {
+		m.Class, m.Rows, m.Cols, m.Coords = Grid, rows, cols, coords
+		return m
+	}
+	if rows, cols, coords := detectTorus(g, hint, m.Connected); coords != nil {
+		m.Class, m.Rows, m.Cols, m.Coords = Torus, rows, cols, coords
+		return m
+	}
+	if m.Connected && m.Acyclic && n > 0 {
+		m.Class = Tree
+	}
+	return m
+}
+
+// componentCount counts connected components with one unsorted BFS sweep —
+// Classify needs only the count (connectivity, the acyclicity identity
+// m == n - components), never the component contents, so the per-component
+// slices and sorting of graph.Components would be pure overhead here.
+func componentCount(g *graph.Graph) int {
+	n := g.N()
+	seen := make([]bool, n)
+	queue := make([]int, 0, n)
+	comps := 0
+	for s := 0; s < n; s++ {
+		if seen[s] {
+			continue
+		}
+		comps++
+		seen[s] = true
+		queue = append(queue[:0], s)
+		for i := 0; i < len(queue); i++ {
+			for _, u := range g.Neighbors(queue[i]) {
+				if !seen[u] {
+					seen[u] = true
+					queue = append(queue, int(u))
+				}
+			}
+		}
+	}
+	return comps
+}
+
+// degeneracy computes the graph degeneracy by the standard linear-time
+// peeling: repeatedly remove a minimum-degree node; the answer is the
+// largest degree seen at removal time. The implementation is the
+// Batagelj–Zaveršnik array form: nodes counting-sorted by degree into vert,
+// with bin[d] the start of the degree-d block, so each peel is an O(1) swap
+// instead of a bucket append (no churn, no stale entries).
+func degeneracy(g *graph.Graph) int {
+	n := g.N()
+	if n == 0 {
+		return 0
+	}
+	deg := make([]int, n)
+	maxDeg := 0
+	for v := 0; v < n; v++ {
+		deg[v] = g.Degree(v)
+		if deg[v] > maxDeg {
+			maxDeg = deg[v]
+		}
+	}
+	bin := make([]int, maxDeg+1)
+	for _, d := range deg {
+		bin[d]++
+	}
+	start := 0
+	for d := 0; d <= maxDeg; d++ {
+		bin[d], start = start, start+bin[d]
+	}
+	vert := make([]int, n)
+	pos := make([]int, n)
+	next := append([]int(nil), bin...)
+	for v := 0; v < n; v++ {
+		p := next[deg[v]]
+		next[deg[v]]++
+		vert[p], pos[v] = v, p
+	}
+	k := 0
+	for i := 0; i < n; i++ {
+		v := vert[i]
+		if deg[v] > k {
+			k = deg[v]
+		}
+		for _, w32 := range g.Neighbors(v) {
+			w := int(w32)
+			if deg[w] > deg[v] {
+				// Swap w to the front of its degree block, advance the
+				// block start past it, and drop its degree by one.
+				dw, pw := deg[w], pos[w]
+				ps := bin[dw]
+				u := vert[ps]
+				if u != w {
+					vert[ps], vert[pw] = w, u
+					pos[w], pos[u] = ps, pw
+				}
+				bin[dw]++
+				deg[w]--
+			}
+		}
+	}
+	return k
+}
+
+// dims is one (rows, cols) candidate for an embedding trial.
+type dims struct{ rows, cols int }
+
+// detectGrid recognizes rows×cols grid graphs (both dimensions >= 2)
+// under arbitrary node relabeling. The degree histogram gates cheaply and
+// pins the dimensions: a grid has exactly four degree-2 corners,
+// 2(rows+cols)-8 degree-3 border nodes, and (rows-2)(cols-2) degree-4
+// interior nodes, so rows+cols and rows*cols are both known and the
+// dimensions are the roots of one quadratic. The embedding fill then
+// assigns coordinates outward from a corner, and verify certifies every
+// edge, so a non-grid can never pass.
+func detectGrid(g *graph.Graph, hint Hint, connected bool) (int, int, []int32) {
+	n := g.N()
+	if n < 4 || !connected {
+		return 0, 0, nil
+	}
+	// Degree gate: count degrees; only 2/3/4 allowed, exactly 4 corners.
+	var d2, d3, d4 int
+	corner := -1
+	for v := 0; v < n; v++ {
+		switch g.Degree(v) {
+		case 2:
+			d2++
+			corner = v
+		case 3:
+			d3++
+		case 4:
+			d4++
+		default:
+			return 0, 0, nil
+		}
+	}
+	if d2 != 4 || d2+d3+d4 != n {
+		return 0, 0, nil
+	}
+	// rows+cols = (d3+8)/2, rows*cols = n; solve the quadratic over the
+	// integers.
+	if (d3+8)%2 != 0 {
+		return 0, 0, nil
+	}
+	s := (d3 + 8) / 2
+	r1, r2, ok := intRoots(s, n)
+	if !ok || r1 < 2 {
+		return 0, 0, nil
+	}
+	if d4 != (r1-2)*(r2-2) {
+		return 0, 0, nil
+	}
+	trials := []dims{{r1, r2}}
+	if r1 != r2 {
+		trials = append(trials, dims{r2, r1})
+	}
+	// A matching hint is redundant (dimensions are pinned by the
+	// histogram) but promotes its orientation to the first trial.
+	if hint.Family == "grid" && hint.Rows >= 2 && hint.Cols >= 2 &&
+		hint.Rows*hint.Cols == n && hint.Rows+hint.Cols == s && hint.Rows != r1 {
+		trials[0], trials[1] = trials[1], trials[0]
+	}
+	nbrs := g.Neighbors(corner)
+	for _, t := range trials {
+		for swap := 0; swap < 2; swap++ {
+			a, b := int(nbrs[0]), int(nbrs[1])
+			if swap == 1 {
+				a, b = b, a
+			}
+			if coords := fillGrid(g, t.rows, t.cols, corner, a, b); coords != nil {
+				return t.rows, t.cols, coords
+			}
+		}
+	}
+	return 0, 0, nil
+}
+
+// intRoots returns the integer roots (r1 <= r2) of x^2 - s*x + p = 0.
+func intRoots(s, p int) (int, int, bool) {
+	disc := s*s - 4*p
+	if disc < 0 {
+		return 0, 0, false
+	}
+	q := isqrt(disc)
+	if q*q != disc || (s-q)%2 != 0 {
+		return 0, 0, false
+	}
+	return (s - q) / 2, (s + q) / 2, true
+}
+
+func isqrt(x int) int {
+	if x < 0 {
+		return 0
+	}
+	r := 0
+	for r*r <= x {
+		r++
+	}
+	return r - 1
+}
+
+// fillGrid attempts the coordinate embedding with corner at (0,0),
+// a at (0,1), b at (1,0): rows 0 and 1 are filled left to right in
+// lockstep (each new top cell pins the cell below it via a unique-common-
+// neighbor constraint), then rows 2.. fill row-major with the generic
+// rule (r,c) = the unique unassigned common neighbor of (r-1,c) and
+// (r,c-1). Any ambiguity or miss fails the trial; success is certified by
+// verifyEmbedding.
+func fillGrid(g *graph.Graph, rows, cols, corner, a, b int) []int32 {
+	n := g.N()
+	if rows < 2 || cols < 2 || rows*cols != n {
+		return nil
+	}
+	coords := make([]int32, n)
+	for i := range coords {
+		coords[i] = -1
+	}
+	cell := make([]int32, n) // row*cols+col -> node
+	for i := range cell {
+		cell[i] = -1
+	}
+	assign := func(r, c, v int) bool {
+		if coords[v] != -1 || cell[r*cols+c] != -1 {
+			return false
+		}
+		coords[v] = int32(r*cols + c)
+		cell[r*cols+c] = int32(v)
+		return true
+	}
+	assigned := func(v int) bool { return coords[v] != -1 }
+	if !assign(0, 0, corner) || !assign(0, 1, a) || !assign(1, 0, b) {
+		return nil
+	}
+	// (1,1): unique common neighbor of a and b besides the corner.
+	d, ok := uniqueCommon(g, a, b, assigned)
+	if !ok || !assign(1, 1, d) {
+		return nil
+	}
+	// Rows 0 and 1 in lockstep.
+	for c := 2; c < cols; c++ {
+		top, ok := uniqueUnassignedNeighbor(g, int(cell[0*cols+c-1]), assigned)
+		if !ok || !assign(0, c, top) {
+			return nil
+		}
+		if rows > 1 {
+			bot, ok := uniqueCommon(g, int(cell[1*cols+c-1]), top, assigned)
+			if !ok || !assign(1, c, bot) {
+				return nil
+			}
+		}
+	}
+	// Rows 2.. row-major.
+	for r := 2; r < rows; r++ {
+		first, ok := uniqueUnassignedNeighbor(g, int(cell[(r-1)*cols]), assigned)
+		if !ok || !assign(r, 0, first) {
+			return nil
+		}
+		for c := 1; c < cols; c++ {
+			v, ok := uniqueCommon(g, int(cell[(r-1)*cols+c]), int(cell[r*cols+c-1]), assigned)
+			if !ok || !assign(r, c, v) {
+				return nil
+			}
+		}
+	}
+	if !verifyEmbedding(g, rows, cols, coords, false) {
+		return nil
+	}
+	return coords
+}
+
+// uniqueCommon returns the unique unassigned common neighbor of u and v,
+// or ok=false when there is none or more than one.
+func uniqueCommon(g *graph.Graph, u, v int, assigned func(int) bool) (int, bool) {
+	found, count := -1, 0
+	nu, nv := g.Neighbors(u), g.Neighbors(v)
+	i, j := 0, 0
+	for i < len(nu) && j < len(nv) {
+		switch {
+		case nu[i] < nv[j]:
+			i++
+		case nu[i] > nv[j]:
+			j++
+		default:
+			w := int(nu[i])
+			if !assigned(w) {
+				found = w
+				count++
+			}
+			i++
+			j++
+		}
+	}
+	return found, count == 1
+}
+
+// uniqueUnassignedNeighbor returns the unique unassigned neighbor of v.
+func uniqueUnassignedNeighbor(g *graph.Graph, v int, assigned func(int) bool) (int, bool) {
+	found, count := -1, 0
+	for _, w32 := range g.Neighbors(v) {
+		w := int(w32)
+		if !assigned(w) {
+			found = w
+			count++
+		}
+	}
+	return found, count == 1
+}
+
+// verifyEmbedding is the certificate: it checks that under coords, every
+// node's actual neighbor set equals exactly the grid (or torus, with
+// wraparound) neighborhood, and that the total edge count matches. Only
+// after this can Classify report Grid or Torus, which is what makes false
+// positives impossible regardless of how the fill got here.
+func verifyEmbedding(g *graph.Graph, rows, cols int, coords []int32, wrap bool) bool {
+	n := g.N()
+	if len(coords) != n {
+		return false
+	}
+	cell := make([]int32, rows*cols)
+	for i := range cell {
+		cell[i] = -1
+	}
+	for v := 0; v < n; v++ {
+		p := coords[v]
+		if p < 0 || int(p) >= rows*cols || cell[p] != -1 {
+			return false
+		}
+		cell[p] = int32(v)
+	}
+	wantEdges := 0
+	var expect []int32
+	for v := 0; v < n; v++ {
+		r, c := int(coords[v])/cols, int(coords[v])%cols
+		expect = expect[:0]
+		push := func(rr, cc int) {
+			if wrap {
+				rr, cc = (rr+rows)%rows, (cc+cols)%cols
+			} else if rr < 0 || rr >= rows || cc < 0 || cc >= cols {
+				return
+			}
+			expect = append(expect, cell[rr*cols+cc])
+		}
+		push(r-1, c)
+		push(r+1, c)
+		push(r, c-1)
+		push(r, c+1)
+		got := g.Neighbors(v)
+		if len(got) != len(expect) {
+			return false
+		}
+		// Insertion-sort the ≤ 4 expected neighbors and compare against the
+		// sorted adjacency slot for slot — set equality without a search
+		// per edge.
+		for i := 1; i < len(expect); i++ {
+			for j := i; j > 0 && expect[j] < expect[j-1]; j-- {
+				expect[j], expect[j-1] = expect[j-1], expect[j]
+			}
+		}
+		for i, w := range expect {
+			if got[i] != w {
+				return false
+			}
+		}
+		wantEdges += len(expect)
+	}
+	return wantEdges == 2*g.M()
+}
+
+// detectTorus recognizes rows×cols tori (both dimensions >= 3) under
+// arbitrary relabeling. The gate is sharp — connected, 4-regular, and
+// m == 2n — and then each factorization n = rows*cols (rows <= cols,
+// rows >= 3, hinted factorization first) is tried with each ordered pair
+// of node 0's neighbors as ((0,1), (1,0)). Unlike the grid there is no
+// degree gradient to steer the fill, so fillTorus runs a small
+// backtracking search bounded by a global step budget; wrong branches die
+// on the unique-common-neighbor constraints within a row, and the final
+// verifyEmbedding certificate keeps false positives impossible.
+func detectTorus(g *graph.Graph, hint Hint, connected bool) (int, int, []int32) {
+	n := g.N()
+	if n < 9 || !connected || g.M() != 2*n {
+		return 0, 0, nil
+	}
+	for v := 0; v < n; v++ {
+		if g.Degree(v) != 4 {
+			return 0, 0, nil
+		}
+	}
+	var trials []dims
+	for r := 3; r*r <= n; r++ {
+		if n%r == 0 && n/r >= 3 {
+			trials = append(trials, dims{r, n / r})
+			if r != n/r {
+				trials = append(trials, dims{n / r, r})
+			}
+		}
+	}
+	if hint.Family == "torus" && hint.Rows >= 3 && hint.Cols >= 3 && hint.Rows*hint.Cols == n {
+		for i, t := range trials {
+			if t.rows == hint.Rows && t.cols == hint.Cols && i > 0 {
+				trials[0], trials[i] = trials[i], trials[0]
+			}
+		}
+	}
+	nbrs := g.Neighbors(0)
+	for _, t := range trials {
+		for _, a32 := range nbrs {
+			for _, b32 := range nbrs {
+				a, b := int(a32), int(b32)
+				if a == b {
+					continue
+				}
+				if coords := fillTorus(g, t.rows, t.cols, a, b); coords != nil {
+					return t.rows, t.cols, coords
+				}
+			}
+		}
+	}
+	return 0, 0, nil
+}
+
+// torusFill carries the backtracking state of one torus embedding trial.
+type torusFill struct {
+	g          *graph.Graph
+	rows, cols int
+	coords     []int32
+	cell       []int32
+	steps      int // global budget: a non-torus must fail fast, not wander
+}
+
+const torusStepFactor = 64
+
+func (tf *torusFill) assigned(v int) bool { return tf.coords[v] != -1 }
+
+func (tf *torusFill) assign(r, c, v int) bool {
+	p := r*tf.cols + c
+	if tf.coords[v] != -1 || tf.cell[p] != -1 {
+		return false
+	}
+	tf.coords[v] = int32(p)
+	tf.cell[p] = int32(v)
+	return true
+}
+
+func (tf *torusFill) unassign(r, c, v int) {
+	tf.coords[v] = -1
+	tf.cell[r*tf.cols+c] = -1
+}
+
+// fillTorus embeds node 0 at (0,0), a at (0,1), b at (1,0) and fills rows
+// 0 and 1 left to right in lockstep (backtracking over the <= 2 candidate
+// continuations of row 0; the paired row-1 cell must be a unique common
+// neighbor, which kills wrong branches within a step or two), then rows
+// 2.. row-major with the same generic rule as the grid, backtracking over
+// the <= 2 candidates for each row's first cell.
+func fillTorus(g *graph.Graph, rows, cols, a, b int) []int32 {
+	n := g.N()
+	tf := &torusFill{g: g, rows: rows, cols: cols,
+		coords: make([]int32, n), cell: make([]int32, rows*cols),
+		steps: torusStepFactor * n}
+	for i := range tf.coords {
+		tf.coords[i] = -1
+	}
+	for i := range tf.cell {
+		tf.cell[i] = -1
+	}
+	if !tf.assign(0, 0, 0) || !tf.assign(0, 1, a) || !tf.assign(1, 0, b) {
+		return nil
+	}
+	d, ok := uniqueCommon(g, a, b, tf.assigned)
+	if !ok || !tf.assign(1, 1, d) {
+		return nil
+	}
+	if !tf.fillTopPair(2) {
+		return nil
+	}
+	if !verifyEmbedding(g, rows, cols, tf.coords, true) {
+		return nil
+	}
+	return tf.coords
+}
+
+// fillTopPair fills columns c.. of rows 0 and 1, then hands off to
+// fillRows. For each column, the candidates for (0,c) are the unassigned
+// neighbors of (0,c-1); the paired (1,c) must then be the unique
+// unassigned common neighbor of (1,c-1) and the chosen (0,c).
+func (tf *torusFill) fillTopPair(c int) bool {
+	if tf.steps--; tf.steps < 0 {
+		return false
+	}
+	if c == tf.cols {
+		return tf.fillRows(2)
+	}
+	prevTop := int(tf.cell[c-1])
+	prevBot := int(tf.cell[tf.cols+c-1])
+	for _, w32 := range tf.g.Neighbors(prevTop) {
+		top := int(w32)
+		if tf.assigned(top) {
+			continue
+		}
+		if !tf.assign(0, c, top) {
+			continue
+		}
+		bot, ok := uniqueCommon(tf.g, prevBot, top, tf.assigned)
+		if ok && tf.assign(1, c, bot) {
+			if tf.fillTopPair(c + 1) {
+				return true
+			}
+			tf.unassign(1, c, bot)
+		}
+		tf.unassign(0, c, top)
+	}
+	return false
+}
+
+// fillRows fills rows r.. row-major. The first cell of each row
+// backtracks over the unassigned neighbors of the cell above; the rest of
+// the row is forced by unique common neighbors.
+func (tf *torusFill) fillRows(r int) bool {
+	if tf.steps--; tf.steps < 0 {
+		return false
+	}
+	if r == tf.rows {
+		return true
+	}
+	above := int(tf.cell[(r-1)*tf.cols])
+	for _, w32 := range tf.g.Neighbors(above) {
+		first := int(w32)
+		if tf.assigned(first) {
+			continue
+		}
+		if !tf.assign(r, 0, first) {
+			continue
+		}
+		if tf.fillRowRest(r, 1) && tf.fillRows(r+1) {
+			return true
+		}
+		tf.unassignRow(r)
+	}
+	return false
+}
+
+// fillRowRest forces cells (r,1).. from unique common neighbors of the
+// cell above and the cell to the left.
+func (tf *torusFill) fillRowRest(r, c int) bool {
+	for ; c < tf.cols; c++ {
+		if tf.steps--; tf.steps < 0 {
+			return false
+		}
+		v, ok := uniqueCommon(tf.g, int(tf.cell[(r-1)*tf.cols+c]), int(tf.cell[r*tf.cols+c-1]), tf.assigned)
+		if !ok || !tf.assign(r, c, v) {
+			return false
+		}
+	}
+	return true
+}
+
+// unassignRow clears every assigned cell of row r (partial fills
+// included) so the caller can try the next branch.
+func (tf *torusFill) unassignRow(r int) {
+	for c := 0; c < tf.cols; c++ {
+		if v := tf.cell[r*tf.cols+c]; v != -1 {
+			tf.unassign(r, c, int(v))
+		}
+	}
+}

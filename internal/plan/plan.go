@@ -14,6 +14,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/geom"
 	"repro/internal/graph"
+	"repro/internal/instance"
 	"repro/internal/rng"
 	"repro/internal/sched"
 	"repro/internal/solver"
@@ -91,12 +92,16 @@ func Build(spec Spec) (*Plan, error) {
 
 	// Pick the paper algorithm by registry name; the solver driver owns the
 	// retry/truncate/keep-best loop and the w.h.p. guarantee computation.
+	// The typed instance carries the tolerance and a UDG structure hint —
+	// the deployment geometry is known here, so classification gets it for
+	// free.
+	in := instance.New(g, batteries).WithHint(instance.Hint{Family: "udg"})
 	sspec := solver.Spec{Name: solver.NameGeneral, KConst: spec.K}
 	switch {
 	case spec.Tolerance > 1:
 		p.Algorithm = "Algorithm 3 (k-tolerant uniform)"
 		sspec.Name = solver.NameFT
-		sspec.K = spec.Tolerance
+		in = in.WithK(spec.Tolerance)
 		p.UpperBound = core.KTolerantUpperBound(g, batteries[0], spec.Tolerance)
 	case uniform:
 		p.Algorithm = "Algorithm 1 (uniform)"
@@ -106,13 +111,13 @@ func Build(spec Spec) (*Plan, error) {
 		p.Algorithm = "Algorithm 2 (general)"
 		p.UpperBound = core.GeneralUpperBound(g, batteries)
 	}
-	s, err := solver.Solve(g, batteries, sspec,
+	s, err := solver.Solve(in, sspec,
 		solver.Options{Tries: spec.Retries, Src: src})
 	if err != nil {
 		return nil, fmt.Errorf("plan: %w", err)
 	}
 	p.Schedule = s
-	if p.Guaranteed, err = solver.Guaranteed(g, batteries, sspec); err != nil {
+	if p.Guaranteed, err = solver.Guaranteed(in, sspec); err != nil {
 		return nil, fmt.Errorf("plan: %w", err)
 	}
 

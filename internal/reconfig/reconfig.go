@@ -29,6 +29,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/domset"
 	"repro/internal/graph"
+	"repro/internal/instance"
 	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/sched"
@@ -51,17 +52,11 @@ type Request struct {
 	// lifetime means the old schedule is exhausted — nothing is awake to
 	// overlap with.
 	At int
-	// Residual gives each pre-delta node's remaining energy at slot At
-	// (typically budgets minus Old.UsagePrefix(n, At)). The delta's budget
-	// updates revise these values.
-	Residual []int
 	// Alive, when non-nil, marks pre-delta nodes that are still up. Nodes
 	// added by the delta are always alive.
 	Alive []bool
 	// Delta is the structural/budget change to apply.
 	Delta graph.Delta
-	// K is the domination tolerance. <= 0 means 1.
-	K int
 	// Overlap is the requested overlap window in slots; the planner degrades
 	// to shorter windows when residuals cannot pay for it. 0 requests a pure
 	// swap; negative is an error.
@@ -159,7 +154,16 @@ func (p *Plan) mode() string {
 // Errors are reserved for malformed requests (bad delta, unknown solver,
 // negative overlap) and cancellation; infeasibility is reported in the Plan,
 // mirroring how core treats infeasible-but-well-formed instances.
-func Compute(g *graph.Graph, req Request) (*Plan, error) {
+//
+// inst is the pre-delta instance at the moment of cutover: its Budgets are
+// the residual energies the old schedule has left behind (typically
+// original budgets minus Old.UsagePrefix(n, At)), and its tolerance is the
+// domination requirement the transition must preserve. The delta's budget
+// updates revise those residuals.
+func Compute(inst *instance.Instance, req Request) (*Plan, error) {
+	if inst == nil {
+		return nil, fmt.Errorf("reconfig: nil instance")
+	}
 	if req.Old == nil {
 		return nil, fmt.Errorf("reconfig: nil old schedule")
 	}
@@ -169,13 +173,11 @@ func Compute(g *graph.Graph, req Request) (*Plan, error) {
 	if req.Overlap < 0 {
 		return nil, fmt.Errorf("reconfig: overlap = %d must be >= 0", req.Overlap)
 	}
+	g := inst.Graph
 	if g != nil && req.Alive != nil && len(req.Alive) != g.N() {
 		return nil, fmt.Errorf("reconfig: %d alive flags for %d nodes", len(req.Alive), g.N())
 	}
-	k := req.K
-	if k <= 0 {
-		k = 1
-	}
+	k := inst.Tolerance()
 	solverName := req.Solver
 	if solverName == "" {
 		solverName = solver.NameGreedy
@@ -184,7 +186,7 @@ func Compute(g *graph.Graph, req Request) (*Plan, error) {
 		return nil, fmt.Errorf("reconfig: %w", err)
 	}
 
-	g2, budgets2, mapping, err := req.Delta.Apply(g, req.Residual)
+	g2, budgets2, mapping, err := req.Delta.Apply(g, inst.Budgets)
 	if err != nil {
 		return nil, fmt.Errorf("reconfig: %w", err)
 	}
@@ -254,7 +256,7 @@ func Compute(g *graph.Graph, req Request) (*Plan, error) {
 		incoming, fb := req.Incoming, false
 		if incoming == nil {
 			var err error
-			incoming, fb, err = solveIncoming(g2, charged, k, alive2, solverName, req)
+			incoming, fb, err = solveIncoming(g2, charged, k, inst.Hint(), alive2, solverName, req)
 			if err != nil {
 				return nil, err
 			}
@@ -296,17 +298,20 @@ func Compute(g *graph.Graph, req Request) (*Plan, error) {
 // the WHP driver when the instance allows it; when it does not (dead nodes,
 // or the solver rejects the charged budget shape), the planner falls back to
 // Replan and reports the fallback so the plan is flagged degraded.
-func solveIncoming(g *graph.Graph, charged []int, k int, alive []bool,
-	name string, req Request) (*core.Schedule, bool, error) {
+func solveIncoming(g *graph.Graph, charged []int, k int, hint instance.Hint,
+	alive []bool, name string, req Request) (*core.Schedule, bool, error) {
 	if name != solver.NameGreedy && alive == nil {
-		spec := solver.Spec{Name: name, K: k}
+		// The pre-delta hint rides along as classification trial ordering
+		// only; the post-delta instance re-verifies from scratch.
+		post := instance.New(g, charged).WithK(k).WithHint(hint)
+		spec := solver.Spec{Name: name}
 		opt := solver.Options{
 			Tries:  req.Tries,
 			Cancel: req.Cancel,
 			Hooks:  req.Hooks,
 			Src:    rng.New(req.Seed),
 		}
-		s, err := solver.Solve(g, charged, spec, opt)
+		s, err := solver.Solve(post, spec, opt)
 		if err == solver.ErrCanceled {
 			return nil, false, err
 		}

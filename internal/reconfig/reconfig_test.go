@@ -8,6 +8,7 @@ import (
 	"repro/internal/domset"
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/internal/instance"
 	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/sched"
@@ -59,8 +60,8 @@ func TestComputeCleanOverlap(t *testing.T) {
 	outgoing := s.ActiveAt(at)
 
 	mem := &obs.Memory{}
-	p, err := Compute(g, Request{
-		Old: s, At: at, Residual: residual,
+	p, err := Compute(instance.New(g, residual), Request{
+		Old: s, At: at,
 		Delta: graph.Delta{
 			AddNodes:   1,
 			NewBudgets: []int{5},
@@ -119,8 +120,8 @@ func TestComputeDegradedLadder(t *testing.T) {
 	at := 2
 	residual := budgets // center still has 8 left, but the delta zeroes it
 	mem := &obs.Memory{}
-	p, err := Compute(g, Request{
-		Old: s, At: at, Residual: residual,
+	p, err := Compute(instance.New(g, residual), Request{
+		Old: s, At: at,
 		Delta:   graph.Delta{SetBudgets: []graph.BudgetUpdate{{Node: 0, Budget: 0}}},
 		Overlap: 2,
 		Hooks:   obs.Hooks{Trace: mem},
@@ -148,8 +149,8 @@ func TestComputeSolverFallback(t *testing.T) {
 	// driver; the planner falls back to Replan and flags the plan degraded.
 	g := graph.NewFromEdges(3, [][2]int{{0, 1}, {1, 2}, {0, 2}})
 	s := sched.Replan(g, []int{4, 4, 4}, 1, nil)
-	p, err := Compute(g, Request{
-		Old: s, At: 0, Residual: []int{4, 4, 4},
+	p, err := Compute(instance.New(g, []int{4, 4, 4}), Request{
+		Old: s, At: 0,
 		Alive:  []bool{true, true, true},
 		Solver: solver.NameUniform,
 	})
@@ -174,8 +175,8 @@ func TestComputeSolverPrimary(t *testing.T) {
 		budgets[v] = 6
 	}
 	s := sched.Replan(g, budgets, 1, nil)
-	p, err := Compute(g, Request{
-		Old: s, At: 0, Residual: budgets,
+	p, err := Compute(instance.New(g, budgets), Request{
+		Old: s, At: 0,
 		Solver: solver.NameUniform, Seed: 11, Tries: 20,
 	})
 	if err != nil {
@@ -191,8 +192,8 @@ func TestComputeViolationWhenInfeasible(t *testing.T) {
 	g := graph.NewFromEdges(2, [][2]int{{0, 1}})
 	s := &core.Schedule{Phases: []core.Phase{{Set: []int{0}, Duration: 1}}}
 	mem := &obs.Memory{}
-	p, err := Compute(g, Request{
-		Old: s, At: 1, Residual: []int{0, 0},
+	p, err := Compute(instance.New(g, []int{0, 0}), Request{
+		Old: s, At: 1,
 		Overlap: 2,
 		Hooks:   obs.Hooks{Trace: mem},
 	})
@@ -210,8 +211,8 @@ func TestComputeViolationWhenInfeasible(t *testing.T) {
 func TestComputeVacuousWhenAllDead(t *testing.T) {
 	g := graph.NewFromEdges(2, [][2]int{{0, 1}})
 	s := &core.Schedule{Phases: []core.Phase{{Set: []int{0}, Duration: 1}}}
-	p, err := Compute(g, Request{
-		Old: s, At: 0, Residual: []int{3, 3},
+	p, err := Compute(instance.New(g, []int{3, 3}), Request{
+		Old: s, At: 0,
 		Alive:   []bool{false, false},
 		Overlap: 1,
 	})
@@ -229,35 +230,44 @@ func TestComputeVacuousWhenAllDead(t *testing.T) {
 func TestComputeRequestErrors(t *testing.T) {
 	g := graph.NewFromEdges(2, [][2]int{{0, 1}})
 	s := &core.Schedule{Phases: []core.Phase{{Set: []int{0}, Duration: 2}}}
-	ok := Request{Old: s, At: 0, Residual: []int{1, 1}}
+	ok := Request{Old: s, At: 0}
+	residual := []int{1, 1}
 	cases := []struct {
 		name string
 		mut  func(*Request)
+		res  []int // instance budgets override (nil = residual)
 		want string
 	}{
-		{"nil old", func(r *Request) { r.Old = nil }, "nil old schedule"},
-		{"negative at", func(r *Request) { r.At = -1 }, "must be >= 0"},
-		{"negative overlap", func(r *Request) { r.Overlap = -1 }, "overlap"},
-		{"alive length", func(r *Request) { r.Alive = []bool{true} }, "alive flags"},
-		{"unknown solver", func(r *Request) { r.Solver = "nope" }, "unknown algorithm"},
-		{"bad delta", func(r *Request) { r.Delta = graph.Delta{RemoveNodes: []int{9}} }, "out of range"},
-		{"bad residual", func(r *Request) { r.Residual = []int{1} }, "budgets for"},
+		{"nil old", func(r *Request) { r.Old = nil }, nil, "nil old schedule"},
+		{"negative at", func(r *Request) { r.At = -1 }, nil, "must be >= 0"},
+		{"negative overlap", func(r *Request) { r.Overlap = -1 }, nil, "overlap"},
+		{"alive length", func(r *Request) { r.Alive = []bool{true} }, nil, "alive flags"},
+		{"unknown solver", func(r *Request) { r.Solver = "nope" }, nil, "unknown algorithm"},
+		{"bad delta", func(r *Request) { r.Delta = graph.Delta{RemoveNodes: []int{9}} }, nil, "out of range"},
+		{"bad residual", func(r *Request) {}, []int{1}, "budgets for"},
 	}
 	for _, tc := range cases {
 		req := ok
 		tc.mut(&req)
-		_, err := Compute(g, req)
+		res := residual
+		if tc.res != nil {
+			res = tc.res
+		}
+		_, err := Compute(instance.New(g, res), req)
 		if err == nil || !strings.Contains(err.Error(), tc.want) {
 			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.want)
 		}
+	}
+	if _, err := Compute(nil, ok); err == nil || !strings.Contains(err.Error(), "nil instance") {
+		t.Errorf("nil instance: err = %v, want substring %q", err, "nil instance")
 	}
 }
 
 func TestComputeCancel(t *testing.T) {
 	g := graph.NewFromEdges(2, [][2]int{{0, 1}})
 	s := &core.Schedule{Phases: []core.Phase{{Set: []int{0}, Duration: 2}}}
-	_, err := Compute(g, Request{
-		Old: s, At: 0, Residual: []int{1, 1},
+	_, err := Compute(instance.New(g, []int{1, 1}), Request{
+		Old: s, At: 0,
 		Cancel: func() bool { return true },
 	})
 	if err != solver.ErrCanceled {
@@ -320,14 +330,13 @@ func TestInvariantAcrossRandomTransitions(t *testing.T) {
 			}
 		}
 		req := Request{
-			Old: s, At: at, Residual: residual, Alive: alive,
+			Old: s, At: at, Alive: alive,
 			Delta:   randomValidDelta(g, src),
-			K:       k,
 			Overlap: src.Intn(4),
 			Solver:  solvers[trial%len(solvers)],
 			Seed:    uint64(trial), Tries: 5,
 		}
-		p, err := Compute(g, req)
+		p, err := Compute(instance.New(g, residual).WithK(k), req)
 		if err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/domset"
 	"repro/internal/graph"
+	"repro/internal/instance"
 	"repro/internal/obs"
 	"repro/internal/rng"
 )
@@ -186,18 +187,16 @@ func Simulate(g *graph.Graph, s *core.Schedule, budgets []int, events []Change, 
 		for nextEvent < len(events) && events[nextEvent].At <= t {
 			change := events[nextEvent]
 			nextEvent++
-			p, err := Compute(curG, Request{
-				Old:      cur,
-				At:       pos,
-				Residual: residual,
-				Alive:    alive,
-				Delta:    change.Delta,
-				K:        k,
-				Overlap:  opt.Overlap,
-				Solver:   opt.Solver,
-				Seed:     opt.Seed + uint64(res.Reconfigs)*7919,
-				Tries:    opt.Tries,
-				Hooks:    opt.Hooks,
+			p, err := Compute(instance.New(curG, residual).WithK(k), Request{
+				Old:     cur,
+				At:      pos,
+				Alive:   alive,
+				Delta:   change.Delta,
+				Overlap: opt.Overlap,
+				Solver:  opt.Solver,
+				Seed:    opt.Seed + uint64(res.Reconfigs)*7919,
+				Tries:   opt.Tries,
+				Hooks:   opt.Hooks,
 			})
 			if err != nil {
 				return res, fmt.Errorf("reconfig: simulate: change at t=%d: %w", change.At, err)

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/instance"
 	"repro/internal/rng"
 	"repro/internal/solver"
 )
@@ -14,7 +15,7 @@ import (
 // equivalent to them draw for draw.
 func mustSolve(t testing.TB, g *graph.Graph, budgets []int, name string, k, tries int, src *rng.Source) *core.Schedule {
 	t.Helper()
-	s, err := solver.Solve(g, budgets, solver.Spec{Name: name, K: k},
+	s, err := solver.Solve(instance.New(g, budgets).WithK(k), solver.Spec{Name: name},
 		solver.Options{Tries: tries, Src: src})
 	if err != nil {
 		t.Fatal(err)

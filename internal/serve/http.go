@@ -100,7 +100,7 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
-	g, budgets, err := req.resolve(s.cfg.MaxNodes)
+	inst, err := req.resolve(s.cfg.MaxNodes)
 	if err != nil {
 		status := http.StatusBadRequest
 		var tooLarge errTooLarge
@@ -110,7 +110,7 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, "%v", err)
 		return
 	}
-	key := req.key(g, budgets)
+	key := req.key(inst)
 	run := func(cancel func() bool) (*Result, error) {
 		width := s.cfg.RaceWidth
 		if width > 1 {
@@ -121,17 +121,17 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		hooks := obs.Hooks{Trace: attemptTracer{s.met.solverAttempts}}
 		defs := SolveDefaults{Budget: s.cfg.DefaultBudget, TimeBudget: s.cfg.DefaultTimeBudget}
 		if req.Shards > 1 {
-			sched, part, err := s.solveSharded(g, budgets, &req, defs, hooks, cancel)
+			sched, part, err := s.solveSharded(inst, &req, defs, hooks, cancel)
 			if err != nil {
 				return nil, err
 			}
-			return scheduleResult(key, &req, g, budgets, sched, part, defs)
+			return scheduleResult(key, &req, inst, sched, part, defs)
 		}
-		sched, err := Solve(g, budgets, &req, width, defs, hooks, cancel)
+		sched, err := Solve(inst, &req, width, defs, hooks, cancel)
 		if err != nil {
 			return nil, err
 		}
-		return scheduleResult(key, &req, g, budgets, sched, nil, defs)
+		return scheduleResult(key, &req, inst, sched, nil, defs)
 	}
 	s.dispatch(w, r, key, "schedule",
 		timeoutFromMS(req.TimeoutMS, s.cfg.DefaultTimeout), req.Async, run)

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/instance"
 	"repro/internal/obs"
 	"repro/internal/reconfig"
 	"repro/internal/shard"
@@ -23,9 +24,9 @@ import (
 // makes concurrent PATCHes against the same fingerprint well-defined (both
 // apply to the same base; last cache write wins).
 type scheduleCtx struct {
-	g         *graph.Graph
-	budgets   []int
-	k         int
+	// inst is the typed solve instance the schedule was computed for (graph,
+	// budgets, tolerance, structure metadata).
+	inst      *instance.Instance
 	algorithm string
 	seed      uint64
 	tries     int
@@ -157,7 +158,7 @@ func (s *Server) handlePatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	ctx := base.ctx
-	n := ctx.g.N()
+	n := ctx.inst.N()
 	if req.At > ctx.sched.Lifetime() {
 		writeError(w, http.StatusBadRequest,
 			"at = %d is past the schedule's lifetime %d", req.At, ctx.sched.Lifetime())
@@ -165,11 +166,11 @@ func (s *Server) handlePatch(w http.ResponseWriter, r *http.Request) {
 	}
 	residual := make([]int, n)
 	for v, used := range ctx.sched.UsagePrefix(n, req.At) {
-		residual[v] = ctx.budgets[v] - used
+		residual[v] = ctx.inst.Budgets[v] - used
 	}
 	// Validate the delta up front so malformed requests are 400s at the door,
 	// not job failures; the plan itself re-applies it.
-	g2, _, _, err := req.Delta.Apply(ctx.g, residual)
+	g2, _, _, err := req.Delta.Apply(ctx.inst.Graph, residual)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -189,29 +190,33 @@ func (s *Server) handlePatch(w http.ResponseWriter, r *http.Request) {
 		var incoming *core.Schedule
 		var part2 *shard.Partition
 		if ctx.part != nil {
-			g2, budgets2, mapping, err := req.Delta.Apply(ctx.g, residual)
+			g2, budgets2, mapping, err := req.Delta.Apply(ctx.inst.Graph, residual)
 			if err != nil {
 				return nil, err
 			}
 			part2 = ctx.part.Rebase(g2, mapping)
+			// The post-delta parent instance: same tolerance, and the prior
+			// structure hint rides along as classification trial ordering.
+			parent2 := instance.New(g2, budgets2).
+				WithK(ctx.inst.Tolerance()).WithHint(ctx.inst.Hint())
 			opt := s.shardOptions(ctx.spec, ctx.seed, ctx.tries, ctx.budget,
 				time.Time{}, obs.Hooks{}, cancel)
-			solved, err := shard.SolveShards(part2, budgets2, opt)
+			solved, err := shard.SolveShards(parent2, part2, opt)
 			if err != nil {
 				return nil, err
 			}
-			st, err := s.stitchCounted(g2, part2, budgets2, solved, ctx.k, obs.Hooks{})
+			st, err := s.stitchCounted(parent2, part2, solved, obs.Hooks{})
 			if err != nil {
 				return nil, err
 			}
 			incoming = st.Schedule
 		}
-		p, err := reconfig.Compute(ctx.g, reconfig.Request{
+		// The pre-delta instance at the cutover: residual budgets under the
+		// same graph, sharing the already-computed structure metadata.
+		p, err := reconfig.Compute(ctx.inst.WithBudgets(residual), reconfig.Request{
 			Old:      ctx.sched,
 			At:       req.At,
-			Residual: residual,
 			Delta:    req.Delta,
-			K:        ctx.k,
 			Overlap:  overlap,
 			Solver:   req.Solver,
 			Seed:     req.seedOrDefault(),
@@ -294,9 +299,7 @@ func patchResult(key, priorFP string, req *PatchRequest, overlap int,
 		algorithm = solver.NameGreedy
 	}
 	ctx := &scheduleCtx{
-		g:         p.Graph,
-		budgets:   p.Budgets,
-		k:         base.k,
+		inst:      instance.New(p.Graph, p.Budgets).WithK(base.inst.Tolerance()).WithHint(base.inst.Hint()),
 		algorithm: algorithm,
 		seed:      req.seedOrDefault(),
 		tries:     req.triesOrDefault(),

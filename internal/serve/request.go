@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/graph"
+	"repro/internal/instance"
 	"repro/internal/shard"
 	"repro/internal/solver"
 )
@@ -21,6 +22,8 @@ const (
 	AlgGeneral   = solver.NameGeneral   // Algorithm 2: arbitrary batteries
 	AlgFT        = solver.NameFT        // Algorithm 3: uniform batteries, k-tolerant
 	AlgGeneralFT = solver.NameGeneralFT // repo extension: arbitrary batteries, k-tolerant
+	AlgGrid      = solver.NameGrid      // pattern tiling on certified grid/torus instances
+	AlgAuto      = solver.NameAuto      // portfolio: structure detection picks the solver
 )
 
 // GraphSpec is the wire form of a network graph: a node count and an
@@ -143,9 +146,11 @@ func (r *Request) budget(fallback int) int {
 }
 
 // spec is the solver.Spec the request resolves to: the algorithm itself, or
-// — when Refine is set — the refiner with the algorithm as its base.
+// — when Refine is set — the refiner with the algorithm as its base. The
+// domination tolerance is not spec material anymore: it lives on the typed
+// instance resolve builds.
 func (r *Request) spec() solver.Spec {
-	s := solver.Spec{Name: r.Algorithm, K: r.k(), KConst: r.kconst()}
+	s := solver.Spec{Name: r.Algorithm, KConst: r.kconst()}
 	if r.Refine != "" {
 		s.Name = r.Refine
 		s.Base = r.Algorithm
@@ -160,83 +165,90 @@ func timeoutFromMS(ms int, fallback time.Duration) time.Duration {
 	return time.Duration(ms) * time.Millisecond
 }
 
-// resolve validates the request and returns the built graph plus the
-// normalized per-node budget vector (uniform scalars expanded), which is
-// what both the solver and the canonical key consume. The algorithm name
+// resolve validates the request and returns the typed instance it
+// describes: the built graph under the normalized per-node budget vector
+// (uniform scalars expanded) and the domination tolerance, which is what
+// both the solver and the canonical key consume. The algorithm name
 // resolves through the internal/solver registry, and the solver's own
 // Validate supplies the shape checks (budget-vector length and signs,
 // uniformity for the uniform algorithms, tolerance restrictions, node caps
-// for the exponential baselines) — all surfaced as client errors.
-func (r *Request) resolve(maxNodes int) (*graph.Graph, []int, error) {
+// for the exponential baselines) — all surfaced as client errors. For
+// algorithm "auto" that validation runs the portfolio dispatch at decode
+// time, so a refine stage stacked on an auto that resolves to a
+// non-refinable fast path (the grid solver) is a 400 here, before any job
+// is enqueued.
+func (r *Request) resolve(maxNodes int) (*instance.Instance, error) {
 	if _, ok := solver.Get(r.Algorithm); !ok {
-		return nil, nil, fmt.Errorf("unknown algorithm %q (have %s)",
+		return nil, fmt.Errorf("unknown algorithm %q (have %s)",
 			r.Algorithm, strings.Join(solver.Names(), ", "))
 	}
 	if r.Refine != "" && !isRefiner(r.Refine) {
-		return nil, nil, fmt.Errorf("refine = %q is not a refinement solver (have %s)",
+		return nil, fmt.Errorf("refine = %q is not a refinement solver (have %s)",
 			r.Refine, strings.Join(solver.RefinerNames(), ", "))
 	}
 	sv, _ := solver.Get(r.spec().Name)
 	if r.K < 0 {
-		return nil, nil, fmt.Errorf("k = %d must be >= 1", r.K)
+		return nil, fmt.Errorf("k = %d must be >= 1", r.K)
 	}
 	if r.KConst < 0 {
-		return nil, nil, fmt.Errorf("kconst = %v must be > 0", r.KConst)
+		return nil, fmt.Errorf("kconst = %v must be > 0", r.KConst)
 	}
 	if r.Tries < 0 {
-		return nil, nil, fmt.Errorf("tries = %d must be >= 0", r.Tries)
+		return nil, fmt.Errorf("tries = %d must be >= 0", r.Tries)
 	}
 	if r.Budget < 0 {
-		return nil, nil, fmt.Errorf("budget = %d must be >= 0", r.Budget)
+		return nil, fmt.Errorf("budget = %d must be >= 0", r.Budget)
 	}
 	if r.TimeBudgetMS < 0 {
-		return nil, nil, fmt.Errorf("time_budget_ms = %d must be >= 0", r.TimeBudgetMS)
+		return nil, fmt.Errorf("time_budget_ms = %d must be >= 0", r.TimeBudgetMS)
 	}
 	if r.TimeoutMS < 0 {
-		return nil, nil, fmt.Errorf("timeout_ms = %d must be >= 0", r.TimeoutMS)
+		return nil, fmt.Errorf("timeout_ms = %d must be >= 0", r.TimeoutMS)
 	}
 	if r.Shards < 0 {
-		return nil, nil, fmt.Errorf("shards = %d must be >= 0", r.Shards)
+		return nil, fmt.Errorf("shards = %d must be >= 0", r.Shards)
 	}
 	switch r.Partitioner {
 	case "", "bfs":
 	case "geom":
-		return nil, nil, fmt.Errorf("partitioner = %q needs node coordinates, which edge-list requests do not carry; use \"bfs\"", r.Partitioner)
+		return nil, fmt.Errorf("partitioner = %q needs node coordinates, which edge-list requests do not carry; use \"bfs\"", r.Partitioner)
 	default:
-		return nil, nil, fmt.Errorf("unknown partitioner %q (have %s)",
+		return nil, fmt.Errorf("unknown partitioner %q (have %s)",
 			r.Partitioner, strings.Join(shard.Partitioners(), ", "))
 	}
 	g, err := r.Graph.build(maxNodes)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 
 	budgets := make([]int, g.N())
 	switch {
 	case len(r.Batteries) > 0:
 		if len(r.Batteries) != g.N() {
-			return nil, nil, fmt.Errorf("%d batteries for %d nodes", len(r.Batteries), g.N())
+			return nil, fmt.Errorf("%d batteries for %d nodes", len(r.Batteries), g.N())
 		}
 		for v, b := range r.Batteries {
 			if b < 0 {
-				return nil, nil, fmt.Errorf("batteries[%d] = %d must be >= 0", v, b)
+				return nil, fmt.Errorf("batteries[%d] = %d must be >= 0", v, b)
 			}
 			budgets[v] = b
 		}
 	default:
 		if r.Battery < 0 {
-			return nil, nil, fmt.Errorf("battery = %d must be >= 0", r.Battery)
+			return nil, fmt.Errorf("battery = %d must be >= 0", r.Battery)
 		}
 		for v := range budgets {
 			budgets[v] = r.Battery
 		}
 	}
+	inst := instance.New(g, budgets).WithK(r.k())
 	// The effective solver's Validate supplies the shape checks; a refiner's
-	// Validate also resolves and validates its base algorithm.
-	if err := sv.Validate(g, budgets, r.spec()); err != nil {
-		return nil, nil, err
+	// Validate also resolves and validates its base algorithm (running the
+	// auto dispatch if the base says so).
+	if err := sv.Validate(inst, r.spec()); err != nil {
+		return nil, err
 	}
-	return g, budgets, nil
+	return inst, nil
 }
 
 // isRefiner reports whether name is a registered refinement solver.
@@ -251,12 +263,16 @@ func isRefiner(name string) bool {
 
 // key returns the canonical cache/coalescing key of the request: the
 // graph.Hasher sum over graph structure, normalized budgets, algorithm, and
-// parameters. Delivery options are deliberately excluded.
-func (r *Request) key(g *graph.Graph, budgets []int) string {
+// parameters. Delivery options are deliberately excluded. Requests for
+// "auto" key on the literal name "auto", not on the solver the portfolio
+// dispatches to — the dispatch is deterministic in the graph (which the key
+// hashes in full), so the entry can never go stale, and an explicit request
+// for the concrete solver stays a distinct cache line.
+func (r *Request) key(inst *instance.Instance) string {
 	return graph.NewHasher().
 		String("kind", "schedule").
-		Graph("graph", g).
-		Ints("budgets", budgets).
+		Graph("graph", inst.Graph).
+		Ints("budgets", inst.Budgets).
 		String("alg", r.Algorithm).
 		String("refine", r.Refine).
 		Int("k", r.k()).

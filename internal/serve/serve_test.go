@@ -124,11 +124,11 @@ func TestScheduleEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	g, budgets, err := req.resolve(1 << 20)
+	inst, err := req.resolve(1 << 20)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := sched.Validate(g, budgets, 1); err != nil {
+	if err := sched.Validate(inst.Graph, inst.Budgets, 1); err != nil {
 		t.Fatalf("served schedule infeasible: %v", err)
 	}
 
@@ -518,11 +518,11 @@ func TestScheduleRefineRequest(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	g, budgets, err := refined.resolve(1 << 20)
+	inst, err := refined.resolve(1 << 20)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := sched.Validate(g, budgets, 1); err != nil {
+	if err := sched.Validate(inst.Graph, inst.Budgets, 1); err != nil {
 		t.Fatalf("served refined schedule infeasible: %v", err)
 	}
 
@@ -546,6 +546,65 @@ func TestScheduleRefineRequest(t *testing.T) {
 	}
 	if m := decodeResponse(t, w); int(m["lifetime"].(float64)) < plain.Lifetime {
 		t.Fatalf("time-budgeted lifetime %v < unrefined %d", m["lifetime"], plain.Lifetime)
+	}
+}
+
+// TestScheduleAutoRequest pins the service surface of the portfolio: an
+// algorithm:"auto" request on a grid runs the dispatch and answers with a
+// feasible schedule, the response and cache key carry the literal name
+// "auto" (so repeats hit the cache without re-running classification), and
+// stacking refine over an auto that resolves to the non-refinable grid fast
+// path is rejected at decode time as a 400 — before any job is enqueued —
+// while the same stack off-grid (auto → greedy) is accepted.
+func TestScheduleAutoRequest(t *testing.T) {
+	s := New(Config{Workers: 2})
+	defer s.Shutdown(context.Background())
+	h := s.Handler()
+
+	req := Request{Graph: gridSpec(6, 7), Algorithm: AlgAuto, Battery: 3, Seed: 9}
+	w := post(h, "/v1/schedule", scheduleBody(t, req))
+	if w.Code != http.StatusOK {
+		t.Fatalf("auto status %d: %s", w.Code, w.Body.String())
+	}
+	var resp response
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Algorithm != AlgAuto {
+		t.Fatalf("response algorithm %q, want the literal %q", resp.Algorithm, AlgAuto)
+	}
+	sched, err := core.ReadJSON(bytes.NewReader(resp.Schedule))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := req.resolve(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.Validate(inst.Graph, inst.Budgets, 1); err != nil {
+		t.Fatalf("served auto schedule infeasible: %v", err)
+	}
+	// The tiling's rotation must clear the single-phase floor b = 3.
+	if resp.Lifetime <= 3 {
+		t.Fatalf("auto lifetime %d on a 6x7 grid does not beat one dominating phase", resp.Lifetime)
+	}
+	if m := decodeResponse(t, post(h, "/v1/schedule", scheduleBody(t, req))); m["cached"] != true {
+		t.Fatalf("repeated auto request not served from cache: %v", m)
+	}
+
+	refined := req
+	refined.Refine = solver.NameTabu
+	w = post(h, "/v1/schedule", scheduleBody(t, refined))
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("refine over auto→grid: status %d, want 400 (%s)", w.Code, w.Body.String())
+	}
+	if admitted := counter(s, "serve.admitted"); admitted != 1 {
+		t.Fatalf("serve.admitted = %d after the decode-time reject, want 1 (the reject must not enqueue)", admitted)
+	}
+
+	offGrid := Request{Graph: ring(30), Algorithm: AlgAuto, Battery: 3, Refine: solver.NameTabu, Seed: 9}
+	if w := post(h, "/v1/schedule", scheduleBody(t, offGrid)); w.Code != http.StatusOK {
+		t.Fatalf("refine over auto→greedy off-grid: status %d (%s)", w.Code, w.Body.String())
 	}
 }
 

@@ -134,8 +134,8 @@ func TestPatchShardedResolvesOneShard(t *testing.T) {
 		t.Fatalf("partition has %d shards; need >= 2", nShards)
 	}
 	victim := -1
-	for v := 0; v < res.ctx.g.N(); v++ {
-		if len(part.Touched(res.ctx.g, []int{v})) == 1 {
+	for v := 0; v < res.ctx.inst.N(); v++ {
+		if len(part.Touched(res.ctx.inst.Graph, []int{v})) == 1 {
 			victim = v
 			break
 		}

@@ -10,7 +10,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
-	"repro/internal/graph"
+	"repro/internal/instance"
 	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/shard"
@@ -44,7 +44,7 @@ type SolveDefaults struct {
 // worker pool: Solve itself executes on a pool worker, and re-submitting
 // the attempts to the same pool would deadlock once every worker blocks
 // waiting for attempts that sit queued behind the blocked workers.
-func Solve(g *graph.Graph, budgets []int, req *Request, width int,
+func Solve(inst *instance.Instance, req *Request, width int,
 	defs SolveDefaults, hooks obs.Hooks, cancel func() bool) (*core.Schedule, error) {
 	opt := solver.Options{
 		Tries:     req.tries(),
@@ -57,7 +57,7 @@ func Solve(g *graph.Graph, budgets []int, req *Request, width int,
 	if tb := timeoutFromMS(req.TimeBudgetMS, defs.TimeBudget); tb > 0 {
 		opt.Deadline = time.Now().Add(tb)
 	}
-	return solver.Solve(g, budgets, req.spec(), opt)
+	return solver.Solve(inst, req.spec(), opt)
 }
 
 // shardCache adapts the server's LRU to shard.Cache. Entries are Kind
@@ -111,9 +111,9 @@ func (s *Server) shardOptions(spec solver.Spec, seed uint64, tries, budget int,
 // solve against the compositional cache, stitch with boundary repair. It
 // returns the partition alongside the schedule so the result's ctx can
 // rebase it when a PATCH arrives.
-func (s *Server) solveSharded(g *graph.Graph, budgets []int, req *Request,
+func (s *Server) solveSharded(inst *instance.Instance, req *Request,
 	defs SolveDefaults, hooks obs.Hooks, cancel func() bool) (*core.Schedule, *shard.Partition, error) {
-	p, err := shard.ByName(req.Partitioner, g, nil, req.Shards, req.seed())
+	p, err := shard.ByName(req.Partitioner, inst.Graph, nil, req.Shards, req.seed())
 	if err != nil {
 		return nil, nil, err
 	}
@@ -123,11 +123,11 @@ func (s *Server) solveSharded(g *graph.Graph, budgets []int, req *Request,
 	}
 	opt := s.shardOptions(req.spec(), req.seed(), req.tries(), req.budget(defs.Budget),
 		deadline, hooks, cancel)
-	solved, err := shard.SolveShards(p, budgets, opt)
+	solved, err := shard.SolveShards(inst, p, opt)
 	if err != nil {
 		return nil, nil, err
 	}
-	st, err := s.stitchCounted(g, p, budgets, solved, req.k(), hooks)
+	st, err := s.stitchCounted(inst, p, solved, hooks)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -136,8 +136,8 @@ func (s *Server) solveSharded(g *graph.Graph, budgets []int, req *Request,
 
 // stitchCounted runs shard.Stitch and folds the outcome into the
 // serve.shard_* metrics.
-func (s *Server) stitchCounted(g *graph.Graph, p *shard.Partition, budgets []int,
-	solved []*shard.ShardResult, k int, hooks obs.Hooks) (*shard.Stitched, error) {
+func (s *Server) stitchCounted(inst *instance.Instance, p *shard.Partition,
+	solved []*shard.ShardResult, hooks obs.Hooks) (*shard.Stitched, error) {
 	for _, sr := range solved {
 		if sr.Cached {
 			s.met.shardCacheHits.Inc()
@@ -145,7 +145,7 @@ func (s *Server) stitchCounted(g *graph.Graph, p *shard.Partition, budgets []int
 			s.met.shardSolves.Inc()
 		}
 	}
-	st, err := shard.Stitch(g, p, budgets, solved, k, hooks)
+	st, err := shard.Stitch(inst, p, solved, hooks)
 	if err != nil {
 		return nil, err
 	}
@@ -166,13 +166,13 @@ func scheduleJSON(s *core.Schedule) (json.RawMessage, error) {
 // scheduleResult renders a solved schedule into the immutable cached Result,
 // stamping the graph fingerprint and retaining the solved instance (ctx) so
 // the result is addressable — and patchable — by PATCH /v1/schedule/{fp}.
-func scheduleResult(key string, req *Request, g *graph.Graph, budgets []int,
+func scheduleResult(key string, req *Request, inst *instance.Instance,
 	s *core.Schedule, part *shard.Partition, defs SolveDefaults) (*Result, error) {
 	raw, err := scheduleJSON(s)
 	if err != nil {
 		return nil, err
 	}
-	fp := g.Fingerprint()
+	fp := inst.Graph.Fingerprint()
 	return &Result{
 		Key:         key,
 		Kind:        "schedule",
@@ -182,9 +182,7 @@ func scheduleResult(key string, req *Request, g *graph.Graph, budgets []int,
 		Schedule:    raw,
 		Fingerprint: hex.EncodeToString(fp[:]),
 		ctx: &scheduleCtx{
-			g:         g,
-			budgets:   budgets,
-			k:         req.k(),
+			inst:      inst,
 			algorithm: req.Algorithm,
 			seed:      req.seed(),
 			tries:     req.tries(),

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/instance"
 	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/rng"
@@ -72,17 +73,21 @@ type ShardResult struct {
 	Cached bool
 }
 
-// Key returns the content-addressed cache key of solving sh under the given
-// global budgets and options: the shard's local fingerprint material plus
-// every solver parameter that determines the schedule. Two invocations
-// share a key exactly when they are guaranteed to produce the same
-// schedule.
-func Key(sh *Shard, budgets []int, opt Options) string {
+// Key returns the content-addressed cache key of solving sh as a piece of
+// the parent instance: the shard's local fingerprint material plus every
+// solver parameter that determines the schedule. Two invocations share a
+// key exactly when they are guaranteed to produce the same schedule. The
+// parent's tolerance and structure hint are part of the key — the hint can
+// steer the classifier's choice among equally valid embeddings, which the
+// grid solver's coloring depends on.
+func Key(sh *Shard, parent *instance.Instance, opt Options) string {
 	h := graph.NewHasher()
-	sh.HashInto(h, budgets)
+	sh.HashInto(h, parent.Budgets)
 	h.String("shard.alg", opt.Spec.Name)
 	h.String("shard.base", opt.Spec.Base)
-	h.Int("shard.k", opt.Spec.K)
+	h.String("shard.fallback", opt.Spec.Fallback)
+	h.Int("shard.k", parent.Tolerance())
+	h.String("shard.hint", parent.Hint().String())
 	h.Float("shard.kconst", opt.Spec.KConst)
 	h.Int("shard.tries", opt.Solver.Tries)
 	h.Int("shard.budget", opt.Solver.Budget)
@@ -94,16 +99,20 @@ func Key(sh *Shard, budgets []int, opt Options) string {
 
 // SolveShards solves every shard of p independently — concurrently when a
 // pool is available — and returns the per-shard schedules in partition
-// position order. Shard i's instance is its local subgraph (owned nodes
-// plus halo, so boundary nodes keep full closed neighborhoods) under the
-// local slice of the global budgets; its source is the Index-th split child
-// of the root seed, making the outcome deterministic and each shard's
-// result a pure function of its cache key.
+// position order. Shard i's typed instance derives from the parent via
+// instance.Derive: its local subgraph (owned nodes plus halo, so boundary
+// nodes keep full closed neighborhoods) under the local slice of the
+// parent's budgets, inheriting the parent's tolerance and a downgraded
+// structure hint (a tile of a certified grid re-verifies as a grid in its
+// own right, so per-shard auto dispatch stays honest). Shard i's source is
+// the Index-th split child of the root seed, making the outcome
+// deterministic and each shard's result a pure function of its cache key.
 //
 // The first shard error cancels the remaining solves (by position, so the
 // reported error is deterministic too). A fired Options.Solver.Cancel or
 // Deadline surfaces as solver.ErrCanceled.
-func SolveShards(p *Partition, budgets []int, opt Options) ([]*ShardResult, error) {
+func SolveShards(parent *instance.Instance, p *Partition, opt Options) ([]*ShardResult, error) {
+	budgets := parent.Budgets
 	if len(budgets) != len(p.Assign) {
 		return nil, fmt.Errorf("shard: %d budgets for %d nodes", len(budgets), len(p.Assign))
 	}
@@ -126,7 +135,7 @@ func SolveShards(p *Partition, budgets []int, opt Options) ([]*ShardResult, erro
 
 	solveOne := func(pos int) {
 		sh := p.Shards[pos]
-		key := Key(sh, budgets, opt)
+		key := Key(sh, parent, opt)
 		if opt.Cache != nil {
 			if s, ok := opt.Cache.Get(key); ok {
 				results[pos] = &ShardResult{Shard: sh, Schedule: s, Key: key, Cached: true}
@@ -144,7 +153,7 @@ func SolveShards(p *Partition, budgets []int, opt Options) ([]*ShardResult, erro
 		so.Pool = opt.Pool
 		so.Hooks = hooks
 		local := sh.LocalBudgets(budgets, nil)
-		s, err := solver.Solve(sh.Sub, local, opt.Spec, so)
+		s, err := solver.Solve(instance.Derive(parent, sh.Sub, local), opt.Spec, so)
 		if err != nil {
 			errs[pos] = err
 			aborted.Store(true)

@@ -8,6 +8,7 @@ import (
 	"repro/internal/domset"
 	"repro/internal/graph"
 	"repro/internal/heal"
+	"repro/internal/instance"
 	"repro/internal/obs"
 	"repro/internal/sched"
 )
@@ -58,7 +59,8 @@ type scursor struct {
 //
 // The merged schedule is belt-checked with Schedule.ValidateWith before
 // being returned; a violation is a stitcher bug, surfaced as an error.
-func Stitch(g *graph.Graph, p *Partition, budgets []int, solved []*ShardResult, k int, hooks obs.Hooks) (*Stitched, error) {
+func Stitch(parent *instance.Instance, p *Partition, solved []*ShardResult, hooks obs.Hooks) (*Stitched, error) {
+	g, budgets := parent.Graph, parent.Budgets
 	n := g.N()
 	if len(budgets) != n || len(p.Assign) != n {
 		return nil, fmt.Errorf("shard: stitch over %d nodes with %d budgets and a partition of %d", n, len(budgets), len(p.Assign))
@@ -66,9 +68,7 @@ func Stitch(g *graph.Graph, p *Partition, budgets []int, solved []*ShardResult, 
 	if len(solved) != len(p.Shards) {
 		return nil, fmt.Errorf("shard: %d shard results for %d shards", len(solved), len(p.Shards))
 	}
-	if k < 1 {
-		k = 1
-	}
+	k := parent.Tolerance()
 
 	// Project every shard schedule to global owned members and reserve its
 	// planned energy.

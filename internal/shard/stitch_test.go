@@ -10,6 +10,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/geom"
 	"repro/internal/graph"
+	"repro/internal/instance"
 	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/shard"
@@ -48,16 +49,17 @@ func stitchOnce(t *testing.T, g *graph.Graph, pts []geom.Point, budgets []int, m
 	if err != nil {
 		t.Fatal(err)
 	}
+	in := instance.New(g, budgets).WithK(k)
 	opt := shard.Options{
-		Spec:  solver.Spec{Name: solver.NameGreedy, K: k},
+		Spec:  solver.Spec{Name: solver.NameGreedy},
 		Seed:  seed,
 		Cache: cache,
 	}
-	solved, err := shard.SolveShards(p, budgets, opt)
+	solved, err := shard.SolveShards(in, p, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
-	st, err := shard.Stitch(g, p, budgets, solved, k, obs.Hooks{})
+	st, err := shard.Stitch(in, p, solved, obs.Hooks{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,8 +172,9 @@ func TestSolveShardsDeterministicAndCached(t *testing.T) {
 		t.Fatal(err)
 	}
 	cache := newMapCache()
+	in := instance.New(g, budgets)
 	opt := shard.Options{Spec: solver.Spec{Name: solver.NameGreedy}, Seed: 99, Cache: cache}
-	a, err := shard.SolveShards(p, budgets, opt)
+	a, err := shard.SolveShards(in, p, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,7 +188,7 @@ func TestSolveShardsDeterministicAndCached(t *testing.T) {
 	}
 
 	// Cold second run, no cache: byte-identical schedules.
-	b, err := shard.SolveShards(p, budgets, shard.Options{Spec: opt.Spec, Seed: 99})
+	b, err := shard.SolveShards(in, p, shard.Options{Spec: opt.Spec, Seed: 99})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,7 +202,7 @@ func TestSolveShardsDeterministicAndCached(t *testing.T) {
 	}
 
 	// Warm run: every shard is a hit with the same schedule.
-	c, err := shard.SolveShards(p, budgets, opt)
+	c, err := shard.SolveShards(in, p, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -213,7 +216,7 @@ func TestSolveShardsDeterministicAndCached(t *testing.T) {
 	}
 
 	// A different seed must produce different keys (no false sharing).
-	d, err := shard.SolveShards(p, budgets, shard.Options{Spec: opt.Spec, Seed: 100})
+	d, err := shard.SolveShards(in, p, shard.Options{Spec: opt.Spec, Seed: 100})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -244,11 +247,12 @@ func TestSolveShardsConcurrent(t *testing.T) {
 		TransientPool: true,
 		Cache:         cache,
 	}
-	par1, err := shard.SolveShards(p, budgets, opt)
+	in := instance.New(g, budgets)
+	par1, err := shard.SolveShards(in, p, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
-	seq, err := shard.SolveShards(p, budgets, shard.Options{Spec: opt.Spec, Seed: 5})
+	seq, err := shard.SolveShards(in, p, shard.Options{Spec: opt.Spec, Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -257,7 +261,7 @@ func TestSolveShardsConcurrent(t *testing.T) {
 			t.Fatalf("shard %d: pooled and sequential solves disagree", par1[i].Shard.Index)
 		}
 	}
-	st, err := shard.Stitch(g, p, budgets, par1, 1, obs.Hooks{})
+	st, err := shard.Stitch(in, p, par1, obs.Hooks{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -282,7 +286,7 @@ func TestSolveShardsCanceled(t *testing.T) {
 		Spec:   solver.Spec{Name: solver.NameGreedy},
 		Solver: solver.Options{Cancel: func() bool { return true }},
 	}
-	if _, err := shard.SolveShards(p, budgets, opt); err != solver.ErrCanceled {
+	if _, err := shard.SolveShards(instance.New(g, budgets), p, opt); err != solver.ErrCanceled {
 		t.Fatalf("got %v, want solver.ErrCanceled", err)
 	}
 }

@@ -32,6 +32,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/domset"
 	"repro/internal/graph"
+	"repro/internal/instance"
 	"repro/internal/obs"
 	"repro/internal/rng"
 )
@@ -54,7 +55,7 @@ type Refiner interface {
 	// best schedule seen — never worse than start. A fired rc.Cancel stops
 	// the search and returns that best (the anytime contract); it is not
 	// an error at this layer.
-	Refine(g *graph.Graph, budgets []int, start *core.Schedule, spec Spec, rc *Refinement) *core.Schedule
+	Refine(inst *instance.Instance, start *core.Schedule, spec Spec, rc *Refinement) *core.Schedule
 }
 
 // Refinement is the budget contract the driver hands to Refiner.Refine.
@@ -69,8 +70,8 @@ type Refinement struct {
 	Src *rng.Source
 	// Hooks receives one obs.Refine event per improvement pass.
 	Hooks obs.Hooks
-	// Checker, when non-nil, is the shared domination kernel over g (the
-	// driver reuses its own). Nil allocates one.
+	// Checker, when non-nil, is the shared domination kernel over the
+	// instance's graph (the driver reuses its own). Nil allocates one.
 	Checker *domset.Checker
 }
 
@@ -145,50 +146,57 @@ func (s anytimeSolver) BaseSpec(spec Spec) Spec {
 	if base == "" {
 		base = NameGreedy
 	}
-	return Spec{Name: base, K: spec.K, KConst: spec.KConst}
+	return Spec{Name: base, KConst: spec.KConst, Fallback: spec.Fallback}
 }
 
-func (s anytimeSolver) Validate(g *graph.Graph, budgets []int, spec Spec) error {
-	if err := validateBudgets(g, budgets, s.nm, false); err != nil {
+// Validate resolves the base solver through the auto portfolio dispatch,
+// so a base of "auto" is checked against what auto actually picks on this
+// instance — and rejected when that pick is a non-refinable fast path
+// (the grid tiling solver): refining a deterministic pattern schedule is
+// a pipeline error the serve layer must surface at decode time, not a
+// cache-keyed solve attempt.
+func (s anytimeSolver) Validate(inst *instance.Instance, spec Spec) error {
+	if err := validateBudgets(inst, s.nm, false); err != nil {
 		return err
 	}
-	bspec := s.BaseSpec(spec)
-	base, err := Resolve(bspec.Name)
+	base, bspec, err := Effective(inst, s.BaseSpec(spec))
 	if err != nil {
 		return fmt.Errorf("solver: %s: invalid base: %w", s.nm, err)
 	}
 	if _, nested := base.(Refiner); nested {
 		return fmt.Errorf("solver: %s: base solver %q is itself a refiner; refiners do not stack", s.nm, bspec.Name)
 	}
-	return base.Validate(g, budgets, bspec)
+	if !refinableBase(base) {
+		return fmt.Errorf("solver: %s: base solver %q is a non-refinable fast path (its schedules are deterministic pattern tilings); drop the refine stage or pick a refinable base", s.nm, bspec.Name)
+	}
+	return base.Validate(inst, bspec)
 }
 
 // GuaranteedLifetime is 0: refiners carry no w.h.p. bound of their own
 // (the base loop early-stops on the base solver's guarantee instead).
-func (s anytimeSolver) GuaranteedLifetime(*graph.Graph, []int, Spec) int { return 0 }
+func (s anytimeSolver) GuaranteedLifetime(*instance.Instance, Spec) int { return 0 }
 
-func (s anytimeSolver) TruncK(spec Spec) int { return spec.K }
+func (s anytimeSolver) TruncK(inst *instance.Instance, _ Spec) int { return inst.Tolerance() }
 
 // Generate makes the refiner usable as a plain Solver (one base draw plus
 // a default-budget refinement); the driver normally intercepts before this
 // and runs the base WHP loop + Refine pipeline itself.
-func (s anytimeSolver) Generate(g *graph.Graph, budgets []int, spec Spec, src *rng.Source) *core.Schedule {
-	bspec := s.BaseSpec(spec)
-	base, err := Resolve(bspec.Name)
+func (s anytimeSolver) Generate(inst *instance.Instance, spec Spec, src *rng.Source) *core.Schedule {
+	base, bspec, err := Effective(inst, s.BaseSpec(spec))
 	if err != nil {
 		return &core.Schedule{} // Validate rejects this before the driver gets here
 	}
-	ck := domset.NewChecker(g)
-	start := base.Generate(g, budgets, bspec, src).TruncateInvalidWith(ck, base.TruncK(bspec))
-	return s.Refine(g, budgets, start, spec, &Refinement{Src: src, Checker: ck})
+	ck := domset.NewChecker(inst.Graph)
+	start := base.Generate(inst, bspec, src).TruncateInvalidWith(ck, base.TruncK(inst, bspec))
+	return s.Refine(inst, start, spec, &Refinement{Src: src, Checker: ck})
 }
 
-func (s anytimeSolver) Refine(g *graph.Graph, budgets []int, start *core.Schedule, spec Spec, rc *Refinement) *core.Schedule {
+func (s anytimeSolver) Refine(inst *instance.Instance, start *core.Schedule, spec Spec, rc *Refinement) *core.Schedule {
 	budget := rc.Budget
 	if budget <= 0 {
 		budget = DefaultRefineBudget
 	}
-	return refineSchedule(g, budgets, start, spec.normalize(), rc, s.nm, s.policy(g.N(), budget), nil)
+	return refineSchedule(inst, start, rc, s.nm, s.policy(inst.N(), budget), nil)
 }
 
 // refineState is the mutable search state: the working schedule as
@@ -233,8 +241,9 @@ func (st *refineState) snapshot() *core.Schedule {
 // refineSchedule is the engine shared by tabu and anneal. observe, when
 // non-nil, fires with the live session after every accepted in-phase move
 // — the property-test hook asserting accepted moves preserve k-domination.
-func refineSchedule(g *graph.Graph, budgets []int, start *core.Schedule, spec Spec,
+func refineSchedule(inst *instance.Instance, start *core.Schedule,
 	rc *Refinement, name string, pol movePolicy, observe func(*domset.Session)) *core.Schedule {
+	g, budgets := inst.Graph, inst.Budgets
 	src := rc.Src
 	if src == nil {
 		src = rng.New(1)
@@ -247,7 +256,7 @@ func refineSchedule(g *graph.Graph, budgets []int, start *core.Schedule, spec Sp
 	if budget <= 0 {
 		budget = DefaultRefineBudget
 	}
-	k := spec.K
+	k := inst.Tolerance()
 
 	st := &refineState{
 		durs:     make([]int, 0, len(start.Phases)),

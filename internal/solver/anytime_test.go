@@ -8,7 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/domset"
 	"repro/internal/gen"
-	"repro/internal/graph"
+	"repro/internal/instance"
 	"repro/internal/obs"
 	"repro/internal/rng"
 )
@@ -17,7 +17,7 @@ import (
 // heterogeneous batteries in [1, 20]. With uniform batteries the greedy
 // baseline already sits on the min-degree bottleneck bound and local search
 // has nothing to rebalance; battery skew is where move-based repair pays.
-func hetInstance(t testing.TB, n int, seed uint64) (*graph.Graph, []int) {
+func hetInstance(t testing.TB, n int, seed uint64) *instance.Instance {
 	t.Helper()
 	src := rng.New(seed)
 	p := 6 * math.Log(float64(n)) / float64(n)
@@ -30,7 +30,7 @@ func hetInstance(t testing.TB, n int, seed uint64) (*graph.Graph, []int) {
 	for v := range budgets {
 		budgets[v] = 1 + bsrc.Intn(20)
 	}
-	return g, budgets
+	return instance.New(g, budgets)
 }
 
 // TestRefineDeterministic pins the seed contract of the refiners: the same
@@ -39,11 +39,11 @@ func hetInstance(t testing.TB, n int, seed uint64) (*graph.Graph, []int) {
 // gates internally; DeepEqual catches any nondeterminism in move order,
 // policy state, or snapshotting).
 func TestRefineDeterministic(t *testing.T) {
-	g, budgets := hetInstance(t, 96, 11)
+	in := hetInstance(t, 96, 11)
 	for _, name := range []string{NameTabu, NameAnneal} {
 		spec := Spec{Name: name, Base: NameGreedy}
 		solveOnce := func() *core.Schedule {
-			s, err := Solve(g, budgets, spec,
+			s, err := Solve(in, spec,
 				Options{Tries: 3, Budget: 5000, Src: rng.New(42)})
 			if err != nil {
 				t.Fatalf("%s: %v", name, err)
@@ -62,14 +62,14 @@ func TestRefineDeterministic(t *testing.T) {
 // (the engine returns its best snapshot, and the start is the first one).
 func TestRefineNeverWorseThanBase(t *testing.T) {
 	for seed := uint64(1); seed <= 5; seed++ {
-		g, budgets := hetInstance(t, 64, seed)
-		base, err := Solve(g, budgets, Spec{Name: NameGreedy}, Options{Src: rng.New(seed)})
+		in := hetInstance(t, 64, seed)
+		base, err := Solve(in, Spec{Name: NameGreedy}, Options{Src: rng.New(seed)})
 		if err != nil {
 			t.Fatal(err)
 		}
 		for _, name := range []string{NameTabu, NameAnneal} {
 			for _, budget := range []int{1, 100, 4000} {
-				s, err := Solve(g, budgets, Spec{Name: name, Base: NameGreedy},
+				s, err := Solve(in, Spec{Name: name, Base: NameGreedy},
 					Options{Tries: 1, Budget: budget, Src: rng.New(seed)})
 				if err != nil {
 					t.Fatalf("%s seed=%d budget=%d: %v", name, seed, budget, err)
@@ -91,13 +91,13 @@ func TestRefineImprovesFixture(t *testing.T) {
 	if testing.Short() {
 		t.Skip("50k-move refinement is slow")
 	}
-	g, budgets := hetInstance(t, 128, 7)
-	base, err := Solve(g, budgets, Spec{Name: NameGreedy}, Options{Src: rng.New(1)})
+	in := hetInstance(t, 128, 7)
+	base, err := Solve(in, Spec{Name: NameGreedy}, Options{Src: rng.New(1)})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, name := range []string{NameTabu, NameAnneal} {
-		s, err := Solve(g, budgets, Spec{Name: name, Base: NameGreedy},
+		s, err := Solve(in, Spec{Name: name, Base: NameGreedy},
 			Options{Tries: 1, Budget: 50000, Src: rng.New(1)})
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
@@ -116,9 +116,9 @@ func TestRefineImprovesFixture(t *testing.T) {
 // no residue. The observe hook fires inside refinePhase after each commit.
 func TestRefineMovesPreserveDomination(t *testing.T) {
 	for _, k := range []int{1, 2} {
-		g, budgets := hetInstance(t, 48, uint64(13+k))
-		spec := Spec{Name: NameTabu, Base: NameGreedy, K: k}.normalize()
-		base, err := Solve(g, budgets, Spec{Name: NameGreedy, K: k}, Options{Src: rng.New(2)})
+		in := hetInstance(t, 48, uint64(13+k)).WithK(k)
+		g, budgets := in.Graph, in.Budgets
+		base, err := Solve(in, Spec{Name: NameGreedy}, Options{Src: rng.New(2)})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -137,7 +137,7 @@ func TestRefineMovesPreserveDomination(t *testing.T) {
 			}
 		}
 		rc := &Refinement{Budget: 3000, Src: rng.New(3), Checker: ck}
-		out := refineSchedule(g, budgets, base, spec, rc, NameTabu, newTabuPolicy(g.N(), 3000), observe)
+		out := refineSchedule(in, base, rc, NameTabu, newTabuPolicy(g.N(), 3000), observe)
 		if moves == 0 {
 			t.Fatalf("k=%d: the property test observed no accepted moves; fixture too easy", k)
 		}
@@ -151,8 +151,9 @@ func TestRefineMovesPreserveDomination(t *testing.T) {
 // layer: a cancel that fires immediately returns the start schedule (the
 // best seen), not an error and never something worse.
 func TestRefineCancelReturnsBestSoFar(t *testing.T) {
-	g, budgets := hetInstance(t, 64, 3)
-	base, err := Solve(g, budgets, Spec{Name: NameGreedy}, Options{Src: rng.New(1)})
+	in := hetInstance(t, 64, 3)
+	g, budgets := in.Graph, in.Budgets
+	base, err := Solve(in, Spec{Name: NameGreedy}, Options{Src: rng.New(1)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,7 +166,7 @@ func TestRefineCancelReturnsBestSoFar(t *testing.T) {
 		if !ok {
 			t.Fatalf("%s does not implement Refiner", name)
 		}
-		out := rf.Refine(g, budgets, base, Spec{Name: name, Base: NameGreedy}.normalize(),
+		out := rf.Refine(in, base, Spec{Name: name, Base: NameGreedy}.normalize(),
 			&Refinement{Budget: 50000, Cancel: func() bool { return true }, Src: rng.New(1)})
 		if out.Lifetime() != base.Lifetime() {
 			t.Errorf("%s: canceled-at-once refinement returned lifetime %d, want the start's %d",
@@ -175,7 +176,7 @@ func TestRefineCancelReturnsBestSoFar(t *testing.T) {
 		// A cancel firing after a bounded number of polls must still yield a
 		// feasible schedule no worse than the start.
 		polls := 0
-		out = rf.Refine(g, budgets, base, Spec{Name: name, Base: NameGreedy}.normalize(),
+		out = rf.Refine(in, base, Spec{Name: name, Base: NameGreedy}.normalize(),
 			&Refinement{Budget: 50000, Cancel: func() bool { polls++; return polls > 500 }, Src: rng.New(1)})
 		if out.Lifetime() < base.Lifetime() {
 			t.Errorf("%s: mid-flight cancel returned lifetime %d < start %d",
@@ -191,7 +192,7 @@ func TestRefineCancelReturnsBestSoFar(t *testing.T) {
 // driver: refiners do not stack, bases must exist, and only refiners accept
 // a base at all.
 func TestRefineSpecRejections(t *testing.T) {
-	g, budgets := hetInstance(t, 16, 1)
+	in := hetInstance(t, 16, 1)
 	cases := []struct {
 		name string
 		spec Spec
@@ -202,7 +203,7 @@ func TestRefineSpecRejections(t *testing.T) {
 		{"base on randomized solver", Spec{Name: NameUniform, Base: NameGreedy}},
 	}
 	for _, tc := range cases {
-		if _, err := Solve(g, budgets, tc.spec, Options{Src: rng.New(1)}); err == nil {
+		if _, err := Solve(in, tc.spec, Options{Src: rng.New(1)}); err == nil {
 			t.Errorf("%s: Solve(%+v) succeeded, want error", tc.name, tc.spec)
 		}
 	}
@@ -211,9 +212,9 @@ func TestRefineSpecRejections(t *testing.T) {
 // TestRefineEmitsRefineEvents pins the observability side: one obs.Refine
 // event per improvement pass, tagged with the refiner's name.
 func TestRefineEmitsRefineEvents(t *testing.T) {
-	g, budgets := hetInstance(t, 48, 5)
+	in := hetInstance(t, 48, 5)
 	var tap refineTap
-	_, err := Solve(g, budgets, Spec{Name: NameAnneal, Base: NameGreedy},
+	_, err := Solve(in, Spec{Name: NameAnneal, Base: NameGreedy},
 		Options{Tries: 1, Budget: 2000, Src: rng.New(1), Hooks: obs.Hooks{Trace: &tap}})
 	if err != nil {
 		t.Fatal(err)

@@ -5,7 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/exact"
-	"repro/internal/graph"
+	"repro/internal/instance"
 	"repro/internal/rng"
 	"repro/internal/sched"
 )
@@ -14,13 +14,14 @@ import (
 // the branch-and-bound optimum — ride the same driver as the randomized
 // algorithms. They ignore the randomness source, and their
 // GuaranteedLifetime of 0 makes the driver's early-stop fire after the
-// first attempt, so Best costs exactly one generation. Running them
-// through Best still buys the shared ValidateWith feasibility gate: an
-// infeasible baseline schedule fails loudly instead of being reported.
+// first attempt, so a solve costs exactly one generation. Running them
+// through the driver still buys the shared ValidateWith feasibility gate:
+// an infeasible baseline schedule fails loudly instead of being reported.
 
 // exactNodeCap bounds the solvers that enumerate minimal dominating sets
 // (exponential in n). The cap matches the gate cmd/ltsched has enforced
-// since the baseline was added.
+// since the baseline was added, and doubles as the auto portfolio's
+// "small enough for exact" threshold.
 const exactNodeCap = 24
 
 func init() {
@@ -36,22 +37,22 @@ type greedySolver struct{}
 
 func (greedySolver) Name() string { return NameGreedy }
 
-func (greedySolver) Validate(g *graph.Graph, budgets []int, spec Spec) error {
-	return validateBudgets(g, budgets, NameGreedy, false)
+func (greedySolver) Validate(inst *instance.Instance, spec Spec) error {
+	return validateBudgets(inst, NameGreedy, false)
 }
 
-func (greedySolver) GuaranteedLifetime(*graph.Graph, []int, Spec) int { return 0 }
+func (greedySolver) GuaranteedLifetime(*instance.Instance, Spec) int { return 0 }
 
-func (greedySolver) TruncK(spec Spec) int { return spec.K }
+func (greedySolver) TruncK(inst *instance.Instance, _ Spec) int { return inst.Tolerance() }
 
-func (greedySolver) Generate(g *graph.Graph, budgets []int, spec Spec, _ *rng.Source) *core.Schedule {
-	return sched.Replan(g, budgets, spec.K, nil)
+func (greedySolver) Generate(inst *instance.Instance, spec Spec, _ *rng.Source) *core.Schedule {
+	return sched.Replan(inst.Graph, inst.Budgets, inst.Tolerance(), nil)
 }
 
 // validateExactSize gates the exponential baselines.
-func validateExactSize(g *graph.Graph, name string) error {
-	if g.N() > exactNodeCap {
-		return fmt.Errorf("solver: %s solver limited to %d nodes (got %d)", name, exactNodeCap, g.N())
+func validateExactSize(inst *instance.Instance, name string) error {
+	if inst.N() > exactNodeCap {
+		return fmt.Errorf("solver: %s solver limited to %d nodes (got %d)", name, exactNodeCap, inst.N())
 	}
 	return nil
 }
@@ -64,19 +65,19 @@ type lpSolver struct{}
 
 func (lpSolver) Name() string { return NameLP }
 
-func (lpSolver) Validate(g *graph.Graph, budgets []int, spec Spec) error {
-	if err := validateExactSize(g, NameLP); err != nil {
+func (lpSolver) Validate(inst *instance.Instance, spec Spec) error {
+	if err := validateExactSize(inst, NameLP); err != nil {
 		return err
 	}
-	return validateBudgets(g, budgets, NameLP, false)
+	return validateBudgets(inst, NameLP, false)
 }
 
-func (lpSolver) GuaranteedLifetime(*graph.Graph, []int, Spec) int { return 0 }
+func (lpSolver) GuaranteedLifetime(*instance.Instance, Spec) int { return 0 }
 
-func (lpSolver) TruncK(spec Spec) int { return spec.K }
+func (lpSolver) TruncK(inst *instance.Instance, _ Spec) int { return inst.Tolerance() }
 
-func (lpSolver) Generate(g *graph.Graph, budgets []int, spec Spec, _ *rng.Source) *core.Schedule {
-	_, sets, durs, err := exact.Fractional(g, budgets, spec.K)
+func (lpSolver) Generate(inst *instance.Instance, spec Spec, _ *rng.Source) *core.Schedule {
+	_, sets, durs, err := exact.Fractional(inst.Graph, inst.Budgets, inst.Tolerance())
 	if err != nil {
 		// The LP can only fail on malformed input, which Validate already
 		// rejected; an empty schedule keeps the driver's no-panic contract.
@@ -96,19 +97,19 @@ type exactSolver struct{}
 
 func (exactSolver) Name() string { return NameExact }
 
-func (exactSolver) Validate(g *graph.Graph, budgets []int, spec Spec) error {
-	if err := validateExactSize(g, NameExact); err != nil {
+func (exactSolver) Validate(inst *instance.Instance, spec Spec) error {
+	if err := validateExactSize(inst, NameExact); err != nil {
 		return err
 	}
-	return validateBudgets(g, budgets, NameExact, false)
+	return validateBudgets(inst, NameExact, false)
 }
 
-func (exactSolver) GuaranteedLifetime(*graph.Graph, []int, Spec) int { return 0 }
+func (exactSolver) GuaranteedLifetime(*instance.Instance, Spec) int { return 0 }
 
-func (exactSolver) TruncK(spec Spec) int { return spec.K }
+func (exactSolver) TruncK(inst *instance.Instance, _ Spec) int { return inst.Tolerance() }
 
-func (exactSolver) Generate(g *graph.Graph, budgets []int, spec Spec, _ *rng.Source) *core.Schedule {
-	_, sets, durs := exact.Integral(g, budgets, spec.K)
+func (exactSolver) Generate(inst *instance.Instance, spec Spec, _ *rng.Source) *core.Schedule {
+	_, sets, durs := exact.Integral(inst.Graph, inst.Budgets, inst.Tolerance())
 	s := &core.Schedule{}
 	for i, set := range sets {
 		if durs[i] > 0 {

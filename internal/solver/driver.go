@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/domset"
 	"repro/internal/graph"
+	"repro/internal/instance"
 	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/rng"
@@ -84,18 +85,21 @@ func (o Options) cancelFunc() func() bool {
 	}
 }
 
-// Solve is the single driver entry point: it resolves spec.Name in the
-// registry, validates the instance once, and runs opt.RaceWidth
-// independently seeded attempts (sequentially for width <= 1, concurrently
-// on a pool otherwise), returning a deterministic winner — best lifetime,
-// lowest attempt index breaking ties.
+// Solve is the single driver entry point: it resolves spec to its
+// effective solver (running the auto portfolio dispatch on the instance's
+// structure when spec.Name is "auto"), validates the instance once, and
+// runs opt.RaceWidth independently seeded attempts (sequentially for
+// width <= 1, concurrently on a pool otherwise), returning a
+// deterministic winner — best lifetime, lowest attempt index breaking
+// ties.
 //
 // Each attempt is the WHP retry loop the legacy core.*WHP functions
 // hard-coded per algorithm: up to Tries draws, each truncated at its first
 // non-k-dominating phase, keeping the best truncated schedule and stopping
 // early once it reaches the solver's guaranteed lifetime. When spec.Name
 // resolves to a Refiner (tabu, anneal), the attempt composes a pipeline:
-// the base solver named by spec.Base runs the WHP loop first, then Refine
+// the base solver named by spec.Base (itself resolved through the auto
+// dispatch when it says "auto") runs the WHP loop first, then Refine
 // improves its schedule under the Budget/Deadline/Cancel contract. The
 // final schedule passes the ValidateWith feasibility gate before being
 // returned — a violation there is a solver bug and surfaces as an error,
@@ -106,13 +110,12 @@ func (o Options) cancelFunc() func() bool {
 // tests pin this byte for byte), and attempt i of a raced solve draws from
 // the i-th child of opt.Src, so the outcome depends only on (seed, width,
 // spec, tries, budget) — never on goroutine scheduling.
-func Solve(g *graph.Graph, budgets []int, spec Spec, opt Options) (*core.Schedule, error) {
-	sv, err := Resolve(spec.Name)
+func Solve(inst *instance.Instance, spec Spec, opt Options) (*core.Schedule, error) {
+	sv, spec, err := Effective(inst, spec)
 	if err != nil {
 		return nil, err
 	}
-	spec = spec.normalize()
-	if err := sv.Validate(g, budgets, spec); err != nil {
+	if err := sv.Validate(inst, spec); err != nil {
 		return nil, err
 	}
 	if _, ok := sv.(Refiner); !ok && spec.Base != "" {
@@ -120,47 +123,59 @@ func Solve(g *graph.Graph, budgets []int, spec Spec, opt Options) (*core.Schedul
 			spec.Name, spec.Base, RefinerNames())
 	}
 	if opt.RaceWidth <= 1 {
-		return solveOne(sv, g, budgets, spec, opt)
+		return solveOne(sv, inst, spec, opt)
 	}
-	return race(sv, g, budgets, spec, opt)
+	return race(sv, inst, spec, opt)
+}
+
+// checkerFor picks the fold kernel for the driver's validation gates.
+// A dense row fold costs ~n/64 words per member against ~deg(v) adjacency
+// bumps for the rowless walk, so packed rows only pay for themselves when
+// the average degree clears the row stride (2m/n > n/64, i.e. 128m > n²);
+// below that the O(n²/64) row build plus its memclr is pure overhead on
+// the handful of per-phase checks a solve performs.
+func checkerFor(g *graph.Graph) *domset.Checker {
+	if 128*g.M() < g.N()*g.N() {
+		return domset.NewSparseChecker(g)
+	}
+	return domset.NewChecker(g)
 }
 
 // solveOne runs one sequential attempt: the WHP loop, plus the refinement
 // stage when sv is a Refiner. spec is normalized and validated.
-func solveOne(sv Solver, g *graph.Graph, budgets []int, spec Spec, opt Options) (*core.Schedule, error) {
+func solveOne(sv Solver, inst *instance.Instance, spec Spec, opt Options) (*core.Schedule, error) {
 	src := opt.Src
 	if src == nil {
 		src = rng.New(1)
 	}
 	cancel := opt.cancelFunc()
-	ck := domset.NewChecker(g)
+	ck := checkerFor(inst.Graph)
 
 	rf, refining := sv.(Refiner)
 	loopSolver, loopSpec := sv, spec
 	if refining {
 		// The base solver draws the starting schedule under its own
 		// guarantee/truncation contract; the refiner then improves it.
-		loopSpec = rf.BaseSpec(spec)
-		base, err := Resolve(loopSpec.Name)
+		base, bspec, err := Effective(inst, rf.BaseSpec(spec))
 		if err != nil {
 			return nil, fmt.Errorf("solver: %s: %w", spec.Name, err)
 		}
-		loopSolver = base
+		loopSolver, loopSpec = base, bspec
 	}
 
 	tries := opt.Tries
 	if tries <= 0 {
 		tries = 1
 	}
-	target := loopSolver.GuaranteedLifetime(g, budgets, loopSpec)
-	loopK := loopSolver.TruncK(loopSpec)
+	target := loopSolver.GuaranteedLifetime(inst, loopSpec)
+	loopK := loopSolver.TruncK(inst, loopSpec)
 
 	var best *core.Schedule
 	for try := 0; try < tries; try++ {
 		if cancel != nil && cancel() {
 			return nil, ErrCanceled
 		}
-		s := loopSolver.Generate(g, budgets, loopSpec, src).TruncateInvalidWith(ck, loopK)
+		s := loopSolver.Generate(inst, loopSpec, src).TruncateInvalidWith(ck, loopK)
 		if best == nil || s.Lifetime() > best.Lifetime() {
 			best = s
 		}
@@ -170,13 +185,13 @@ func solveOne(sv Solver, g *graph.Graph, budgets []int, spec Spec, opt Options) 
 		}
 	}
 
-	truncK := sv.TruncK(spec)
+	truncK := sv.TruncK(inst, spec)
 	if refining {
 		budget := opt.Budget
 		if budget <= 0 {
 			budget = DefaultRefineBudget
 		}
-		best = rf.Refine(g, budgets, best, spec, &Refinement{
+		best = rf.Refine(inst, best, spec, &Refinement{
 			Budget:  budget,
 			Cancel:  cancel,
 			Src:     src,
@@ -184,7 +199,7 @@ func solveOne(sv Solver, g *graph.Graph, budgets []int, spec Spec, opt Options) 
 			Checker: ck,
 		})
 	}
-	if err := best.ValidateWith(ck, budgets, truncK); err != nil {
+	if err := best.ValidateWith(ck, inst.Budgets, truncK); err != nil {
 		return nil, fmt.Errorf("solver: %s produced infeasible schedule: %w", spec.Name, err)
 	}
 	return best, nil
@@ -198,7 +213,7 @@ func solveOne(sv Solver, g *graph.Graph, budgets []int, spec Spec, opt Options) 
 // never blocks behind foreign work and never deadlocks on a busy shared
 // pool. A fired cancel surfaces as ErrCanceled even when some attempts
 // finished.
-func race(sv Solver, g *graph.Graph, budgets []int, spec Spec, opt Options) (*core.Schedule, error) {
+func race(sv Solver, inst *instance.Instance, spec Spec, opt Options) (*core.Schedule, error) {
 	width := opt.RaceWidth
 	src := opt.Src
 	if src == nil {
@@ -218,7 +233,7 @@ func race(sv Solver, g *graph.Graph, budgets []int, spec Spec, opt Options) (*co
 		o.Hooks = hooks
 		o.Pool = nil
 		o.RaceWidth = 1
-		results[i], errs[i] = solveOne(sv, g, budgets, spec, o)
+		results[i], errs[i] = solveOne(sv, inst, spec, o)
 	}
 
 	pool := opt.Pool

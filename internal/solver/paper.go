@@ -4,7 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
-	"repro/internal/graph"
+	"repro/internal/instance"
 	"repro/internal/rng"
 )
 
@@ -24,10 +24,10 @@ func init() {
 // rejectTolerance is the shared guard for the tolerance-1 algorithms:
 // silently handing a 1-dominating schedule to a caller who asked for
 // k-tolerance would be a correctness trap, so they reject K > 1 instead.
-func rejectTolerance(name string, spec Spec) error {
-	if spec.K > 1 {
+func rejectTolerance(name string, inst *instance.Instance) error {
+	if inst.Tolerance() > 1 {
 		return fmt.Errorf("solver: algorithm %q ignores k; use %s or %s for tolerance %d",
-			name, NameFT, NameGeneralFT, spec.K)
+			name, NameFT, NameGeneralFT, inst.Tolerance())
 	}
 	return nil
 }
@@ -37,21 +37,21 @@ type uniformSolver struct{}
 
 func (uniformSolver) Name() string { return NameUniform }
 
-func (uniformSolver) Validate(g *graph.Graph, budgets []int, spec Spec) error {
-	if err := rejectTolerance(NameUniform, spec); err != nil {
+func (uniformSolver) Validate(inst *instance.Instance, spec Spec) error {
+	if err := rejectTolerance(NameUniform, inst); err != nil {
 		return err
 	}
-	return validateBudgets(g, budgets, NameUniform, true)
+	return validateBudgets(inst, NameUniform, true)
 }
 
-func (uniformSolver) GuaranteedLifetime(g *graph.Graph, budgets []int, spec Spec) int {
-	return core.GuaranteedPhases(g, spec.coreOptions(nil)) * uniformBudget(budgets)
+func (uniformSolver) GuaranteedLifetime(inst *instance.Instance, spec Spec) int {
+	return core.GuaranteedPhases(inst.Graph, spec.coreOptions(nil)) * uniformBudget(inst.Budgets)
 }
 
-func (uniformSolver) TruncK(Spec) int { return 1 }
+func (uniformSolver) TruncK(*instance.Instance, Spec) int { return 1 }
 
-func (uniformSolver) Generate(g *graph.Graph, budgets []int, spec Spec, src *rng.Source) *core.Schedule {
-	return core.Uniform(g, uniformBudget(budgets), spec.coreOptions(src))
+func (uniformSolver) Generate(inst *instance.Instance, spec Spec, src *rng.Source) *core.Schedule {
+	return core.Uniform(inst.Graph, uniformBudget(inst.Budgets), spec.coreOptions(src))
 }
 
 // generalSolver is Algorithm 2 (arbitrary batteries, tolerance 1).
@@ -59,21 +59,21 @@ type generalSolver struct{}
 
 func (generalSolver) Name() string { return NameGeneral }
 
-func (generalSolver) Validate(g *graph.Graph, budgets []int, spec Spec) error {
-	if err := rejectTolerance(NameGeneral, spec); err != nil {
+func (generalSolver) Validate(inst *instance.Instance, spec Spec) error {
+	if err := rejectTolerance(NameGeneral, inst); err != nil {
 		return err
 	}
-	return validateBudgets(g, budgets, NameGeneral, false)
+	return validateBudgets(inst, NameGeneral, false)
 }
 
-func (generalSolver) GuaranteedLifetime(g *graph.Graph, budgets []int, spec Spec) int {
-	return core.GeneralGuaranteedSlots(g, budgets, spec.coreOptions(nil))
+func (generalSolver) GuaranteedLifetime(inst *instance.Instance, spec Spec) int {
+	return core.GeneralGuaranteedSlots(inst.Graph, inst.Budgets, spec.coreOptions(nil))
 }
 
-func (generalSolver) TruncK(Spec) int { return 1 }
+func (generalSolver) TruncK(*instance.Instance, Spec) int { return 1 }
 
-func (generalSolver) Generate(g *graph.Graph, budgets []int, spec Spec, src *rng.Source) *core.Schedule {
-	return core.General(g, budgets, spec.coreOptions(src))
+func (generalSolver) Generate(inst *instance.Instance, spec Spec, src *rng.Source) *core.Schedule {
+	return core.General(inst.Graph, inst.Budgets, spec.coreOptions(src))
 }
 
 // ftSolver is Algorithm 3 (uniform batteries, k-tolerant).
@@ -81,18 +81,18 @@ type ftSolver struct{}
 
 func (ftSolver) Name() string { return NameFT }
 
-func (ftSolver) Validate(g *graph.Graph, budgets []int, spec Spec) error {
-	return validateBudgets(g, budgets, NameFT, true)
+func (ftSolver) Validate(inst *instance.Instance, spec Spec) error {
+	return validateBudgets(inst, NameFT, true)
 }
 
-func (ftSolver) GuaranteedLifetime(g *graph.Graph, budgets []int, spec Spec) int {
-	return core.FaultTolerantGuarantee(g, uniformBudget(budgets), spec.K, spec.coreOptions(nil))
+func (ftSolver) GuaranteedLifetime(inst *instance.Instance, spec Spec) int {
+	return core.FaultTolerantGuarantee(inst.Graph, uniformBudget(inst.Budgets), inst.Tolerance(), spec.coreOptions(nil))
 }
 
-func (ftSolver) TruncK(spec Spec) int { return spec.K }
+func (ftSolver) TruncK(inst *instance.Instance, _ Spec) int { return inst.Tolerance() }
 
-func (ftSolver) Generate(g *graph.Graph, budgets []int, spec Spec, src *rng.Source) *core.Schedule {
-	return core.FaultTolerant(g, uniformBudget(budgets), spec.K, spec.coreOptions(src))
+func (ftSolver) Generate(inst *instance.Instance, spec Spec, src *rng.Source) *core.Schedule {
+	return core.FaultTolerant(inst.Graph, uniformBudget(inst.Budgets), inst.Tolerance(), spec.coreOptions(src))
 }
 
 // generalFTSolver is the repo's general k-tolerant extension (see
@@ -101,16 +101,16 @@ type generalFTSolver struct{}
 
 func (generalFTSolver) Name() string { return NameGeneralFT }
 
-func (generalFTSolver) Validate(g *graph.Graph, budgets []int, spec Spec) error {
-	return validateBudgets(g, budgets, NameGeneralFT, false)
+func (generalFTSolver) Validate(inst *instance.Instance, spec Spec) error {
+	return validateBudgets(inst, NameGeneralFT, false)
 }
 
-func (generalFTSolver) GuaranteedLifetime(g *graph.Graph, budgets []int, spec Spec) int {
-	return core.GeneralGuaranteedSlots(g, budgets, spec.coreOptions(nil)) / spec.K
+func (generalFTSolver) GuaranteedLifetime(inst *instance.Instance, spec Spec) int {
+	return core.GeneralGuaranteedSlots(inst.Graph, inst.Budgets, spec.coreOptions(nil)) / inst.Tolerance()
 }
 
-func (generalFTSolver) TruncK(spec Spec) int { return spec.K }
+func (generalFTSolver) TruncK(inst *instance.Instance, _ Spec) int { return inst.Tolerance() }
 
-func (generalFTSolver) Generate(g *graph.Graph, budgets []int, spec Spec, src *rng.Source) *core.Schedule {
-	return core.GeneralFaultTolerant(g, budgets, spec.K, spec.coreOptions(src))
+func (generalFTSolver) Generate(inst *instance.Instance, spec Spec, src *rng.Source) *core.Schedule {
+	return core.GeneralFaultTolerant(inst.Graph, inst.Budgets, inst.Tolerance(), spec.coreOptions(src))
 }

@@ -2,7 +2,7 @@ package solver
 
 import (
 	"repro/internal/core"
-	"repro/internal/graph"
+	"repro/internal/instance"
 	"repro/internal/rng"
 	"repro/internal/sched"
 )
@@ -24,15 +24,15 @@ func init() { Register(pruneSolver{}) }
 
 func (pruneSolver) Name() string { return NamePrune }
 
-func (pruneSolver) Validate(g *graph.Graph, budgets []int, spec Spec) error {
-	return validateBudgets(g, budgets, NamePrune, false)
+func (pruneSolver) Validate(inst *instance.Instance, spec Spec) error {
+	return validateBudgets(inst, NamePrune, false)
 }
 
-func (pruneSolver) GuaranteedLifetime(*graph.Graph, []int, Spec) int { return 0 }
+func (pruneSolver) GuaranteedLifetime(*instance.Instance, Spec) int { return 0 }
 
-func (pruneSolver) TruncK(spec Spec) int { return spec.K }
+func (pruneSolver) TruncK(inst *instance.Instance, _ Spec) int { return inst.Tolerance() }
 
-func (pruneSolver) Generate(g *graph.Graph, budgets []int, spec Spec, _ *rng.Source) *core.Schedule {
-	base := sched.Replan(g, budgets, spec.K, nil)
-	return sched.Squeeze(g, base, budgets, spec.K)
+func (pruneSolver) Generate(inst *instance.Instance, spec Spec, _ *rng.Source) *core.Schedule {
+	base := sched.Replan(inst.Graph, inst.Budgets, inst.Tolerance(), nil)
+	return sched.Squeeze(inst.Graph, base, inst.Budgets, inst.Tolerance())
 }

@@ -2,22 +2,23 @@
 // scheduling algorithm in the repository — the three randomized algorithms
 // of the paper, the general k-tolerant extension, and the deterministic
 // greedy/LP/exact baselines — registers here behind one Solver interface,
-// and one generic driver (Best) runs the WHP retry loop that used to be
+// and one generic driver (Solve) runs the WHP retry loop that used to be
 // copied per algorithm: generate a raw schedule, truncate at the first
 // non-k-dominating phase, keep the best, stop early once the paper's
 // guaranteed lifetime is reached.
 //
-// On top of Best, Race runs R independently seeded attempts concurrently
-// (on a par.Pool) and picks a deterministic winner — the restart trick of
-// Feige et al. (SICOMP 2002) that the paper's with-high-probability bounds
-// are built on: each attempt succeeds with probability 1-O(1/n), so racing
-// R attempts trades cores for wall-clock without changing the distribution
-// of the best schedule.
+// Solvers consume a typed instance.Instance — graph, budgets, tolerance,
+// and a verified structural classification — rather than a bare
+// (g, budgets) pair. That makes structure-aware dispatch a first-class
+// registry feature: the "grid" solver reads the instance's certified
+// grid/torus embedding, and the "auto" portfolio solver picks a concrete
+// algorithm per instance (grid → grid, small → exact, else the configured
+// fallback).
 //
 // Callers resolve algorithms by registry name ("uniform", "general", "ft",
-// "generalft", "greedy", "lp", "exact"); the serve layer, cmd/ltsched, and
-// the experiments all go through this registry instead of switching on
-// algorithm names themselves.
+// "generalft", "greedy", "lp", "exact", "grid", "auto", ...); the serve
+// layer, cmd/ltsched, and the experiments all go through this registry
+// instead of switching on algorithm names themselves.
 package solver
 
 import (
@@ -26,7 +27,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
-	"repro/internal/graph"
+	"repro/internal/instance"
 	"repro/internal/rng"
 )
 
@@ -44,17 +45,16 @@ const (
 	NamePrune     = "prune"     // greedy + per-phase redundancy pruning + extension
 	NameTabu      = "tabu"      // anytime refiner: tabu search over a base schedule
 	NameAnneal    = "anneal"    // anytime refiner: simulated annealing over a base schedule
+	NameGrid      = "grid"      // pattern-based dominating-set tiling on verified grids/tori
+	NameAuto      = "auto"      // portfolio dispatch on the instance's structure
 )
 
-// Spec selects a registered algorithm and its parameters. The zero values
-// of K and KConst normalize to the defaults every layer has always used
-// (tolerance 1, color-range constant 3).
+// Spec selects a registered algorithm and its parameters. The domination
+// tolerance is not here — it is a property of the instance
+// (instance.Instance.K), not of the algorithm.
 type Spec struct {
 	// Name is the registry name of the algorithm.
 	Name string
-	// K is the domination tolerance (>= 1). Only the k-tolerant solvers
-	// and the baselines use values above 1. <= 0 means 1.
-	K int
 	// KConst is the color-range constant of the randomized algorithms.
 	// <= 0 means the paper's 3.
 	KConst float64
@@ -62,12 +62,12 @@ type Spec struct {
 	// anneal) starts from; empty means greedy. Non-refining solvers reject
 	// a non-empty Base.
 	Base string
+	// Fallback names the solver the auto portfolio dispatches to when no
+	// structured fast path applies; empty means greedy. Only auto reads it.
+	Fallback string
 }
 
 func (s Spec) normalize() Spec {
-	if s.K <= 0 {
-		s.K = 1
-	}
 	if s.KConst <= 0 {
 		s.KConst = 3
 	}
@@ -80,28 +80,45 @@ func (s Spec) coreOptions(src *rng.Source) core.Options {
 }
 
 // Solver is one registered scheduling algorithm. Implementations are
-// stateless values: all per-call state (graph, budgets, randomness) arrives
+// stateless values: all per-call state (instance, randomness) arrives
 // through the method arguments, so one instance serves concurrent callers.
 type Solver interface {
 	// Name returns the registry name.
 	Name() string
-	// Validate rejects malformed (g, budgets, spec) combinations with an
+	// Validate rejects malformed (instance, spec) combinations with an
 	// actionable error — it is the trust boundary that lets the driver
 	// guarantee the core constructors never panic. An infeasible-but-well-
 	// formed instance (e.g. tolerance above the minimum closed neighborhood)
 	// is NOT an error: it yields an empty schedule, matching core.
-	Validate(g *graph.Graph, budgets []int, spec Spec) error
+	Validate(inst *instance.Instance, spec Spec) error
 	// GuaranteedLifetime returns the w.h.p. lifetime target of the paper's
 	// analysis — the driver's early-stop threshold. Deterministic solvers
 	// return 0, which makes the driver accept their first (only meaningful)
 	// attempt.
-	GuaranteedLifetime(g *graph.Graph, budgets []int, spec Spec) int
+	GuaranteedLifetime(inst *instance.Instance, spec Spec) int
 	// TruncK returns the domination tolerance the driver truncates and
-	// validates with.
-	TruncK(spec Spec) int
+	// validates with (the tolerance-1 algorithms pin 1; the k-tolerant
+	// ones return the instance's tolerance).
+	TruncK(inst *instance.Instance, spec Spec) int
 	// Generate produces one raw schedule draw. The driver truncates it at
 	// the first non-TruncK-dominating phase.
-	Generate(g *graph.Graph, budgets []int, spec Spec, src *rng.Source) *core.Schedule
+	Generate(inst *instance.Instance, spec Spec, src *rng.Source) *core.Schedule
+}
+
+// nonRefinable is the opt-out capability a solver implements when its
+// schedules are deterministic fast-path artifacts that the anytime
+// refiners must not be composed onto (the grid tiling solver). The serve
+// layer surfaces the rejection as a 400 at decode time.
+type nonRefinable interface {
+	RefinableBase() bool
+}
+
+// refinableBase reports whether sv's schedules may seed a refiner.
+func refinableBase(sv Solver) bool {
+	if nr, ok := sv.(nonRefinable); ok {
+		return nr.RefinableBase()
+	}
+	return true
 }
 
 var (
@@ -164,35 +181,66 @@ func RefinerNames() []string {
 	return names
 }
 
+// Effective resolves spec to the solver that will actually generate
+// schedules for inst: for a concrete name it is Resolve plus
+// normalization; for "auto" it runs the portfolio dispatch on the
+// instance's verified structure and returns the chosen concrete solver
+// with spec.Name rewritten. Every layer that needs to know what auto
+// means on a given instance (the driver, refiner validation, serve's
+// decode-time pipeline check, ltsched's reporting) goes through here, so
+// the dispatch rule exists exactly once.
+func Effective(inst *instance.Instance, spec Spec) (Solver, Spec, error) {
+	spec = spec.normalize()
+	sv, err := Resolve(spec.Name)
+	if err != nil {
+		return nil, spec, err
+	}
+	if spec.Name != NameAuto {
+		return sv, spec, nil
+	}
+	name := autoPick(inst, spec)
+	if name == NameAuto {
+		return nil, spec, fmt.Errorf("solver: auto fallback must name a concrete algorithm, not %q", NameAuto)
+	}
+	eff, err := Resolve(name)
+	if err != nil {
+		return nil, spec, fmt.Errorf("solver: auto fallback: %w", err)
+	}
+	if _, refiner := eff.(Refiner); refiner {
+		return nil, spec, fmt.Errorf("solver: auto fallback %q is a refiner; set it as the refine stage instead", name)
+	}
+	spec.Name = name
+	return eff, spec, nil
+}
+
 // Guaranteed returns the w.h.p. lifetime target of the named algorithm on
 // this instance — the value the driver stops early at. Exported for layers
 // (plan, ltsched) that report the guarantee next to the achieved lifetime.
-func Guaranteed(g *graph.Graph, budgets []int, spec Spec) (int, error) {
-	sv, err := Resolve(spec.Name)
+func Guaranteed(inst *instance.Instance, spec Spec) (int, error) {
+	sv, spec, err := Effective(inst, spec)
 	if err != nil {
 		return 0, err
 	}
-	spec = spec.normalize()
-	if err := sv.Validate(g, budgets, spec); err != nil {
+	if err := sv.Validate(inst, spec); err != nil {
 		return 0, err
 	}
-	return sv.GuaranteedLifetime(g, budgets, spec), nil
+	return sv.GuaranteedLifetime(inst, spec), nil
 }
 
 // validateBudgets is the shape check shared by every solver: one
 // non-negative budget per node. needUniform additionally demands all
 // entries agree (Algorithms 1 and 3).
-func validateBudgets(g *graph.Graph, budgets []int, name string, needUniform bool) error {
-	if len(budgets) != g.N() {
-		return fmt.Errorf("solver: %s: %d budgets for %d nodes", name, len(budgets), g.N())
+func validateBudgets(inst *instance.Instance, name string, needUniform bool) error {
+	if len(inst.Budgets) != inst.N() {
+		return fmt.Errorf("solver: %s: %d budgets for %d nodes", name, len(inst.Budgets), inst.N())
 	}
-	for v, b := range budgets {
+	for v, b := range inst.Budgets {
 		if b < 0 {
 			return fmt.Errorf("solver: %s: budgets[%d] = %d must be >= 0", name, v, b)
 		}
-		if needUniform && b != budgets[0] {
+		if needUniform && b != inst.Budgets[0] {
 			return fmt.Errorf("solver: algorithm %q needs uniform batteries, but budgets[%d] = %d != budgets[0] = %d",
-				name, v, b, budgets[0])
+				name, v, b, inst.Budgets[0])
 		}
 	}
 	return nil

@@ -12,6 +12,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/internal/instance"
 	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/solver"
@@ -28,6 +29,12 @@ func uniformBudgets(n, b int) []int {
 		out[i] = b
 	}
 	return out
+}
+
+// inst wraps a graph and budgets in the typed instance every solver call
+// consumes now.
+func inst(g *graph.Graph, budgets []int) *instance.Instance {
+	return instance.New(g, budgets)
 }
 
 // legacyWHP replays the retry/truncate/keep-best/early-stop loop the
@@ -59,26 +66,27 @@ func TestSolveReproducesLegacyWHP(t *testing.T) {
 
 	cases := []struct {
 		spec    solver.Spec
+		k       int
 		budgets []int
 		legacy  func() *core.Schedule
 	}{
-		{solver.Spec{Name: solver.NameUniform}, uniformBudgets(g.N(), b), func() *core.Schedule {
+		{solver.Spec{Name: solver.NameUniform}, 1, uniformBudgets(g.N(), b), func() *core.Schedule {
 			o := core.Options{Src: rng.New(seed)}
 			return legacyWHP(g, core.GuaranteedPhases(g, o)*b, 1, tries,
 				func() *core.Schedule { return core.Uniform(g, b, o) })
 		}},
-		{solver.Spec{Name: solver.NameGeneral}, rampBudgets(g.N()), func() *core.Schedule {
+		{solver.Spec{Name: solver.NameGeneral}, 1, rampBudgets(g.N()), func() *core.Schedule {
 			o := core.Options{Src: rng.New(seed)}
 			budgets := rampBudgets(g.N())
 			return legacyWHP(g, core.GeneralGuaranteedSlots(g, budgets, o), 1, tries,
 				func() *core.Schedule { return core.General(g, budgets, o) })
 		}},
-		{solver.Spec{Name: solver.NameFT, K: k}, uniformBudgets(g.N(), b), func() *core.Schedule {
+		{solver.Spec{Name: solver.NameFT}, k, uniformBudgets(g.N(), b), func() *core.Schedule {
 			o := core.Options{Src: rng.New(seed)}
 			return legacyWHP(g, core.FaultTolerantGuarantee(g, b, k, o), k, tries,
 				func() *core.Schedule { return core.FaultTolerant(g, b, k, o) })
 		}},
-		{solver.Spec{Name: solver.NameGeneralFT, K: k}, rampBudgets(g.N()), func() *core.Schedule {
+		{solver.Spec{Name: solver.NameGeneralFT}, k, rampBudgets(g.N()), func() *core.Schedule {
 			o := core.Options{Src: rng.New(seed)}
 			budgets := rampBudgets(g.N())
 			return legacyWHP(g, core.GeneralGuaranteedSlots(g, budgets, o)/k, k, tries,
@@ -88,7 +96,7 @@ func TestSolveReproducesLegacyWHP(t *testing.T) {
 	for _, tc := range cases {
 		t.Run(tc.spec.Name, func(t *testing.T) {
 			want := tc.legacy()
-			got, err := solver.Solve(g, tc.budgets, tc.spec,
+			got, err := solver.Solve(inst(g, tc.budgets).WithK(tc.k), tc.spec,
 				solver.Options{Tries: tries, Src: rng.New(seed)})
 			if err != nil {
 				t.Fatal(err)
@@ -121,12 +129,13 @@ func TestSolveWidthOneSequential(t *testing.T) {
 	g := testGraph(t)
 	budgets := uniformBudgets(g.N(), 3)
 	spec := solver.Spec{Name: solver.NameUniform}
-	want, err := solver.Solve(g, budgets, spec, solver.Options{Tries: 8, Src: rng.New(5)})
+	in := inst(g, budgets)
+	want, err := solver.Solve(in, spec, solver.Options{Tries: 8, Src: rng.New(5)})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, width := range []int{0, 1} {
-		got, err := solver.Solve(g, budgets, spec,
+		got, err := solver.Solve(in, spec,
 			solver.Options{Tries: 8, Src: rng.New(5), RaceWidth: width})
 		if err != nil {
 			t.Fatal(err)
@@ -144,10 +153,11 @@ func TestRaceDeterministic(t *testing.T) {
 	g := testGraph(t)
 	budgets := rampBudgets(g.N())
 	spec := solver.Spec{Name: solver.NameGeneral}
+	in := inst(g, budgets)
 	for _, width := range []int{2, 4, 7} {
 		var want *core.Schedule
 		for rep := 0; rep < 3; rep++ {
-			got, err := solver.Solve(g, budgets, spec,
+			got, err := solver.Solve(in, spec,
 				solver.Options{Tries: 4, Src: rng.New(29), RaceWidth: width})
 			if err != nil {
 				t.Fatal(err)
@@ -174,12 +184,13 @@ func TestRaceBeatsOrMatchesBest(t *testing.T) {
 	g := testGraph(t)
 	budgets := rampBudgets(g.N())
 	spec := solver.Spec{Name: solver.NameGeneral}
+	in := inst(g, budgets)
 	children := rng.New(29).SplitN(4)
-	first, err := solver.Solve(g, budgets, spec, solver.Options{Tries: 4, Src: children[0]})
+	first, err := solver.Solve(in, spec, solver.Options{Tries: 4, Src: children[0]})
 	if err != nil {
 		t.Fatal(err)
 	}
-	raced, err := solver.Solve(g, budgets, spec,
+	raced, err := solver.Solve(in, spec,
 		solver.Options{Tries: 4, Src: rng.New(29), RaceWidth: 4})
 	if err != nil {
 		t.Fatal(err)
@@ -196,7 +207,7 @@ func TestRaceBeatsOrMatchesBest(t *testing.T) {
 func TestBestCanceled(t *testing.T) {
 	g := testGraph(t)
 	budgets := uniformBudgets(g.N(), 3)
-	_, err := solver.Solve(g, budgets, solver.Spec{Name: solver.NameUniform},
+	_, err := solver.Solve(inst(g, budgets), solver.Spec{Name: solver.NameUniform},
 		solver.Options{Tries: 5, Cancel: func() bool { return true }, Src: rng.New(1)})
 	if !errors.Is(err, solver.ErrCanceled) {
 		t.Fatalf("want ErrCanceled, got %v", err)
@@ -213,7 +224,7 @@ func TestRaceCanceled(t *testing.T) {
 	budgets := uniformBudgets(g.N(), 3)
 	var calls atomic.Int64
 	cancel := func() bool { return calls.Add(1) > 2 }
-	_, err := solver.Solve(g, budgets, solver.Spec{Name: solver.NameUniform},
+	_, err := solver.Solve(inst(g, budgets), solver.Spec{Name: solver.NameUniform},
 		solver.Options{Tries: 50, Cancel: cancel, Src: rng.New(1), RaceWidth: 4})
 	if !errors.Is(err, solver.ErrCanceled) {
 		t.Fatalf("want ErrCanceled, got %v", err)
@@ -227,7 +238,7 @@ func TestBestEmitsAttemptEvents(t *testing.T) {
 	g := testGraph(t)
 	budgets := rampBudgets(g.N())
 	var mem obs.Memory
-	s, err := solver.Solve(g, budgets, solver.Spec{Name: solver.NameGeneral},
+	s, err := solver.Solve(inst(g, budgets), solver.Spec{Name: solver.NameGeneral},
 		solver.Options{Tries: 6, Src: rng.New(11), Hooks: obs.Hooks{Trace: &mem}})
 	if err != nil {
 		t.Fatal(err)
@@ -255,7 +266,7 @@ func TestBestEmitsAttemptEvents(t *testing.T) {
 
 // TestRegistryNames pins the registry contents and Resolve's error shape.
 func TestRegistryNames(t *testing.T) {
-	want := []string{"anneal", "exact", "ft", "general", "generalft", "greedy", "lp", "prune", "tabu", "uniform"}
+	want := []string{"anneal", "auto", "exact", "ft", "general", "generalft", "greedy", "grid", "lp", "prune", "tabu", "uniform"}
 	got := solver.Names()
 	if !sort.StringsAreSorted(got) {
 		t.Fatalf("Names() not sorted: %v", got)
@@ -278,19 +289,19 @@ func TestRegistryNames(t *testing.T) {
 func TestValidateRejections(t *testing.T) {
 	g := testGraph(t)
 	cases := []struct {
-		name    string
-		spec    solver.Spec
-		budgets []int
+		name string
+		spec solver.Spec
+		in   *instance.Instance
 	}{
-		{"uniform needs uniform batteries", solver.Spec{Name: solver.NameUniform}, rampBudgets(g.N())},
-		{"uniform rejects tolerance", solver.Spec{Name: solver.NameUniform, K: 2}, uniformBudgets(g.N(), 3)},
-		{"budget length mismatch", solver.Spec{Name: solver.NameGeneral}, uniformBudgets(g.N()-1, 3)},
-		{"negative budget", solver.Spec{Name: solver.NameGeneral}, append(uniformBudgets(g.N()-1, 3), -1)},
-		{"exact node cap", solver.Spec{Name: solver.NameExact}, uniformBudgets(g.N(), 3)},
+		{"uniform needs uniform batteries", solver.Spec{Name: solver.NameUniform}, inst(g, rampBudgets(g.N()))},
+		{"uniform rejects tolerance", solver.Spec{Name: solver.NameUniform}, inst(g, uniformBudgets(g.N(), 3)).WithK(2)},
+		{"budget length mismatch", solver.Spec{Name: solver.NameGeneral}, inst(g, uniformBudgets(g.N()-1, 3))},
+		{"negative budget", solver.Spec{Name: solver.NameGeneral}, inst(g, append(uniformBudgets(g.N()-1, 3), -1))},
+		{"exact node cap", solver.Spec{Name: solver.NameExact}, inst(g, uniformBudgets(g.N(), 3))},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			if _, err := solver.Solve(g, tc.budgets, tc.spec, solver.Options{Tries: 1, Src: rng.New(1)}); err == nil {
+			if _, err := solver.Solve(tc.in, tc.spec, solver.Options{Tries: 1, Src: rng.New(1)}); err == nil {
 				t.Fatal("accepted")
 			}
 		})
@@ -304,7 +315,7 @@ func TestBaselinesFeasible(t *testing.T) {
 	budgets := uniformBudgets(g.N(), 2)
 	for _, name := range []string{solver.NameGreedy, solver.NameLP, solver.NameExact, solver.NamePrune} {
 		t.Run(name, func(t *testing.T) {
-			s, err := solver.Solve(g, budgets, solver.Spec{Name: name},
+			s, err := solver.Solve(inst(g, budgets), solver.Spec{Name: name},
 				solver.Options{Tries: 1, Src: rng.New(1)})
 			if err != nil {
 				t.Fatal(err)
@@ -324,11 +335,11 @@ func TestPruneAtLeastGreedy(t *testing.T) {
 		g := gen.GNP(40, 0.2, rng.New(seed))
 		budgets := uniformBudgets(g.N(), 5)
 		opt := solver.Options{Tries: 1, Src: rng.New(seed)}
-		greedy, err := solver.Solve(g, budgets, solver.Spec{Name: solver.NameGreedy}, opt)
+		greedy, err := solver.Solve(inst(g, budgets), solver.Spec{Name: solver.NameGreedy}, opt)
 		if err != nil {
 			t.Fatal(err)
 		}
-		pruned, err := solver.Solve(g, budgets, solver.Spec{Name: solver.NamePrune}, opt)
+		pruned, err := solver.Solve(inst(g, budgets), solver.Spec{Name: solver.NamePrune}, opt)
 		if err != nil {
 			t.Fatal(err)
 		}
